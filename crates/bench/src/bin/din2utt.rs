@@ -1,0 +1,40 @@
+//! Converts a Dinero `.din` trace to the compact `.utt` format (and back
+//! with `--reverse`), so real traces can drive the experiments.
+
+use simtrace::din::{write_din, DinReader};
+use simtrace::encode::TraceBuffer;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reverse = args.first().map(String::as_str) == Some("--reverse");
+    let rest = if reverse { &args[1..] } else { &args[..] };
+    let [input, output] = rest else {
+        eprintln!("usage: din2utt [--reverse] <input> <output>");
+        std::process::exit(2);
+    };
+    let result = if reverse {
+        // .utt → .din
+        TraceBuffer::load(input).and_then(|buf| {
+            let trace: Result<Vec<_>, _> = buf.iter().collect();
+            let trace = trace
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            write_din(BufWriter::new(File::create(output)?), trace)
+        })
+    } else {
+        // .din → .utt
+        File::open(input).and_then(|f| {
+            let records: Result<Vec<_>, _> = DinReader::new(BufReader::new(f)).collect();
+            let trace = records
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let buf = TraceBuffer::encode(trace);
+            println!("{} instructions, {} bytes", buf.len(), buf.byte_len());
+            buf.save(output)
+        })
+    };
+    if let Err(e) = result {
+        eprintln!("conversion failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Flush-ratio (α) sensitivity ablation.
+fn main() {
+    println!("{}", bench::alpha::main_report());
+}

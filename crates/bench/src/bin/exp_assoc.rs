@@ -1,0 +1,4 @@
+//! Associativity and replacement-policy ablation.
+fn main() {
+    println!("{}", bench::assoc::main_report());
+}

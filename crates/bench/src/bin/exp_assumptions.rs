@@ -1,0 +1,4 @@
+//! Audit of the paper's Section 3.1 hardware assumptions.
+fn main() {
+    println!("{}", bench::assumptions::main_report());
+}

@@ -1,0 +1,4 @@
+//! Multiprogramming (process-switch) degradation study.
+fn main() {
+    println!("{}", bench::context::main_report());
+}

@@ -1,0 +1,4 @@
+//! Pins-versus-silicon cost analysis for equal-performance designs.
+fn main() {
+    println!("{}", bench::cost::main_report());
+}

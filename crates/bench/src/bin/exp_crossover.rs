@@ -1,0 +1,4 @@
+//! Regenerates the Section 5.3 crossover-point analysis.
+fn main() {
+    println!("{}", bench::xover::main_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Example 1 (the Short & Levy bus-vs-cache-size case study).
+fn main() {
+    println!("{}", bench::example1::main_report());
+}

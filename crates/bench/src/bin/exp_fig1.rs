@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 (stalling factors vs memory cycle time).
+fn main() {
+    println!("{}", bench::fig1::main_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (bus-width/hit-ratio trading vs memory latency).
+fn main() {
+    println!("{}", bench::fig2::main_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (unified tradeoff, L = 8 bytes).
+fn main() {
+    println!("{}", bench::unified::main_report(bench::unified::FIG3));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (unified tradeoff, L = 32 bytes).
+fn main() {
+    println!("{}", bench::unified::main_report(bench::unified::FIG4));
+}

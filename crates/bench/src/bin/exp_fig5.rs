@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (unified tradeoff with BNL3, L = 32 bytes).
+fn main() {
+    println!("{}", bench::unified::main_report(bench::unified::FIG5));
+}

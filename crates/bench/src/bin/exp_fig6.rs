@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (validation with Smith's design-target optima).
+fn main() {
+    println!("{}", bench::fig6::main_report());
+}

@@ -1,0 +1,4 @@
+//! Second-level-cache extension analysis.
+fn main() {
+    println!("{}", bench::l2::main_report());
+}

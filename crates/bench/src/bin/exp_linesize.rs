@@ -1,0 +1,4 @@
+//! Regenerates the Section 5.4.1 line-size analysis.
+fn main() {
+    println!("{}", bench::linesize::main_report());
+}

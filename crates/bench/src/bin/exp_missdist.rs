@@ -1,0 +1,4 @@
+//! Inter-miss distance profiles behind the Figure 1 stalling factors.
+fn main() {
+    println!("{}", bench::missdist::main_report());
+}

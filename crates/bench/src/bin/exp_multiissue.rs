@@ -1,0 +1,4 @@
+//! Regenerates the Section 6 multi-issue extension analysis.
+fn main() {
+    println!("{}", bench::mi::main_report());
+}

@@ -1,0 +1,5 @@
+//! Measures the non-blocking cache's stalling factor (left unmeasured in
+//! the paper) and ranks it.
+fn main() {
+    println!("{}", bench::nb::main_report());
+}

@@ -1,0 +1,4 @@
+//! Per-phase application of the methodology (Table 1's scoping).
+fn main() {
+    println!("{}", bench::phases::main_report());
+}

@@ -1,0 +1,4 @@
+//! Prices next-line prefetching in the paper's hit-ratio currency.
+fn main() {
+    println!("{}", bench::prefetch::main_report());
+}

@@ -1,0 +1,4 @@
+//! Reuse-distance fingerprints of the proxy workloads.
+fn main() {
+    println!("{}", bench::reuse::main_report());
+}

@@ -1,0 +1,4 @@
+//! Sector-cache organisation study (tag economy vs traffic).
+fn main() {
+    println!("{}", bench::sector::main_report());
+}

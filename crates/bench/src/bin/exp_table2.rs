@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (stalling features and φ bounds).
+fn main() {
+    println!("{}", bench::table23::table2(8.0));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.5 model-vs-simulation validation.
+fn main() {
+    println!("{}", bench::validate::main_report());
+}

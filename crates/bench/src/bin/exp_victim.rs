@@ -1,0 +1,4 @@
+//! Victim-buffer study (Jouppi) priced in hit-ratio currency.
+fn main() {
+    println!("{}", bench::victim::main_report());
+}

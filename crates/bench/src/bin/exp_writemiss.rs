@@ -1,0 +1,4 @@
+//! Write-allocate versus write-around ablation.
+fn main() {
+    println!("{}", bench::writemiss::main_report());
+}

@@ -1,0 +1,45 @@
+//! Generates a SPEC92-proxy trace file for external replay.
+//!
+//! Usage: `tracegen <program> <instructions> <output.utt> [seed]`
+
+use simtrace::encode::TraceBuffer;
+use simtrace::spec92::{spec92_trace, Spec92Program};
+
+fn parse_program(name: &str) -> Option<Spec92Program> {
+    Spec92Program::ALL.into_iter().find(|p| p.name() == name)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 4 {
+        eprintln!("usage: tracegen <program> <instructions> <output.utt> [seed]");
+        eprintln!(
+            "programs: {}",
+            Spec92Program::ALL.map(|p| p.name()).join(", ")
+        );
+        std::process::exit(2);
+    }
+    let Some(program) = parse_program(&args[1]) else {
+        eprintln!("unknown program {:?}", args[1]);
+        std::process::exit(2);
+    };
+    let n: usize = args[2].parse().unwrap_or_else(|_| {
+        eprintln!("bad instruction count {:?}", args[2]);
+        std::process::exit(2);
+    });
+    let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let buf = TraceBuffer::encode(spec92_trace(program, seed).take(n));
+    if let Err(e) = buf.save(&args[3]) {
+        eprintln!("cannot write {}: {e}", args[3]);
+        std::process::exit(1);
+    }
+    println!(
+        "{}: {} instructions, {} bytes ({:.2} B/instr) -> {}",
+        program,
+        buf.len(),
+        buf.byte_len(),
+        buf.byte_len() as f64 / buf.len() as f64,
+        args[3]
+    );
+}

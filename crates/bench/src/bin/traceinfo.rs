@@ -1,0 +1,37 @@
+//! Inspects a trace file produced by `tracegen`: counts, mix and the
+//! hit ratio it would achieve on the paper's Figure 1 cache.
+
+use simcache::{Cache, CacheConfig};
+use simtrace::encode::TraceBuffer;
+use simtrace::stats::TraceStats;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: traceinfo <trace.utt>");
+        std::process::exit(2);
+    };
+    let buf = match TraceBuffer::load(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut stats = TraceStats::new();
+    let mut cache = Cache::new(CacheConfig::new(8 * 1024, 32, 2).expect("valid cache"));
+    for instr in buf.iter() {
+        let instr = match instr {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("corrupt trace: {e}");
+                std::process::exit(1);
+            }
+        };
+        stats.record(&instr);
+        if let Some(m) = instr.mem {
+            cache.access(m.op, m.addr);
+        }
+    }
+    println!("{path}: {stats}");
+    println!("8K 2-way L=32 data cache: {}", cache.stats());
+}

@@ -1,0 +1,115 @@
+//! Shared experiment plumbing.
+
+use simcache::CacheConfig;
+use simcpu::{Cpu, CpuConfig, SimResult, StallFeature};
+use simmem::{BusWidth, MemoryTiming};
+use simtrace::spec92::{spec92_trace, Spec92Program};
+use std::path::PathBuf;
+
+/// Where experiment CSVs land (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("REPRO_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
+}
+
+/// Instructions per SPEC92 proxy run. The paper used 50 M per program;
+/// the proxies converge much faster, and the `REPRO_INSTRUCTIONS`
+/// environment variable can raise this for high-fidelity runs.
+pub fn instructions_per_run() -> usize {
+    std::env::var("REPRO_INSTRUCTIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(120_000)
+}
+
+/// The paper's Figure 1 cache: 8 KB, two-way, write-allocate.
+///
+/// # Panics
+///
+/// Panics only if the constant geometry were invalid (it is not).
+pub fn figure1_cache(line_bytes: u64) -> CacheConfig {
+    CacheConfig::new(8 * 1024, line_bytes, 2).expect("valid 8KB cache")
+}
+
+/// Runs one SPEC92 proxy through a full CPU simulation.
+pub fn run_spec(
+    program: Spec92Program,
+    stall: StallFeature,
+    line_bytes: u64,
+    bus_bytes: u64,
+    beta_m: u64,
+    instructions: usize,
+) -> SimResult {
+    let cfg = CpuConfig::baseline(
+        figure1_cache(line_bytes),
+        MemoryTiming::new(BusWidth::new(bus_bytes).expect("valid bus"), beta_m),
+    )
+    .with_stall(stall);
+    Cpu::new(cfg).run(spec92_trace(program, 0xDEAD_BEEF).take(instructions))
+}
+
+/// Measures the SPEC92-average stalling factor `φ` for a feature, the
+/// quantity Figure 1 plots (as a percentage of `L/D`).
+///
+/// Runs the six programs in parallel.
+pub fn average_phi(
+    stall: StallFeature,
+    line_bytes: u64,
+    bus_bytes: u64,
+    beta_m: u64,
+    instructions: usize,
+) -> f64 {
+    let phis: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = Spec92Program::ALL
+            .iter()
+            .map(|&p| {
+                scope.spawn(move || {
+                    run_spec(p, stall, line_bytes, bus_bytes, beta_m, instructions).phi()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation thread")).collect()
+    });
+    phis.iter().sum::<f64>() / phis.len() as f64
+}
+
+/// Measures the SPEC92-average flush ratio `α` at the Figure 1 cache.
+pub fn average_alpha(line_bytes: u64, bus_bytes: u64, beta_m: u64, instructions: usize) -> f64 {
+    let alphas: Vec<f64> = Spec92Program::ALL
+        .iter()
+        .map(|&p| {
+            run_spec(p, StallFeature::FullStall, line_bytes, bus_bytes, beta_m, instructions)
+                .alpha()
+        })
+        .collect();
+    alphas.iter().sum::<f64>() / alphas.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_produces_activity() {
+        let r = run_spec(Spec92Program::Ear, StallFeature::FullStall, 32, 4, 8, 10_000);
+        assert_eq!(r.instructions, 10_000);
+        assert!(r.dcache.fills > 0);
+        assert!(r.cycles > r.instructions);
+    }
+
+    #[test]
+    fn average_phi_fs_equals_chunks() {
+        let phi = average_phi(StallFeature::FullStall, 32, 4, 8, 5_000);
+        assert!((phi - 8.0).abs() < 1e-9, "FS φ must be L/D: {phi}");
+    }
+
+    #[test]
+    fn average_phi_ordering() {
+        let bl = average_phi(StallFeature::BusLocked, 32, 4, 8, 20_000);
+        let bnl3 = average_phi(StallFeature::BusNotLocked3, 32, 4, 8, 20_000);
+        assert!(bl >= bnl3, "BL {bl} < BNL3 {bnl3}");
+        assert!((1.0..=8.0).contains(&bl));
+    }
+
+    #[test]
+    fn average_alpha_is_a_fraction() {
+        let a = average_alpha(32, 4, 8, 10_000);
+        assert!((0.0..=1.0).contains(&a), "α = {a}");
+    }
+}

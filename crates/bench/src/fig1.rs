@@ -1,0 +1,114 @@
+//! EXP-F1 — Figure 1: stalling factors of BL/BNL1/BNL2/BNL3 versus
+//! memory cycle time, averaged over the six SPEC92 proxies.
+//!
+//! Paper setting: 8 KB two-way write-allocate data cache, L = 32 B,
+//! D = 4 B, stalling factor reported as a percentage of `L/D`.
+
+use crate::common::{average_phi, instructions_per_run};
+use report::{write_csv, Chart};
+use simcpu::StallFeature;
+
+/// The β_m sweep of the figure.
+pub const BETAS: [u64; 7] = [4, 8, 15, 22, 30, 40, 50];
+
+/// One measured curve.
+#[derive(Debug, Clone)]
+pub struct PhiCurve {
+    /// The stalling feature measured.
+    pub feature: StallFeature,
+    /// `(β_m, φ as % of L/D)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Runs the sweep for the four measured features.
+pub fn run(line_bytes: u64, bus_bytes: u64, instructions: usize) -> Vec<PhiCurve> {
+    let chunks = (line_bytes / bus_bytes) as f64;
+    StallFeature::MEASURED
+        .iter()
+        .map(|&feature| {
+            let points = BETAS
+                .iter()
+                .map(|&beta| {
+                    let phi = average_phi(feature, line_bytes, bus_bytes, beta, instructions);
+                    (beta as f64, 100.0 * phi / chunks)
+                })
+                .collect();
+            PhiCurve { feature, points }
+        })
+        .collect()
+}
+
+/// Renders the figure and writes `fig1.csv` under `results_dir`.
+pub fn render(curves: &[PhiCurve], results_dir: &std::path::Path) -> String {
+    let mut chart = Chart::new(
+        "Figure 1 — stalling factor (% of L/D) vs memory cycle time",
+        "beta_m (cycles per 4 bytes)",
+        "phi %",
+        60,
+        16,
+    );
+    let mut rows = Vec::new();
+    for c in curves {
+        chart.series(c.feature.to_string(), c.points.clone());
+        for &(beta, pct) in &c.points {
+            rows.push(vec![c.feature.to_string(), format!("{beta}"), format!("{pct:.2}")]);
+        }
+    }
+    let csv_path = results_dir.join("fig1.csv");
+    if let Err(e) = write_csv(&csv_path, &["feature", "beta_m", "phi_pct_of_LD"], &rows) {
+        eprintln!("warning: could not write {}: {e}", csv_path.display());
+    }
+    chart.render()
+}
+
+/// Entry point shared by the binary and the `run_all` driver.
+pub fn main_report() -> String {
+    let curves = run(32, 4, instructions_per_run());
+    render(&curves, &crate::common::results_dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_reproduce_figure1_shape() {
+        let curves = run(32, 4, 20_000);
+        let by_name = |n: &str| {
+            curves
+                .iter()
+                .find(|c| c.feature.to_string() == n)
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        let bl = by_name("BL");
+        let bnl1 = by_name("BNL1");
+        let bnl3 = by_name("BNL3");
+
+        // Ordering at every β: BL ≥ BNL1 ≥ BNL3.
+        for i in 0..BETAS.len() {
+            assert!(bl.points[i].1 + 1e-9 >= bnl1.points[i].1, "β index {i}");
+            assert!(bnl1.points[i].1 + 1e-9 >= bnl3.points[i].1, "β index {i}");
+        }
+        // Rising trend with β_m (compare first and last point).
+        assert!(bl.points.last().unwrap().1 > bl.points[0].1);
+        // The paper's headline: BNL3 gives ~20–30 % reduction at small
+        // β_m, i.e. its φ stays well below 100 % of L/D at β_m ≤ 15.
+        assert!(bnl3.points[1].1 < 90.0, "BNL3 at β=8: {}", bnl3.points[1].1);
+        // All percentages in [12.5, 100] (φ ∈ [1, L/D]).
+        for c in &curves {
+            for &(_, pct) in &c.points {
+                assert!((12.5 - 1e-6..=100.0 + 1e-6).contains(&pct), "{}: {pct}", c.feature);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_legend_and_writes_csv() {
+        let tmp = std::env::temp_dir().join("fig1_test_results");
+        let curves = run(32, 4, 5_000);
+        let text = render(&curves, &tmp);
+        assert!(text.contains("BNL2"));
+        assert!(tmp.join("fig1.csv").exists());
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

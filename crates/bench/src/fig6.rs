@@ -1,0 +1,110 @@
+//! EXP-F6 — Figure 6: validation against Smith's design-target optimal
+//! line sizes, four panels.
+
+use report::{write_csv, Chart, Table};
+use smithval::fig6::CANDIDATE_LINES;
+use smithval::{validate_all_panels, DesignTargetModel, MissRatioModel, PanelValidation, PANELS};
+use tradeoff::TradeoffError;
+
+/// The bus-speed sweep of the figure's x-axis.
+pub fn default_betas() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.5).collect()
+}
+
+/// Renders all four panels (reduced delay per 100 references vs β) plus
+/// the validation table, writing `fig6.csv` under `dir`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn report(model: &dyn MissRatioModel, dir: &std::path::Path) -> Result<String, TradeoffError> {
+    let betas = default_betas();
+    let mut out = String::new();
+    let mut rows = Vec::new();
+
+    for panel in &PANELS {
+        let mut chart = Chart::new(
+            format!("Figure 6 {}", panel.name),
+            "normalized bus speed (beta)",
+            "reduced delay / 100 refs",
+            60,
+            14,
+        );
+        for &line in CANDIDATE_LINES.iter().skip(1) {
+            let series = panel.reduced_delay_series(model, line, &betas)?;
+            for &(beta, v) in &series {
+                rows.push(vec![
+                    panel.name.to_string(),
+                    format!("{line}"),
+                    format!("{beta}"),
+                    format!("{v:.4}"),
+                ]);
+            }
+            chart.series(format!("L={line}"), series);
+        }
+        out.push_str(&chart.render());
+        out.push('\n');
+    }
+
+    let validations = validate_all_panels(model)?;
+    out.push_str(&validation_table(&validations));
+
+    let csv = dir.join("fig6.csv");
+    if let Err(e) = write_csv(&csv, &["panel", "line_bytes", "beta", "reduced_delay_x100"], &rows) {
+        eprintln!("warning: could not write {}: {e}", csv.display());
+    }
+    Ok(out)
+}
+
+/// The per-panel validation table.
+pub fn validation_table(validations: &[PanelValidation]) -> String {
+    let mut t = Table::new(["panel", "Smith Eq.16", "ours Eq.19", "agree", "matches paper"]);
+    for v in validations {
+        t.row([
+            v.panel.to_string(),
+            format!("{} B", v.smith_line),
+            format!("{} B", v.eq19_line),
+            v.selectors_agree.to_string(),
+            v.matches_paper.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Entry point shared by the binary and the `run_all` driver.
+///
+/// # Panics
+///
+/// Panics if the canonical model fails evaluation (it does not).
+pub fn main_report() -> String {
+    let model = DesignTargetModel::default();
+    report(&model, &crate::common::results_dir()).expect("canonical model evaluates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_panels_and_validation() {
+        let tmp = std::env::temp_dir().join("fig6_test_results");
+        let model = DesignTargetModel::default();
+        let text = report(&model, &tmp).unwrap();
+        for panel in &PANELS {
+            assert!(text.contains(panel.name), "missing {}", panel.name);
+        }
+        assert!(text.contains("matches paper"));
+        assert!(!text.contains("false"), "all panels must validate:\n{text}");
+        assert!(tmp.join("fig6.csv").exists());
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn validation_table_lists_four_rows() {
+        let model = DesignTargetModel::default();
+        let v = validate_all_panels(&model).unwrap();
+        assert_eq!(v.len(), 4);
+        let table = validation_table(&v);
+        assert_eq!(table.lines().count(), 6); // header + sep + 4 rows
+    }
+}

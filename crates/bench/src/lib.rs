@@ -1,0 +1,36 @@
+//! Experiment harness: one module per table/figure of the paper.
+//!
+//! Every module exposes a `run(...)`-style function returning structured
+//! data plus a `render(...)` producing the terminal report; the
+//! `exp_*` binaries in `src/bin/` are thin wrappers that also drop a CSV
+//! per figure under `results/`. See `DESIGN.md` §4 for the experiment
+//! index and `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod assoc;
+pub mod assumptions;
+pub mod common;
+pub mod context;
+pub mod cost;
+pub mod example1;
+pub mod fig1;
+pub mod fig2;
+pub mod fig6;
+pub mod l2;
+pub mod linesize;
+pub mod mi;
+pub mod missdist;
+pub mod nb;
+pub mod phases;
+pub mod prefetch;
+pub mod reuse;
+pub mod sector;
+pub mod table23;
+pub mod unified;
+pub mod validate;
+pub mod victim;
+pub mod writemiss;
+pub mod xover;

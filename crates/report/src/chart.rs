@@ -1,0 +1,184 @@
+//! Multi-series ASCII line charts.
+
+/// Renders a one-line sparkline of non-negative magnitudes using five
+/// density glyphs, scaled to the series maximum.
+///
+/// # Example
+///
+/// ```
+/// let s = report::chart::sparkline(&[0, 1, 4, 9, 4, 1, 0]);
+/// assert_eq!(s.len(), 7);
+/// assert_eq!(&s[3..4], "#");
+/// ```
+pub fn sparkline(values: &[u64]) -> String {
+    const GLYPHS: [char; 5] = [' ', '.', ':', '|', '#'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| match (v * 4 + max / 2).checked_div(max) {
+            None => GLYPHS[0],
+            Some(level) => GLYPHS[level.min(4) as usize],
+        })
+        .collect()
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// A chart under construction.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Chart {
+    /// Creates an empty chart with a plot area of `width`×`height`
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is smaller than 2.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        width: usize,
+        height: usize,
+    ) -> Self {
+        assert!(width >= 2 && height >= 2, "plot area must be at least 2×2");
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points; returns `self` for
+    /// chaining.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self.series.iter().flat_map(|(_, p)| p.iter()).copied();
+        let (x0, y0) = pts.next()?;
+        let mut b = (x0, x0, y0, y0);
+        for (x, y) in pts {
+            b.0 = b.0.min(x);
+            b.1 = b.1.max(x);
+            b.2 = b.2.min(y);
+            b.3 = b.3.max(y);
+        }
+        Some(b)
+    }
+
+    /// Renders the chart to a string.
+    ///
+    /// An empty chart (no series or no points) renders a placeholder
+    /// message rather than panicking.
+    pub fn render(&self) -> String {
+        let Some((x_min, x_max, y_min, y_max)) = self.bounds() else {
+            return format!("{}\n  (no data)\n", self.title);
+        };
+        let x_span = if x_max > x_min { x_max - x_min } else { 1.0 };
+        let y_span = if y_max > y_min { y_max - y_min } else { 1.0 };
+        let mut grid = vec![vec![' '; self.width]; self.height];
+
+        for (si, (_, points)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in points {
+                let cx = (((x - x_min) / x_span) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y_min) / y_span) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                grid[row][cx.min(self.width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{} — {}\n", self.title, self.y_label));
+        for (i, row) in grid.iter().enumerate() {
+            let y_here = y_max - (i as f64 / (self.height - 1) as f64) * y_span;
+            out.push_str(&format!("{y_here:>10.3} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>10}  {:<w$.3}{:>.3}  ({})\n",
+            "",
+            x_min,
+            x_max,
+            self.x_label,
+            w = self.width.saturating_sub(6)
+        ));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let mut c = Chart::new("Figure 2", "beta", "dHR", 30, 8);
+        c.series("L=32", vec![(2.0, 3.0), (20.0, 2.0)]);
+        c.series("L=8", vec![(2.0, 2.5), (20.0, 2.1)]);
+        let text = c.render();
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("L=32") && text.contains("L=8"));
+        assert!(text.contains("beta"));
+        assert!(text.contains('*') && text.contains('o'));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = Chart::new("Nothing", "x", "y", 10, 4);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_series_does_not_panic() {
+        let mut c = Chart::new("One", "x", "y", 10, 4);
+        c.series("p", vec![(1.0, 1.0)]);
+        let text = c.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn extreme_points_land_on_edges() {
+        let mut c = Chart::new("Edges", "x", "y", 11, 5);
+        c.series("s", vec![(0.0, 0.0), (10.0, 10.0)]);
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // First grid row (max y) holds the max point at the right edge.
+        assert!(lines[1].trim_end().ends_with('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn tiny_plot_area_panics() {
+        Chart::new("t", "x", "y", 1, 5);
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_empty() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "  ");
+        let s = sparkline(&[1, 2, 4, 8]);
+        assert_eq!(s.chars().last(), Some('#'));
+        assert!(s.starts_with(['.', ':']), "{s:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal CSV output for experiment series.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows as CSV text.
+pub fn to_csv_string<S: AsRef<str>>(header: &[S], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| escape(h.as_ref())).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as a CSV file, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_csv<S: AsRef<str>>(
+    path: impl AsRef<Path>,
+    header: &[S],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv_string(header, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_csv() {
+        let text = to_csv_string(
+            &["beta", "dhr"],
+            &[vec!["2".into(), "3.0".into()], vec!["4".into(), "2.5".into()]],
+        );
+        assert_eq!(text, "beta,dhr\n2,3.0\n4,2.5\n");
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let text = to_csv_string(&["a"], &[vec!["x,y".into()], vec!["say \"hi\"".into()]]);
+        assert!(text.contains("\"x,y\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn writes_file_with_parents() {
+        let dir = std::env::temp_dir().join("report_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/exp.csv");
+        write_csv(&path, &["x"], &[vec!["1".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

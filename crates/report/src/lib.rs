@@ -1,0 +1,28 @@
+//! Experiment output rendering: ASCII line charts, markdown tables and
+//! CSV files.
+//!
+//! The benchmark harness regenerates every figure of the paper; since the
+//! reproduction is terminal-first, figures are emitted as multi-series
+//! ASCII charts (one glyph per series) alongside machine-readable CSV.
+//!
+//! # Example
+//!
+//! ```
+//! use report::chart::Chart;
+//!
+//! let mut chart = Chart::new("ΔHR vs β_m", "beta_m", "ΔHR (%)", 40, 10);
+//! chart.series("L=8", (2..=20).map(|b| (b as f64, 100.0 / b as f64)).collect());
+//! let text = chart.render();
+//! assert!(text.contains("ΔHR vs β_m"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod table;
+
+pub use chart::Chart;
+pub use csv::write_csv;
+pub use table::Table;

@@ -1,0 +1,362 @@
+//! Sector (sub-block) caches.
+//!
+//! The paper's related work (Alpert & Flynn) notes that larger lines
+//! amortise tag storage; the classic way to get large-line tag economy
+//! *without* large-line memory traffic is a sector cache: one tag covers
+//! an address block of several sub-blocks, each with its own valid/dirty
+//! bit, and misses fetch only the needed sub-block. This module provides
+//! a sector-cache simulator so the tradeoff methodology can price that
+//! design too (see the `exp_sector` experiment).
+
+use crate::config::ConfigError;
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+use simtrace::{Addr, MemOp};
+use std::fmt;
+
+/// Geometry of a sector cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SectorConfig {
+    size_bytes: u64,
+    block_bytes: u64,
+    subblock_bytes: u64,
+    assoc: u32,
+}
+
+impl SectorConfig {
+    /// Creates a sector-cache configuration: `block_bytes` is the
+    /// tag-granularity address block, `subblock_bytes` the transfer
+    /// granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a parameter is not a power of two,
+    /// the sub-block does not divide the block, or the block does not
+    /// fit a way.
+    pub fn new(
+        size_bytes: u64,
+        block_bytes: u64,
+        subblock_bytes: u64,
+        assoc: u32,
+    ) -> Result<Self, ConfigError> {
+        for (what, v) in [
+            ("cache size", size_bytes),
+            ("block size", block_bytes),
+            ("subblock size", subblock_bytes),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { what, value: v });
+            }
+        }
+        if assoc == 0 || !assoc.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { what: "associativity", value: u64::from(assoc) });
+        }
+        if subblock_bytes > block_bytes || block_bytes / subblock_bytes > 64 {
+            return Err(ConfigError::LineTooLarge {
+                line_bytes: subblock_bytes,
+                way_bytes: block_bytes,
+            });
+        }
+        let way_bytes = size_bytes / u64::from(assoc);
+        if block_bytes > way_bytes {
+            return Err(ConfigError::LineTooLarge { line_bytes: block_bytes, way_bytes });
+        }
+        Ok(SectorConfig { size_bytes, block_bytes, subblock_bytes, assoc })
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Address-block (tag-granularity) size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Sub-block (transfer-granularity) size in bytes.
+    pub fn subblock_bytes(&self) -> u64 {
+        self.subblock_bytes
+    }
+
+    /// Sub-blocks per block.
+    pub fn subblocks(&self) -> u32 {
+        (self.block_bytes / self.subblock_bytes) as u32
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / self.block_bytes / u64::from(self.assoc)
+    }
+}
+
+impl fmt::Display for SectorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way sector {}B/{}B",
+            self.size_bytes / 1024,
+            self.assoc,
+            self.block_bytes,
+            self.subblock_bytes
+        )
+    }
+}
+
+/// Counters specific to sector caches, on top of [`CacheStats`].
+///
+/// In [`CacheStats`] terms: `fills` counts *sub-block* fetches (the unit
+/// of memory traffic), so `read_bytes(subblock_bytes)` gives `R`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectorStats {
+    /// Misses that found the tag but not the sub-block.
+    pub subblock_misses: u64,
+    /// Misses that missed the tag entirely (block allocation).
+    pub block_misses: u64,
+    /// Dirty sub-blocks written back.
+    pub subblock_writebacks: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    tag: u64,
+    valid: u64,
+    dirty: u64,
+    use_stamp: u64,
+}
+
+/// A sector cache with LRU replacement and write-back sub-blocks
+/// (write-allocate at sub-block granularity).
+#[derive(Debug, Clone)]
+pub struct SectorCache {
+    cfg: SectorConfig,
+    sets: Vec<Vec<Option<Block>>>,
+    stats: CacheStats,
+    sector_stats: SectorStats,
+    stamp: u64,
+}
+
+/// What one sector-cache access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorOutcome {
+    /// Tag and sub-block both present.
+    Hit,
+    /// Tag present, sub-block fetched (one sub-block of traffic).
+    SubblockMiss,
+    /// Tag absent: block allocated, one sub-block fetched, `dirty_evicted`
+    /// sub-blocks written back.
+    BlockMiss {
+        /// Dirty sub-blocks of the victim flushed to memory.
+        dirty_evicted: u32,
+    },
+}
+
+impl SectorCache {
+    /// Creates an empty sector cache.
+    pub fn new(cfg: SectorConfig) -> Self {
+        let sets = (0..cfg.num_sets()).map(|_| vec![None; cfg.assoc as usize]).collect();
+        SectorCache { cfg, sets, stats: CacheStats::new(), sector_stats: SectorStats::default(), stamp: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SectorConfig {
+        &self.cfg
+    }
+
+    /// Generic access/traffic counters (fills = sub-block fetches).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Sector-specific counters.
+    pub fn sector_stats(&self) -> &SectorStats {
+        &self.sector_stats
+    }
+
+    fn locate(&self, addr: Addr) -> (usize, u64, u64) {
+        let block = addr.raw() / self.cfg.block_bytes;
+        let sets = self.cfg.num_sets();
+        let sub = (addr.raw() % self.cfg.block_bytes) / self.cfg.subblock_bytes;
+        ((block % sets) as usize, block / sets, sub)
+    }
+
+    /// Performs one access.
+    pub fn access(&mut self, op: MemOp, addr: Addr) -> SectorOutcome {
+        self.stamp += 1;
+        let (set_idx, tag, sub) = self.locate(addr);
+        let sub_bit = 1u64 << sub;
+        let stamp = self.stamp;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(block) = set.iter_mut().flatten().find(|b| b.tag == tag) {
+            block.use_stamp = stamp;
+            let valid = block.valid & sub_bit != 0;
+            if op.is_store() {
+                block.dirty |= sub_bit;
+            }
+            if valid {
+                match op {
+                    MemOp::Load => self.stats.load_hits += 1,
+                    MemOp::Store => self.stats.store_hits += 1,
+                }
+                return SectorOutcome::Hit;
+            }
+            // Sub-block miss: fetch just this sub-block.
+            block.valid |= sub_bit;
+            match op {
+                MemOp::Load => self.stats.load_misses += 1,
+                MemOp::Store => self.stats.store_misses += 1,
+            }
+            self.stats.fills += 1;
+            self.sector_stats.subblock_misses += 1;
+            return SectorOutcome::SubblockMiss;
+        }
+
+        // Block miss: evict LRU (or take an invalid way).
+        match op {
+            MemOp::Load => self.stats.load_misses += 1,
+            MemOp::Store => self.stats.store_misses += 1,
+        }
+        let victim_idx = set
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                (0..set.len())
+                    .min_by_key(|&i| set[i].expect("all valid").use_stamp)
+                    .expect("associativity positive")
+            });
+        let dirty_evicted = set[victim_idx]
+            .map(|b| (b.valid & b.dirty).count_ones())
+            .unwrap_or(0);
+        set[victim_idx] = Some(Block {
+            tag,
+            valid: sub_bit,
+            dirty: if op.is_store() { sub_bit } else { 0 },
+            use_stamp: stamp,
+        });
+        self.stats.fills += 1;
+        self.stats.writebacks += u64::from(dirty_evicted);
+        self.sector_stats.block_misses += 1;
+        self.sector_stats.subblock_writebacks += u64::from(dirty_evicted);
+        SectorOutcome::BlockMiss { dirty_evicted }
+    }
+
+    /// Bytes fetched from memory so far.
+    pub fn read_bytes(&self) -> u64 {
+        self.stats.fills * self.cfg.subblock_bytes
+    }
+
+    /// Bytes written back so far.
+    pub fn writeback_bytes(&self) -> u64 {
+        self.sector_stats.subblock_writebacks * self.cfg.subblock_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u64, block: u64, sub: u64) -> SectorCache {
+        SectorCache::new(SectorConfig::new(size, block, sub, 2).expect("valid"))
+    }
+
+    fn load(c: &mut SectorCache, a: u64) -> SectorOutcome {
+        c.access(MemOp::Load, Addr::new(a))
+    }
+
+    fn store(c: &mut SectorCache, a: u64) -> SectorOutcome {
+        c.access(MemOp::Store, Addr::new(a))
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SectorConfig::new(8192, 64, 8, 2).is_ok());
+        assert!(SectorConfig::new(8192, 64, 128, 2).is_err(), "subblock > block");
+        assert!(SectorConfig::new(8192, 48, 8, 2).is_err());
+        assert!(SectorConfig::new(8192, 8192, 8, 2).is_err(), "block > way");
+        assert!(SectorConfig::new(1 << 20, 1024, 8, 2).is_err(), "more than 64 subblocks");
+        let c = SectorConfig::new(8192, 64, 8, 2).unwrap();
+        assert_eq!(c.subblocks(), 8);
+        assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    fn block_then_subblock_then_hit() {
+        let mut c = cache(8192, 64, 8);
+        assert!(matches!(load(&mut c, 0x100), SectorOutcome::BlockMiss { dirty_evicted: 0 }));
+        // Same sub-block: hit.
+        assert_eq!(load(&mut c, 0x104), SectorOutcome::Hit);
+        // Same block, different sub-block: sub-block miss.
+        assert_eq!(load(&mut c, 0x108), SectorOutcome::SubblockMiss);
+        assert_eq!(load(&mut c, 0x108), SectorOutcome::Hit);
+        assert_eq!(c.sector_stats().block_misses, 1);
+        assert_eq!(c.sector_stats().subblock_misses, 1);
+        assert_eq!(c.stats().fills, 2);
+    }
+
+    #[test]
+    fn traffic_is_subblock_granular() {
+        let mut c = cache(8192, 64, 8);
+        load(&mut c, 0x100);
+        load(&mut c, 0x108);
+        assert_eq!(c.read_bytes(), 16, "two 8-byte sub-blocks, not 64-byte lines");
+    }
+
+    #[test]
+    fn dirty_subblocks_flush_on_eviction() {
+        let mut c = cache(128, 64, 8); // 2 ways, 1 set
+        store(&mut c, 0x000);
+        store(&mut c, 0x008);
+        load(&mut c, 0x040); // second way
+        // Third block evicts the LRU (the dirty one): 2 dirty sub-blocks.
+        let out = load(&mut c, 0x080);
+        assert_eq!(out, SectorOutcome::BlockMiss { dirty_evicted: 2 });
+        assert_eq!(c.writeback_bytes(), 16);
+    }
+
+    #[test]
+    fn store_to_invalid_subblock_fetches_then_dirties() {
+        let mut c = cache(8192, 64, 8);
+        load(&mut c, 0x100);
+        assert_eq!(store(&mut c, 0x110), SectorOutcome::SubblockMiss);
+        // Evict it via two conflicting blocks in the same set and check
+        // the dirty sub-block flushes.
+        let sets = c.config().num_sets();
+        load(&mut c, 0x100 + sets * 64);
+        let out = load(&mut c, 0x100 + 2 * sets * 64);
+        assert_eq!(out, SectorOutcome::BlockMiss { dirty_evicted: 1 });
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut c = cache(128, 64, 8); // 2 ways, 1 set
+        load(&mut c, 0x000); // A
+        load(&mut c, 0x040); // B
+        load(&mut c, 0x000); // touch A
+        load(&mut c, 0x080); // C evicts B
+        assert_eq!(load(&mut c, 0x000), SectorOutcome::Hit, "A survived");
+        assert!(matches!(load(&mut c, 0x040), SectorOutcome::BlockMiss { .. }), "B evicted");
+    }
+
+    #[test]
+    fn sector_beats_wide_line_on_traffic_for_sparse_access() {
+        // Touch one word per 64-byte block across many blocks: a sector
+        // cache fetches 8 bytes per touch, a 64-byte-line cache fetches 64.
+        let mut sector = cache(8192, 64, 8);
+        let mut wide = crate::cache::Cache::new(
+            crate::config::CacheConfig::new(8192, 64, 2).expect("valid"),
+        );
+        for i in 0..64u64 {
+            load(&mut sector, i * 64);
+            wide.access(MemOp::Load, Addr::new(i * 64));
+        }
+        assert_eq!(sector.read_bytes(), 64 * 8);
+        assert_eq!(wide.stats().read_bytes(64), 64 * 64);
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let c = SectorConfig::new(8192, 64, 8, 2).unwrap();
+        assert!(c.to_string().contains("sector 64B/8B"));
+    }
+}

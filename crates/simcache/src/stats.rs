@@ -1,0 +1,181 @@
+//! Cache statistics and the quantities the tradeoff model consumes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Event counters for one cache.
+///
+/// From these the paper's application parameters follow directly:
+/// `R = lines_filled_by_reads(+writes under allocate) × L`,
+/// `W = write_around_misses`, `α = writebacks / fills`, and the hit/miss
+/// ratios that anchor every tradeoff curve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Load accesses that hit.
+    pub load_hits: u64,
+    /// Load accesses that missed.
+    pub load_misses: u64,
+    /// Store accesses that hit.
+    pub store_hits: u64,
+    /// Store accesses that missed.
+    pub store_misses: u64,
+    /// Lines brought into the cache.
+    pub fills: u64,
+    /// Dirty lines written back on eviction (flushes).
+    pub writebacks: u64,
+    /// Stores sent around the cache (write-around misses, the `W` term).
+    pub write_arounds: u64,
+    /// Stores propagated directly to memory by a write-through cache.
+    pub write_throughs: u64,
+    /// Lines brought in by prefetches (not counted in `fills`).
+    pub prefetch_fills: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.load_hits + self.load_misses + self.store_hits + self.store_misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.load_hits + self.store_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+
+    /// Hit ratio over all accesses (`HR`); 0 for an idle cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / a as f64
+        }
+    }
+
+    /// Miss ratio over all accesses (`MR = 1 − HR`); 0 for an idle cache.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+
+    /// The flush ratio `α`: dirty lines written back per line filled.
+    ///
+    /// The paper assumes `α = 0.5` "considering the average situation"; the
+    /// simulator measures it.
+    pub fn flush_ratio(&self) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.writebacks as f64 / self.fills as f64
+        }
+    }
+
+    /// Bytes read from memory by line fills, i.e. the paper's `R`, given
+    /// the line size used.
+    pub fn read_bytes(&self, line_bytes: u64) -> u64 {
+        self.fills * line_bytes
+    }
+
+    /// Bytes written back to memory by flushes (`αR`).
+    pub fn flush_bytes(&self, line_bytes: u64) -> u64 {
+        self.writebacks * line_bytes
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.load_hits += other.load_hits;
+        self.load_misses += other.load_misses;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.fills += other.fills;
+        self.writebacks += other.writebacks;
+        self.write_arounds += other.write_arounds;
+        self.write_throughs += other.write_throughs;
+        self.prefetch_fills += other.prefetch_fills;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, HR {:.4}, {} fills, {} writebacks (α {:.3})",
+            self.accesses(),
+            self.hit_ratio(),
+            self.fills,
+            self.writebacks,
+            self.flush_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheStats {
+        CacheStats {
+            load_hits: 70,
+            load_misses: 10,
+            store_hits: 15,
+            store_misses: 5,
+            fills: 15,
+            writebacks: 6,
+            write_arounds: 0,
+            write_throughs: 0,
+            prefetch_fills: 0,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let s = sample();
+        assert_eq!(s.accesses(), 100);
+        assert!((s.hit_ratio() - 0.85).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.15).abs() < 1e-12);
+        assert!((s.hit_ratio() + s.miss_ratio() - 1.0).abs() < 1e-12);
+        assert!((s.flush_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_volumes_scale_with_line() {
+        let s = sample();
+        assert_eq!(s.read_bytes(32), 480);
+        assert_eq!(s.flush_bytes(32), 192);
+    }
+
+    #[test]
+    fn idle_cache_ratios_are_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.flush_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.accesses(), 200);
+        assert_eq!(a.fills, 30);
+    }
+
+    #[test]
+    fn display_contains_hit_ratio() {
+        assert!(sample().to_string().contains("HR 0.85"));
+    }
+}

@@ -1,0 +1,324 @@
+//! CPU configuration: stalling feature, caches, memory and write buffer.
+
+use simcache::CacheConfig;
+use simmem::{BypassMode, MemoryTiming};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The processor stalling feature on a data-cache miss (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallFeature {
+    /// FS: the processor waits until the entire line is in the cache
+    /// (`φ = L/D`).
+    FullStall,
+    /// BL: the processor resumes as soon as the requested word arrives,
+    /// but *any* load/store issued while the rest of the line streams in
+    /// stalls until the fill completes (`1 ≤ φ ≤ L/D`).
+    BusLocked,
+    /// BNL1: other lines may be accessed during the fill; an access to the
+    /// in-flight line — or a second miss — stalls until the fill
+    /// completes (`1 ≤ φ ≤ L/D`).
+    BusNotLocked1,
+    /// BNL2: like BNL1, but an access to the in-flight line stalls only if
+    /// its chunk has not yet arrived (then waits for full completion).
+    BusNotLocked2,
+    /// BNL3: an access to the in-flight line waits only until the chunk it
+    /// needs arrives; partially filled lines satisfy accesses.
+    BusNotLocked3,
+    /// NB: a load miss does not stall the processor at all; subsequent
+    /// accesses behave as BNL3 (`0 ≤ φ ≤ L/D`). The field is the number
+    /// of simultaneously outstanding misses supported.
+    NonBlocking {
+        /// Miss-status holding registers (outstanding misses allowed).
+        mshrs: u32,
+    },
+}
+
+impl StallFeature {
+    /// Short name used in figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallFeature::FullStall => "FS",
+            StallFeature::BusLocked => "BL",
+            StallFeature::BusNotLocked1 => "BNL1",
+            StallFeature::BusNotLocked2 => "BNL2",
+            StallFeature::BusNotLocked3 => "BNL3",
+            StallFeature::NonBlocking { .. } => "NB",
+        }
+    }
+
+    /// The features Figure 1 sweeps (everything with a measured `φ`).
+    pub const MEASURED: [StallFeature; 4] = [
+        StallFeature::BusLocked,
+        StallFeature::BusNotLocked1,
+        StallFeature::BusNotLocked2,
+        StallFeature::BusNotLocked3,
+    ];
+}
+
+impl fmt::Display for StallFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallFeature::NonBlocking { mshrs } => write!(f, "NB({mshrs})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Hardware prefetching on demand misses (a Section 2 related-work
+/// feature the methodology can price like any other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Prefetch {
+    /// No prefetching (the paper's configuration).
+    #[default]
+    None,
+    /// Tagged next-line prefetch: a demand miss on line `X` also fetches
+    /// line `X + 1` behind it on the bus.
+    NextLine,
+}
+
+impl fmt::Display for Prefetch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefetch::None => f.write_str("no prefetch"),
+            Prefetch::NextLine => f.write_str("next-line prefetch"),
+        }
+    }
+}
+
+/// Second-level cache configuration (an extension substrate: the paper's
+/// single-level hierarchy is `l2: None`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct L2Config {
+    /// L2 geometry and policies (write-back, write-allocate).
+    pub cache: CacheConfig,
+    /// Cycles per bus chunk when filling L1 from L2 (the L2's `β`).
+    pub beta_l2: u64,
+}
+
+impl L2Config {
+    /// Creates an L2 configuration.
+    pub fn new(cache: CacheConfig, beta_l2: u64) -> Self {
+        L2Config { cache, beta_l2 }
+    }
+}
+
+/// Write-buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WriteBufferConfig {
+    /// Number of posted writes the buffer holds.
+    pub capacity: usize,
+    /// Read-bypass aggressiveness.
+    pub mode: BypassMode,
+}
+
+impl Default for WriteBufferConfig {
+    fn default() -> Self {
+        WriteBufferConfig { capacity: 4, mode: BypassMode::Ideal }
+    }
+}
+
+/// Full CPU configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Data-cache geometry and policies.
+    pub dcache: CacheConfig,
+    /// Instruction cache; `None` models the paper's usual assumption of a
+    /// (near-)perfect instruction cache.
+    pub icache: Option<CacheConfig>,
+    /// Bus width and memory cycle timing.
+    pub timing: MemoryTiming,
+    /// Stalling feature on data misses.
+    pub stall: StallFeature,
+    /// Read-bypassing write buffer; `None` means flushes stall the CPU.
+    pub write_buffer: Option<WriteBufferConfig>,
+    /// Instructions issued per cycle (the paper's Section 6 extension);
+    /// 1 reproduces the paper's single-issue model.
+    pub issue_width: u32,
+    /// Hardware prefetch policy.
+    pub prefetch: Prefetch,
+    /// Optional second-level cache between the L1 and memory.
+    pub l2: Option<L2Config>,
+    /// Instruction fetches share the external data bus instead of having
+    /// their own (relaxes the paper's separate-bus assumption 1).
+    pub shared_bus: bool,
+}
+
+impl CpuConfig {
+    /// A convenience baseline matching the paper's defaults: the given
+    /// data cache, perfect I-cache, full-stalling, no write buffer.
+    pub fn baseline(dcache: CacheConfig, timing: MemoryTiming) -> Self {
+        CpuConfig {
+            dcache,
+            icache: None,
+            timing,
+            stall: StallFeature::FullStall,
+            write_buffer: None,
+            issue_width: 1,
+            prefetch: Prefetch::None,
+            l2: None,
+            shared_bus: false,
+        }
+    }
+
+    /// Replaces the stalling feature.
+    pub fn with_stall(mut self, stall: StallFeature) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// Adds a write buffer.
+    pub fn with_write_buffer(mut self, wb: WriteBufferConfig) -> Self {
+        self.write_buffer = Some(wb);
+        self
+    }
+
+    /// Adds an instruction cache.
+    pub fn with_icache(mut self, icache: CacheConfig) -> Self {
+        self.icache = Some(icache);
+        self
+    }
+
+    /// Sets the issue width (instructions per cycle when nothing stalls).
+    pub fn with_issue_width(mut self, issue_width: u32) -> Self {
+        self.issue_width = issue_width;
+        self
+    }
+
+    /// Sets the prefetch policy.
+    pub fn with_prefetch(mut self, prefetch: Prefetch) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Adds a second-level cache.
+    pub fn with_l2(mut self, l2: L2Config) -> Self {
+        self.l2 = Some(l2);
+        self
+    }
+
+    /// Makes instruction fetches contend for the external data bus.
+    pub fn with_shared_bus(mut self) -> Self {
+        self.shared_bus = true;
+        self
+    }
+
+    /// Validates cross-parameter constraints (line size vs bus width).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.timing
+            .check_line(self.dcache.line_bytes())
+            .map_err(|e| format!("data cache: {e}"))?;
+        if let Some(ic) = &self.icache {
+            self.timing.check_line(ic.line_bytes()).map_err(|e| format!("instruction cache: {e}"))?;
+        }
+        if let StallFeature::NonBlocking { mshrs } = self.stall {
+            if mshrs == 0 {
+                return Err("non-blocking cache needs at least one MSHR".to_string());
+            }
+        }
+        if self.issue_width == 0 {
+            return Err("issue width must be at least one".to_string());
+        }
+        if let Some(l2) = &self.l2 {
+            if l2.cache.line_bytes() != self.dcache.line_bytes() {
+                return Err(format!(
+                    "L2 line size {} must match the L1's {}",
+                    l2.cache.line_bytes(),
+                    self.dcache.line_bytes()
+                ));
+            }
+            if l2.cache.size_bytes() < self.dcache.size_bytes() {
+                return Err("L2 must be at least as large as the L1".to_string());
+            }
+            if l2.beta_l2 == 0 {
+                return Err("L2 beta must be at least one cycle".to_string());
+            }
+        }
+        if self.dcache.write_policy == simcache::WritePolicy::WriteThrough
+            && self.dcache.write_miss == simcache::WriteMiss::Allocate
+        {
+            return Err(
+                "write-through with write-allocate is not modelled; use write-around"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::BusWidth;
+
+    fn timing() -> MemoryTiming {
+        MemoryTiming::new(BusWidth::new(4).unwrap(), 8)
+    }
+
+    #[test]
+    fn baseline_defaults() {
+        let cfg = CpuConfig::baseline(CacheConfig::new(8192, 32, 2).unwrap(), timing());
+        assert_eq!(cfg.stall, StallFeature::FullStall);
+        assert!(cfg.icache.is_none());
+        assert!(cfg.write_buffer.is_none());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = CpuConfig::baseline(CacheConfig::new(8192, 32, 2).unwrap(), timing())
+            .with_stall(StallFeature::BusLocked)
+            .with_write_buffer(WriteBufferConfig::default())
+            .with_icache(CacheConfig::new(4096, 32, 1).unwrap());
+        assert_eq!(cfg.stall, StallFeature::BusLocked);
+        assert!(cfg.write_buffer.is_some());
+        assert!(cfg.icache.is_some());
+    }
+
+    #[test]
+    fn validate_rejects_bad_line_bus_combo() {
+        // 12-byte lines are impossible; but a valid cache line of 8 with a
+        // 32-byte bus is fine (single chunk). Use line 16 with bus 64?
+        // BusWidth::new(64) with line 16 is a divisor: allowed. Build a
+        // mismatch via line 32, bus 64 → divisor, allowed. The only
+        // invalid case is non-divisor/multiple, impossible for powers of
+        // two, so validate NB instead.
+        let cfg = CpuConfig::baseline(CacheConfig::new(8192, 32, 2).unwrap(), timing())
+            .with_stall(StallFeature::NonBlocking { mshrs: 0 });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn l2_validation() {
+        let base = CpuConfig::baseline(CacheConfig::new(8192, 32, 2).unwrap(), timing());
+        let good = base.with_l2(L2Config::new(CacheConfig::new(64 * 1024, 32, 4).unwrap(), 2));
+        assert!(good.validate().is_ok());
+        let wrong_line =
+            base.with_l2(L2Config::new(CacheConfig::new(64 * 1024, 64, 4).unwrap(), 2));
+        assert!(wrong_line.validate().is_err());
+        let too_small = base.with_l2(L2Config::new(CacheConfig::new(4096, 32, 2).unwrap(), 2));
+        assert!(too_small.validate().is_err());
+        let zero_beta =
+            base.with_l2(L2Config::new(CacheConfig::new(64 * 1024, 32, 4).unwrap(), 0));
+        assert!(zero_beta.validate().is_err());
+    }
+
+    #[test]
+    fn issue_width_validation() {
+        let cfg = CpuConfig::baseline(CacheConfig::new(8192, 32, 2).unwrap(), timing());
+        assert_eq!(cfg.issue_width, 1);
+        assert!(cfg.with_issue_width(0).validate().is_err());
+        assert!(cfg.with_issue_width(4).validate().is_ok());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(StallFeature::FullStall.name(), "FS");
+        assert_eq!(StallFeature::NonBlocking { mshrs: 4 }.to_string(), "NB(4)");
+        assert_eq!(StallFeature::BusNotLocked2.to_string(), "BNL2");
+    }
+}

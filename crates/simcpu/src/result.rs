@@ -1,0 +1,216 @@
+//! Simulation results and the measured application profile.
+
+use serde::{Deserialize, Serialize};
+use simcache::CacheStats;
+use simmem::wbuf::WriteBufferStats;
+use std::fmt;
+
+/// Everything one simulation run produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total execution cycles (the paper's `X`).
+    pub cycles: u64,
+    /// Instructions executed (`E`).
+    pub instructions: u64,
+    /// Cycles spent issuing non-memory-stalling instructions — the
+    /// simulated `(E − Λm − W)/w` term (exact, including issue-group
+    /// rounding).
+    pub base_cycles: u64,
+    /// Data-cache statistics.
+    pub dcache: CacheStats,
+    /// Instruction-cache statistics, when one was configured.
+    pub icache: Option<CacheStats>,
+    /// Second-level cache statistics, when one was configured.
+    pub l2: Option<CacheStats>,
+    /// Write-buffer statistics, when one was configured.
+    pub wbuf: Option<WriteBufferStats>,
+    /// Cycles attributable to data-miss servicing and fill-in-progress
+    /// conflicts (the `(R/L)·φ·β_m` term, including the base cycles of
+    /// the missing instructions).
+    pub miss_stall_cycles: u64,
+    /// Cycles the CPU stalled on dirty-line flushes (`α(R/D)β_m`).
+    pub flush_stall_cycles: u64,
+    /// Cycles the CPU stalled on write-around / write-through stores
+    /// (`W·β_m`).
+    pub write_stall_cycles: u64,
+    /// Cycles the CPU stalled on instruction fetch misses.
+    pub ifetch_stall_cycles: u64,
+    /// Line size the data cache used (for `R = fills × L`).
+    pub line_bytes: u64,
+    /// Memory cycle time `β_m` used.
+    pub beta_m: u64,
+    /// Histogram of instruction distances between consecutive demand
+    /// fills, in power-of-two buckets: bucket `i` counts distances in
+    /// `[2^i, 2^(i+1))` (bucket 0 holds distance ≤ 1, the last bucket is
+    /// open-ended). This is the distribution behind Eq. 8's `ΔC` and the
+    /// Figure 1 stalling factors.
+    pub miss_distance_hist: [u64; 20],
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// The measured stalling factor `φ`.
+    ///
+    /// Derived from the miss-stall total so that Eq. 2 holds *exactly*
+    /// for the simulated run:
+    /// `φ = miss_stall_cycles / (Λm · β_m)`,
+    /// where `Λm` is the number of line fills. Returns 0 when the run had
+    /// no fills.
+    pub fn phi(&self) -> f64 {
+        let fills = self.dcache.fills;
+        if fills == 0 || self.beta_m == 0 {
+            0.0
+        } else {
+            self.miss_stall_cycles as f64 / (fills as f64 * self.beta_m as f64)
+        }
+    }
+
+    /// The measured flush ratio `α`.
+    pub fn alpha(&self) -> f64 {
+        self.dcache.flush_ratio()
+    }
+
+    /// The bucket index for a miss distance (see
+    /// [`SimResult::miss_distance_hist`]).
+    pub fn distance_bucket(distance: u64) -> usize {
+        (63 - distance.max(1).leading_zeros() as usize).min(19)
+    }
+
+    /// Median inter-miss instruction distance (bucket midpoint), or
+    /// `None` when fewer than two fills happened.
+    pub fn median_miss_distance(&self) -> Option<f64> {
+        let total: u64 = self.miss_distance_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut seen = 0;
+        for (i, &count) in self.miss_distance_hist.iter().enumerate() {
+            seen += count;
+            if seen * 2 >= total {
+                return Some(1.5 * (1u64 << i) as f64);
+            }
+        }
+        None
+    }
+
+    /// Bytes read by line fills (`R`).
+    pub fn read_bytes(&self) -> u64 {
+        self.dcache.read_bytes(self.line_bytes)
+    }
+
+    /// The measured application profile, ready to feed the analytic
+    /// model.
+    pub fn profile(&self) -> MeasuredProfile {
+        MeasuredProfile {
+            instructions: self.instructions,
+            base_cycles: self.base_cycles,
+            read_bytes: self.read_bytes(),
+            write_arounds: self.dcache.write_arounds + self.dcache.write_throughs,
+            hit_ratio: self.dcache.hit_ratio(),
+            alpha: self.alpha(),
+            phi: self.phi(),
+        }
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles / {} instr (CPI {:.3}), HR {:.4}, φ {:.2}, α {:.3}",
+            self.cycles,
+            self.instructions,
+            self.cpi(),
+            self.dcache.hit_ratio(),
+            self.phi(),
+            self.alpha()
+        )
+    }
+}
+
+/// The paper's application signature `{E, R, W, α, φ}` plus the hit
+/// ratio, as measured by one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredProfile {
+    /// Instructions executed (`E`).
+    pub instructions: u64,
+    /// Cycles spent issuing non-memory-stalling instructions — the
+    /// simulated `(E − Λm − W)/w` term (exact, including issue-group
+    /// rounding).
+    pub base_cycles: u64,
+    /// Bytes read by line fills (`R`).
+    pub read_bytes: u64,
+    /// Write-around / write-through operations (`W`).
+    pub write_arounds: u64,
+    /// Data-cache hit ratio.
+    pub hit_ratio: f64,
+    /// Flush ratio `α`.
+    pub alpha: f64,
+    /// Stalling factor `φ`.
+    pub phi: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        SimResult {
+            cycles: 2_000,
+            instructions: 1_000,
+            dcache: CacheStats {
+                load_hits: 250,
+                load_misses: 40,
+                store_hits: 90,
+                store_misses: 20,
+                fills: 60,
+                writebacks: 30,
+                ..CacheStats::default()
+            },
+            miss_stall_cycles: 60 * 8 * 4, // φ = 4
+            flush_stall_cycles: 100,
+            line_bytes: 32,
+            beta_m: 8,
+            ..SimResult::default()
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = sample();
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.phi() - 4.0).abs() < 1e-12);
+        assert!((r.alpha() - 0.5).abs() < 1e-12);
+        assert_eq!(r.read_bytes(), 60 * 32);
+    }
+
+    #[test]
+    fn profile_mirrors_result() {
+        let p = sample().profile();
+        assert_eq!(p.instructions, 1_000);
+        assert_eq!(p.read_bytes, 1_920);
+        assert!((p.phi - 4.0).abs() < 1e-12);
+        assert!((p.alpha - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fills_zero_phi() {
+        let r = SimResult { instructions: 10, cycles: 10, ..SimResult::default() };
+        assert_eq!(r.phi(), 0.0);
+        assert_eq!(r.cpi(), 1.0);
+    }
+
+    #[test]
+    fn display_has_cpi_and_phi() {
+        let s = sample().to_string();
+        assert!(s.contains("CPI 2.000") && s.contains("φ 4.00"));
+    }
+}

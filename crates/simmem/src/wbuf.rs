@@ -1,0 +1,271 @@
+//! Read-bypassing write buffers.
+//!
+//! Posting a dirty-line flush (or a write-around store) into a write
+//! buffer removes it from the processor's critical path; the buffer drains
+//! into memory whenever the memory port is otherwise idle. A *read
+//! bypassing* buffer additionally lets a demand read overtake queued
+//! writes. The paper treats the write buffers as hiding the flush term
+//! `α(R/D)β_m` of Eq. 2 completely in the best case ("it is much easier to
+//! hide the cache flush cycles successfully", Section 5.3); the
+//! [`BypassMode`] selects between that ideal and a chunk-granular model in
+//! which a read still waits for the bus chunk currently in flight.
+//!
+//! The drain model is *fluid*: between processor events the buffer drains
+//! one service cycle per idle memory cycle, and demand fills freeze the
+//! drain while they occupy the memory port ([`WriteBuffer::occupy`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How aggressively reads overtake buffered writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BypassMode {
+    /// Reads never wait on buffered writes (the paper's best case).
+    #[default]
+    Ideal,
+    /// Reads wait for the `D`-byte chunk currently on the bus to finish.
+    ChunkGranular,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    total: u64,
+    remaining: u64,
+}
+
+/// Statistics of one write buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteBufferStats {
+    /// Entries posted.
+    pub enqueued: u64,
+    /// Cycles the processor stalled because the buffer was full.
+    pub full_stall_cycles: u64,
+    /// Cycles reads were delayed by in-flight write chunks.
+    pub bypass_delay_cycles: u64,
+}
+
+/// A FIFO write buffer with read bypass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteBuffer {
+    capacity: usize,
+    chunk_cycles: u64,
+    mode: BypassMode,
+    entries: VecDeque<Entry>,
+    last_update: u64,
+    stats: WriteBufferStats,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer holding up to `capacity` posted writes.
+    ///
+    /// `chunk_cycles` is the bus occupancy of one `D`-byte transfer
+    /// (`β_m`), used by [`BypassMode::ChunkGranular`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `chunk_cycles` is zero.
+    pub fn new(capacity: usize, chunk_cycles: u64, mode: BypassMode) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        assert!(chunk_cycles > 0, "chunk service time must be positive");
+        WriteBuffer {
+            capacity,
+            chunk_cycles,
+            mode,
+            entries: VecDeque::new(),
+            last_update: 0,
+            stats: WriteBufferStats::default(),
+        }
+    }
+
+    /// Buffer statistics so far.
+    pub fn stats(&self) -> &WriteBufferStats {
+        &self.stats
+    }
+
+    /// Entries currently queued.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains the buffer for the idle time elapsed up to `now`.
+    ///
+    /// Time never goes backwards; calls with an older `now` are no-ops.
+    pub fn advance(&mut self, now: u64) {
+        if now <= self.last_update {
+            return;
+        }
+        let mut budget = now - self.last_update;
+        self.last_update = now;
+        while budget > 0 {
+            match self.entries.front_mut() {
+                None => return,
+                Some(head) if head.remaining > budget => {
+                    head.remaining -= budget;
+                    return;
+                }
+                Some(head) => {
+                    budget -= head.remaining;
+                    self.entries.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Marks the memory port busy with a demand access (a fill) from `now`
+    /// for `duration` cycles; the buffer does not drain during that time.
+    pub fn occupy(&mut self, now: u64, duration: u64) {
+        self.advance(now);
+        self.last_update = self.last_update.max(now + duration);
+    }
+
+    /// Posts a write needing `service_cycles` of memory time at cycle
+    /// `now`. Returns the cycles the *processor* stalls: zero unless the
+    /// buffer is full, in which case the processor waits for the head
+    /// entry to retire.
+    pub fn enqueue(&mut self, now: u64, service_cycles: u64) -> u64 {
+        self.advance(now);
+        self.stats.enqueued += 1;
+        let mut stall = 0;
+        if self.entries.len() == self.capacity {
+            let head = self.entries.front().expect("full buffer has a head");
+            stall = head.remaining;
+            self.advance(now + stall);
+        }
+        self.entries.push_back(Entry { total: service_cycles, remaining: service_cycles });
+        self.stats.full_stall_cycles += stall;
+        stall
+    }
+
+    /// Returns how long a demand read arriving at `now` must wait before
+    /// it can use the memory port.
+    pub fn read_delay(&mut self, now: u64) -> u64 {
+        self.advance(now);
+        let delay = match self.mode {
+            BypassMode::Ideal => 0,
+            BypassMode::ChunkGranular => match self.entries.front() {
+                None => 0,
+                Some(head) => {
+                    let progress = head.total - head.remaining;
+                    let into_chunk = progress % self.chunk_cycles;
+                    if into_chunk == 0 && progress == 0 {
+                        // Head has not started a chunk yet; read goes first.
+                        0
+                    } else {
+                        (self.chunk_cycles - into_chunk) % self.chunk_cycles
+                    }
+                }
+            },
+        };
+        self.stats.bypass_delay_cycles += delay;
+        delay
+    }
+
+    /// Cycles of queued write work remaining (for draining at the end of
+    /// a simulation).
+    pub fn backlog_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.remaining).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_with_idle_time() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::Ideal);
+        assert_eq!(wb.enqueue(0, 30), 0);
+        assert_eq!(wb.occupancy(), 1);
+        wb.advance(29);
+        assert_eq!(wb.occupancy(), 1);
+        wb.advance(30);
+        assert_eq!(wb.occupancy(), 0);
+    }
+
+    #[test]
+    fn full_buffer_stalls_for_head() {
+        let mut wb = WriteBuffer::new(2, 10, BypassMode::Ideal);
+        wb.enqueue(0, 20);
+        wb.enqueue(0, 20);
+        // Buffer full; the head still needs all 20 cycles.
+        let stall = wb.enqueue(0, 20);
+        assert_eq!(stall, 20);
+        assert_eq!(wb.occupancy(), 2);
+        assert_eq!(wb.stats().full_stall_cycles, 20);
+    }
+
+    #[test]
+    fn partial_drain_reduces_full_stall() {
+        let mut wb = WriteBuffer::new(1, 10, BypassMode::Ideal);
+        wb.enqueue(0, 20);
+        // 15 idle cycles drain 15 of the head's 20.
+        let stall = wb.enqueue(15, 20);
+        assert_eq!(stall, 5);
+    }
+
+    #[test]
+    fn ideal_reads_never_wait() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::Ideal);
+        wb.enqueue(0, 40);
+        assert_eq!(wb.read_delay(1), 0);
+        assert_eq!(wb.stats().bypass_delay_cycles, 0);
+    }
+
+    #[test]
+    fn chunk_granular_read_waits_for_chunk_boundary() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::ChunkGranular);
+        wb.enqueue(0, 40);
+        // At cycle 3 the head is 3 cycles into its first 10-cycle chunk.
+        assert_eq!(wb.read_delay(3), 7);
+        // Exactly on a chunk boundary: no wait.
+        let mut wb2 = WriteBuffer::new(4, 10, BypassMode::ChunkGranular);
+        wb2.enqueue(0, 40);
+        assert_eq!(wb2.read_delay(10), 0);
+    }
+
+    #[test]
+    fn chunk_granular_empty_buffer_no_wait() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::ChunkGranular);
+        assert_eq!(wb.read_delay(5), 0);
+    }
+
+    #[test]
+    fn occupy_freezes_drain() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::Ideal);
+        wb.enqueue(0, 30);
+        // Memory busy with a fill from cycle 0 to 100: nothing drains.
+        wb.occupy(0, 100);
+        wb.advance(100);
+        assert_eq!(wb.backlog_cycles(), 30);
+        wb.advance(130);
+        assert_eq!(wb.backlog_cycles(), 0);
+    }
+
+    #[test]
+    fn time_does_not_go_backwards() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::Ideal);
+        wb.enqueue(0, 30);
+        wb.advance(20);
+        wb.advance(5); // stale timestamp: ignored
+        assert_eq!(wb.backlog_cycles(), 10);
+    }
+
+    #[test]
+    fn backlog_sums_entries() {
+        let mut wb = WriteBuffer::new(4, 10, BypassMode::Ideal);
+        wb.enqueue(0, 30);
+        wb.enqueue(0, 25);
+        assert_eq!(wb.backlog_cycles(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        WriteBuffer::new(0, 10, BypassMode::Ideal);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for fill schedules and write buffers.
+
+use proptest::prelude::*;
+use simmem::{BusWidth, BypassMode, FillSchedule, MemoryTiming, WriteBuffer};
+use simtrace::Addr;
+
+fn timing_params() -> impl Strategy<Value = (u64, u64, Option<u64>)> {
+    // (bus bytes, beta_m, q)
+    (
+        prop_oneof![Just(4u64), Just(8), Just(16)],
+        1u64..60,
+        prop_oneof![Just(None), (1u64..10).prop_map(Some)],
+    )
+}
+
+proptest! {
+    /// Chunk arrivals are strictly increasing, start after β_m, and end
+    /// exactly at the line fill time; every byte of the line is covered.
+    #[test]
+    fn fill_schedule_invariants(
+        (bus, beta, q) in timing_params(),
+        line_exp in 0u32..4, // line = bus << line_exp
+        offset_word in 0u64..16,
+        start in 0u64..10_000,
+    ) {
+        let line = bus << line_exp;
+        let mut timing = MemoryTiming::new(BusWidth::new(bus).expect("valid"), beta);
+        if let Some(q) = q {
+            timing = timing.pipelined(q);
+        }
+        let miss = Addr::new(0x4_0000 + (offset_word * 4) % line);
+        let sched = FillSchedule::new(&timing, line, miss, start);
+
+        prop_assert_eq!(sched.critical_arrives_at(), start + beta);
+        prop_assert_eq!(sched.complete_at(), start + timing.line_fill_time(line));
+        prop_assert_eq!(sched.chunk_available_at(miss), sched.critical_arrives_at());
+
+        let base = miss.line(line).base(line);
+        let mut arrivals: Vec<u64> = (0..line / bus.min(line))
+            .map(|i| sched.chunk_available_at(base.wrapping_add(i * bus.min(line))))
+            .collect();
+        for &a in &arrivals {
+            prop_assert!(a >= sched.critical_arrives_at());
+            prop_assert!(a <= sched.complete_at());
+        }
+        arrivals.sort_unstable();
+        arrivals.dedup();
+        prop_assert_eq!(arrivals.len() as u64, line / bus.min(line), "one slot per chunk");
+    }
+
+    /// The write buffer conserves work: everything enqueued eventually
+    /// drains, and occupancy never exceeds capacity.
+    #[test]
+    fn write_buffer_conservation(
+        capacity in 1usize..8,
+        services in proptest::collection::vec((1u64..100, 0u64..50), 1..40),
+        mode in prop_oneof![Just(BypassMode::Ideal), Just(BypassMode::ChunkGranular)],
+    ) {
+        let mut wb = WriteBuffer::new(capacity, 10, mode);
+        let mut now = 0u64;
+        let mut total_service = 0u64;
+        for (service, gap) in services {
+            now += gap;
+            let stall = wb.enqueue(now, service);
+            now += stall;
+            total_service += service;
+            prop_assert!(wb.occupancy() <= capacity);
+            let delay = wb.read_delay(now);
+            prop_assert!(delay < 10, "bypass delay bounded by one chunk");
+        }
+        // Far in the future everything has drained.
+        wb.advance(now + total_service + 1);
+        prop_assert!(wb.is_empty());
+        prop_assert_eq!(wb.backlog_cycles(), 0);
+        prop_assert_eq!(wb.stats().enqueued, wb.stats().enqueued);
+    }
+
+    /// Pipelined fills never take longer than non-pipelined ones, and
+    /// `q = β_m` makes them identical.
+    #[test]
+    fn pipelining_never_hurts((bus, beta, _) in timing_params(), line_exp in 0u32..4, q in 1u64..60) {
+        let line = bus << line_exp;
+        let plain = MemoryTiming::new(BusWidth::new(bus).expect("valid"), beta);
+        let piped = plain.pipelined(q.min(beta));
+        prop_assert!(piped.line_fill_time(line) <= plain.line_fill_time(line));
+        let equal = plain.pipelined(beta);
+        prop_assert_eq!(equal.line_fill_time(line), plain.line_fill_time(line));
+    }
+}

@@ -1,0 +1,210 @@
+//! Dinero `.din` trace import/export.
+//!
+//! The `din` format is the lingua franca of 1990s cache studies (and of
+//! Smith's trace-driven work the paper builds on): one record per line,
+//! `<label> <hex address>`, with label 0 = data read, 1 = data write,
+//! 2 = instruction fetch. Importing it lets *real* traces drive this
+//! reproduction instead of the synthetic proxies.
+//!
+//! Mapping to [`Instr`]: an instruction-fetch record starts a new
+//! instruction at that PC; data records attach to the most recent fetch
+//! (several data records after one fetch become several instructions at
+//! the same PC, preserving reference order and counts).
+
+use crate::instr::{Instr, MemRef};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors from `.din` parsing.
+#[derive(Debug)]
+pub enum DinError {
+    /// The line did not have `<label> <address>` shape.
+    Malformed {
+        /// 1-based line number.
+        line: u64,
+        /// The offending text.
+        text: String,
+    },
+    /// The label was not 0, 1 or 2.
+    BadLabel {
+        /// 1-based line number.
+        line: u64,
+        /// The offending label.
+        label: String,
+    },
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+impl fmt::Display for DinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DinError::Malformed { line, text } => {
+                write!(f, "line {line}: malformed record {text:?}")
+            }
+            DinError::BadLabel { line, label } => {
+                write!(f, "line {line}: unknown label {label:?} (expected 0, 1 or 2)")
+            }
+            DinError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DinError {}
+
+impl From<io::Error> for DinError {
+    fn from(e: io::Error) -> Self {
+        DinError::Io(e)
+    }
+}
+
+/// Streaming `.din` parser.
+#[derive(Debug)]
+pub struct DinReader<R> {
+    lines: io::Lines<R>,
+    line_no: u64,
+    last_pc: u64,
+}
+
+impl<R: BufRead> DinReader<R> {
+    /// Creates a parser over a buffered reader.
+    pub fn new(reader: R) -> Self {
+        DinReader { lines: reader.lines(), line_no: 0, last_pc: 0 }
+    }
+}
+
+impl<R: BufRead> Iterator for DinReader<R> {
+    type Item = Result<Instr, DinError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(DinError::Io(e))),
+            };
+            self.line_no += 1;
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue; // comments/blank lines are common in practice
+            }
+            let mut parts = text.split_whitespace();
+            let (Some(label), Some(addr_text)) = (parts.next(), parts.next()) else {
+                return Some(Err(DinError::Malformed {
+                    line: self.line_no,
+                    text: text.to_string(),
+                }));
+            };
+            let Ok(addr) = u64::from_str_radix(addr_text.trim_start_matches("0x"), 16) else {
+                return Some(Err(DinError::Malformed {
+                    line: self.line_no,
+                    text: text.to_string(),
+                }));
+            };
+            return Some(match label {
+                "0" => Ok(Instr::mem(self.last_pc, MemRef::load(addr, 4))),
+                "1" => Ok(Instr::mem(self.last_pc, MemRef::store(addr, 4))),
+                "2" => {
+                    self.last_pc = addr;
+                    Ok(Instr::plain(addr))
+                }
+                other => Err(DinError::BadLabel { line: self.line_no, label: other.to_string() }),
+            });
+        }
+    }
+}
+
+/// Writes a trace as `.din` records (fetch + optional data per
+/// instruction).
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn write_din<W: Write>(mut w: W, trace: impl IntoIterator<Item = Instr>) -> io::Result<()> {
+    for instr in trace {
+        writeln!(w, "2 {:x}", instr.pc.raw())?;
+        if let Some(m) = instr.mem {
+            let label = if m.op.is_store() { 1 } else { 0 };
+            writeln!(w, "{label} {:x}", m.addr.raw())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::MemOp;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Vec<Instr>, DinError> {
+        DinReader::new(BufReader::new(text.as_bytes())).collect()
+    }
+
+    #[test]
+    fn parses_the_three_labels() {
+        let trace = parse("2 400\n0 1000\n1 1004\n2 404\n").unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0], Instr::plain(0x400u64));
+        assert_eq!(trace[1].pc.raw(), 0x400);
+        assert!(matches!(trace[1].mem, Some(m) if m.op == MemOp::Load && m.addr.raw() == 0x1000));
+        assert!(matches!(trace[2].mem, Some(m) if m.op == MemOp::Store && m.addr.raw() == 0x1004));
+        assert_eq!(trace[3], Instr::plain(0x404u64));
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        let trace = parse("# dinero trace\n\n2 10\n  \n0 20\n").unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn accepts_0x_prefix_and_mixed_case() {
+        let trace = parse("2 0xDEADbeef\n").unwrap();
+        assert_eq!(trace[0].pc.raw(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn reports_malformed_lines_with_numbers() {
+        let err = parse("2 400\njusttoken\n").unwrap_err();
+        assert!(matches!(err, DinError::Malformed { line: 2, .. }), "{err}");
+        let err = parse("not a record\n").unwrap_err();
+        assert!(matches!(err, DinError::BadLabel { line: 1, .. }), "hex 'a' parses, label doesn't: {err}");
+        let err = parse("7 400\n").unwrap_err();
+        assert!(matches!(err, DinError::BadLabel { line: 1, .. }), "{err}");
+        let err = parse("2 zzz\n").unwrap_err();
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn data_before_any_fetch_uses_pc_zero() {
+        let trace = parse("0 1234\n").unwrap();
+        assert_eq!(trace[0].pc.raw(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips_structure() {
+        let original = [Instr::plain(0x100u64),
+            Instr::mem(0x104u64, MemRef::load(0x2000u64, 4)),
+            Instr::mem(0x108u64, MemRef::store(0x2004u64, 4))];
+        let mut bytes = Vec::new();
+        write_din(&mut bytes, original.iter().copied()).unwrap();
+        let reread: Vec<Instr> =
+            DinReader::new(BufReader::new(&bytes[..])).collect::<Result<_, _>>().unwrap();
+        // din splits fetch and data into separate records, so counts grow,
+        // but the reference stream is preserved in order.
+        let refs: Vec<_> = reread.iter().filter_map(|i| i.mem).collect();
+        let orig_refs: Vec<_> = original.iter().filter_map(|i| i.mem).collect();
+        assert_eq!(refs, orig_refs);
+        let pcs: Vec<u64> = reread.iter().map(|i| i.pc.raw()).collect();
+        assert!(pcs.contains(&0x104) && pcs.contains(&0x108));
+    }
+
+    #[test]
+    fn parsed_stream_has_usable_reference_mix() {
+        let text = "2 400\n0 1000\n0 1004\n1 2000\n";
+        let trace = parse(text).unwrap();
+        assert_eq!(trace.iter().filter(|i| i.is_load()).count(), 2);
+        assert_eq!(trace.iter().filter(|i| i.is_store()).count(), 1);
+        write_din(Vec::new(), trace).unwrap();
+    }
+}

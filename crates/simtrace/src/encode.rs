@@ -1,0 +1,378 @@
+//! Compact binary trace encoding.
+//!
+//! Recording a generated trace lets an experiment replay *exactly* the same
+//! reference stream through many hardware configurations (the paper's
+//! methodology compares configurations on identical applications). The
+//! encoding is delta/varint based: one flag byte per instruction plus a
+//! zig-zag varint address delta, which compresses typical traces to a few
+//! bytes per instruction.
+
+use crate::addr::Addr;
+use crate::instr::{Instr, MemOp, MemRef};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the on-disk trace format.
+const FILE_MAGIC: &[u8; 4] = b"UTT1";
+
+const FLAG_HAS_MEM: u8 = 0b0000_0001;
+const FLAG_STORE: u8 = 0b0000_0010;
+const FLAG_SEQ_PC: u8 = 0b0000_0100;
+const SIZE_SHIFT: u8 = 3;
+
+/// Errors produced when decoding a trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended in the middle of a record.
+    Truncated,
+    /// A varint ran past its maximum length.
+    VarintOverflow,
+    /// An operand size field was not a valid power of two.
+    BadSize(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("trace buffer truncated mid-record"),
+            DecodeError::VarintOverflow => f.write_str("varint exceeds 64 bits"),
+            DecodeError::BadSize(s) => write!(f, "invalid operand size code {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// An encoded, replayable trace.
+///
+/// # Example
+///
+/// ```
+/// use simtrace::encode::TraceBuffer;
+/// use simtrace::{Instr, MemRef};
+///
+/// let trace = vec![
+///     Instr::plain(0u64),
+///     Instr::mem(4u64, MemRef::load(0x1000u64, 4)),
+/// ];
+/// let buf = TraceBuffer::encode(trace.iter().copied());
+/// let decoded: Vec<Instr> = buf.iter().collect::<Result<_, _>>()?;
+/// assert_eq!(decoded, trace);
+/// # Ok::<(), simtrace::encode::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceBuffer {
+    data: Bytes,
+    len: u64,
+}
+
+impl TraceBuffer {
+    /// Encodes a trace into a buffer.
+    pub fn encode(trace: impl IntoIterator<Item = Instr>) -> Self {
+        let mut data = BytesMut::new();
+        let mut len = 0u64;
+        let mut prev_pc = 0u64;
+        let mut prev_addr = 0u64;
+        for instr in trace {
+            let mut flags = 0u8;
+            let seq = instr.pc.raw() == prev_pc.wrapping_add(4) || (len == 0 && instr.pc.raw() == 0);
+            if seq {
+                flags |= FLAG_SEQ_PC;
+            }
+            if let Some(m) = instr.mem {
+                flags |= FLAG_HAS_MEM;
+                if m.op.is_store() {
+                    flags |= FLAG_STORE;
+                }
+                // size is a power of two ≤ 128; store its log2 in 3 bits.
+                let code = m.size.max(1).trailing_zeros() as u8;
+                flags |= code << SIZE_SHIFT;
+            }
+            data.put_u8(flags);
+            if !seq {
+                put_varint(&mut data, instr.pc.raw());
+            }
+            if let Some(m) = instr.mem {
+                let delta = m.addr.raw() as i64 - prev_addr as i64;
+                put_varint(&mut data, zigzag(delta));
+                prev_addr = m.addr.raw();
+            }
+            prev_pc = instr.pc.raw();
+            len += 1;
+        }
+        TraceBuffer { data: data.freeze(), len }
+    }
+
+    /// Number of instructions in the buffer.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` when the buffer holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encoded size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates over the decoded instructions.
+    pub fn iter(&self) -> Iter {
+        Iter { data: self.data.clone(), prev_pc: 0, prev_addr: 0, first: true }
+    }
+
+    /// Writes the buffer to a writer with a small self-describing header
+    /// (magic, instruction count, byte length).
+    ///
+    /// Remember that a `&mut W` also implements `Write`, so a mutable
+    /// reference to a file can be passed here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(FILE_MAGIC)?;
+        w.write_all(&self.len.to_le_bytes())?;
+        w.write_all(&(self.data.len() as u64).to_le_bytes())?;
+        w.write_all(&self.data)
+    }
+
+    /// Reads a buffer previously produced by [`TraceBuffer::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic or truncated payload, and
+    /// propagates reader I/O errors.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != FILE_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+        }
+        let mut word = [0u8; 8];
+        r.read_exact(&mut word)?;
+        let len = u64::from_le_bytes(word);
+        r.read_exact(&mut word)?;
+        let byte_len = u64::from_le_bytes(word) as usize;
+        let mut data = vec![0u8; byte_len];
+        r.read_exact(&mut data)?;
+        Ok(TraceBuffer { data: Bytes::from(data), len })
+    }
+
+    /// Writes the buffer to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        self.write_to(std::fs::File::create(path)?)
+    }
+
+    /// Loads a buffer from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and format errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+/// Decoding iterator produced by [`TraceBuffer::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    data: Bytes,
+    prev_pc: u64,
+    prev_addr: u64,
+    first: bool,
+}
+
+impl Iterator for Iter {
+    type Item = Result<Instr, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.data.has_remaining() {
+            return None;
+        }
+        let flags = self.data.get_u8();
+        let pc = if flags & FLAG_SEQ_PC != 0 {
+            if self.first {
+                0
+            } else {
+                self.prev_pc.wrapping_add(4)
+            }
+        } else {
+            match get_varint(&mut self.data) {
+                Ok(v) => v,
+                Err(e) => return Some(Err(e)),
+            }
+        };
+        let mem = if flags & FLAG_HAS_MEM != 0 {
+            let delta = match get_varint(&mut self.data) {
+                Ok(v) => unzigzag(v),
+                Err(e) => return Some(Err(e)),
+            };
+            let addr = (self.prev_addr as i64).wrapping_add(delta) as u64;
+            self.prev_addr = addr;
+            let size_code = flags >> SIZE_SHIFT;
+            if size_code > 7 {
+                return Some(Err(DecodeError::BadSize(size_code)));
+            }
+            let op = if flags & FLAG_STORE != 0 { MemOp::Store } else { MemOp::Load };
+            Some(MemRef { op, addr: Addr::new(addr), size: 1 << size_code })
+        } else {
+            None
+        };
+        self.prev_pc = pc;
+        self.first = false;
+        Some(Ok(Instr { pc: Addr::new(pc), mem }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{PatternTrace, TraceShape, WorkingSet};
+
+    fn round_trip(trace: Vec<Instr>) {
+        let buf = TraceBuffer::encode(trace.iter().copied());
+        assert_eq!(buf.len(), trace.len() as u64);
+        let decoded: Vec<Instr> = buf.iter().map(|r| r.expect("decode")).collect();
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        round_trip(vec![]);
+        assert!(TraceBuffer::encode(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn basic_round_trip() {
+        round_trip(vec![
+            Instr::plain(0u64),
+            Instr::mem(4u64, MemRef::load(0x1000u64, 4)),
+            Instr::mem(8u64, MemRef::store(0x0FF8u64, 8)),
+            Instr::plain(0x40u64), // branch: non-sequential pc
+            Instr::mem(0x44u64, MemRef::load(0xFFFF_FFFF_0000u64, 1)),
+        ]);
+    }
+
+    #[test]
+    fn generated_trace_round_trip() {
+        let trace: Vec<Instr> =
+            PatternTrace::new(WorkingSet::new(0x4000, 8192, 0.3, 4), TraceShape::default(), 5)
+                .take(5_000)
+                .collect();
+        round_trip(trace);
+    }
+
+    #[test]
+    fn encoding_is_compact_for_sequential_code() {
+        let trace: Vec<Instr> = (0..1000u64).map(|i| Instr::plain(i * 4)).collect();
+        let buf = TraceBuffer::encode(trace.iter().copied());
+        // Pure sequential non-memory instructions cost one byte each.
+        assert_eq!(buf.byte_len(), 1000);
+    }
+
+    #[test]
+    fn truncated_buffer_reports_error() {
+        let buf = TraceBuffer::encode(vec![Instr::mem(0x100u64, MemRef::load(0x12345u64, 4))]);
+        let mut raw = buf.data.to_vec();
+        raw.truncate(raw.len() - 1);
+        let broken = TraceBuffer { data: Bytes::from(raw), len: 1 };
+        let results: Vec<_> = broken.iter().collect();
+        assert!(results.iter().any(|r| r.is_err()));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace: Vec<Instr> =
+            PatternTrace::new(WorkingSet::new(0, 4096, 0.4, 4), TraceShape::default(), 8)
+                .take(2_000)
+                .collect();
+        let buf = TraceBuffer::encode(trace.iter().copied());
+        let path = std::env::temp_dir().join("simtrace_file_rt/trace.utt");
+        buf.save(&path).unwrap();
+        let loaded = TraceBuffer::load(&path).unwrap();
+        assert_eq!(loaded, buf);
+        let decoded: Vec<Instr> = loaded.iter().collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded, trace);
+        std::fs::remove_dir_all(std::env::temp_dir().join("simtrace_file_rt")).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let err = TraceBuffer::read_from(&b"NOPE\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let buf = TraceBuffer::encode(vec![Instr::plain(0u64); 100]);
+        let mut bytes = Vec::new();
+        buf.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(TraceBuffer::read_from(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn varint_round_trip_extremes() {
+        for v in [0u64, 1, 127, 128, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

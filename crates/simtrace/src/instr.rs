@@ -1,0 +1,144 @@
+//! Instructions and memory references.
+//!
+//! The paper's CPU model (Section 3) is deliberately minimal: every
+//! instruction retires in one cycle unless it is a load/store that stalls on
+//! the memory hierarchy. The trace representation mirrors this: an
+//! instruction is "a possibly-absent memory reference".
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The direction of a data memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A read from memory into the processor.
+    Load,
+    /// A write from the processor towards memory.
+    Store,
+}
+
+impl MemOp {
+    /// Returns `true` for [`MemOp::Load`].
+    pub const fn is_load(self) -> bool {
+        matches!(self, MemOp::Load)
+    }
+
+    /// Returns `true` for [`MemOp::Store`].
+    pub const fn is_store(self) -> bool {
+        matches!(self, MemOp::Store)
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOp::Load => f.write_str("load"),
+            MemOp::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// A single data memory reference: operation, byte address and operand size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Load or store.
+    pub op: MemOp,
+    /// Byte address of the first byte touched.
+    pub addr: Addr,
+    /// Operand size in bytes (1, 2, 4 or 8).
+    pub size: u8,
+}
+
+impl MemRef {
+    /// Creates a load reference.
+    pub fn load(addr: impl Into<Addr>, size: u8) -> Self {
+        MemRef { op: MemOp::Load, addr: addr.into(), size }
+    }
+
+    /// Creates a store reference.
+    pub fn store(addr: impl Into<Addr>, size: u8) -> Self {
+        MemRef { op: MemOp::Store, addr: addr.into(), size }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}B @ {}", self.op, self.size, self.addr)
+    }
+}
+
+/// One executed instruction of the trace.
+///
+/// `pc` is synthetic (instruction index scaled by 4) but lets the
+/// instruction-cache path of the simulator exercise realistic sequential
+/// fetch behaviour with occasional jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instr {
+    /// Address the instruction was fetched from.
+    pub pc: Addr,
+    /// The data reference performed by this instruction, if any.
+    pub mem: Option<MemRef>,
+}
+
+impl Instr {
+    /// An instruction with no data reference (ALU, branch, ...).
+    pub fn plain(pc: impl Into<Addr>) -> Self {
+        Instr { pc: pc.into(), mem: None }
+    }
+
+    /// An instruction performing the given data reference.
+    pub fn mem(pc: impl Into<Addr>, mem: MemRef) -> Self {
+        Instr { pc: pc.into(), mem: Some(mem) }
+    }
+
+    /// Returns `true` if this instruction performs a data load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.mem, Some(MemRef { op: MemOp::Load, .. }))
+    }
+
+    /// Returns `true` if this instruction performs a data store.
+    pub fn is_store(&self) -> bool {
+        matches!(self.mem, Some(MemRef { op: MemOp::Store, .. }))
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.mem {
+            Some(m) => write!(f, "pc {}: {}", self.pc, m),
+            None => write!(f, "pc {}: alu", self.pc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let l = MemRef::load(0x10u64, 4);
+        assert!(l.op.is_load());
+        assert_eq!(l.addr, Addr::new(0x10));
+        let s = MemRef::store(0x20u64, 8);
+        assert!(s.op.is_store());
+        assert_eq!(s.size, 8);
+    }
+
+    #[test]
+    fn instr_predicates() {
+        let i = Instr::mem(0u64, MemRef::load(0x10u64, 4));
+        assert!(i.is_load() && !i.is_store());
+        let j = Instr::mem(4u64, MemRef::store(0x10u64, 4));
+        assert!(j.is_store() && !j.is_load());
+        let k = Instr::plain(8u64);
+        assert!(!k.is_load() && !k.is_store());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Instr::plain(0u64).to_string().is_empty());
+        assert!(Instr::mem(0u64, MemRef::load(4u64, 4)).to_string().contains("load"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Phase-structured workloads.
+//!
+//! Table 1 of the paper defines an application as "a task, a subroutine,
+//! or a phase of computation" — the methodology is meant to be applied
+//! per phase, because `{R, W, α, φ}` can differ wildly between, say, a
+//! stride-sweeping setup phase and a pointer-heavy solve phase. This
+//! module provides a deterministic phase alternator so experiments can
+//! measure exactly that.
+
+use crate::gen::{AccessPattern, PatternTrace, TraceShape};
+use crate::instr::MemRef;
+use rand::rngs::SmallRng;
+
+/// One phase: a pattern and how many *references* it runs for.
+pub struct Phase {
+    /// Phase label (used by experiments when reporting per-phase stats).
+    pub name: String,
+    pattern: Box<dyn AccessPattern + Send>,
+    refs: u64,
+}
+
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase").field("name", &self.name).field("refs", &self.refs).finish()
+    }
+}
+
+impl Phase {
+    /// Creates a phase running `refs` data references of `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is zero.
+    pub fn new(name: impl Into<String>, pattern: impl AccessPattern + Send + 'static, refs: u64) -> Self {
+        assert!(refs > 0, "a phase must run at least one reference");
+        Phase { name: name.into(), pattern: Box::new(pattern), refs }
+    }
+}
+
+/// Cycles through its phases, spending each phase's reference budget
+/// before moving to the next (wrapping around indefinitely).
+#[derive(Debug)]
+pub struct PhasedPattern {
+    phases: Vec<Phase>,
+    current: usize,
+    spent: u64,
+}
+
+impl PhasedPattern {
+    /// Creates a phased pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        PhasedPattern { phases, current: 0, spent: 0 }
+    }
+
+    /// The phase that will serve the next reference.
+    pub fn current_phase(&self) -> &str {
+        &self.phases[self.current].name
+    }
+
+    /// Total references in one full cycle through the phases.
+    pub fn cycle_refs(&self) -> u64 {
+        self.phases.iter().map(|p| p.refs).sum()
+    }
+
+    /// Lifts the phased pattern into an instruction trace.
+    pub fn into_trace(self, shape: TraceShape, seed: u64) -> PatternTrace<PhasedPattern> {
+        PatternTrace::new(self, shape, seed)
+    }
+}
+
+impl AccessPattern for PhasedPattern {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> MemRef {
+        if self.spent >= self.phases[self.current].refs {
+            self.spent = 0;
+            self.current = (self.current + 1) % self.phases.len();
+        }
+        self.spent += 1;
+        self.phases[self.current].pattern.next_ref(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{StridedSweep, WorkingSet};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn phases_alternate_on_budget() {
+        let mut p = PhasedPattern::new(vec![
+            Phase::new("sweep", StridedSweep::new(0, 1024, 4, 4, 0), 3),
+            Phase::new("hot", WorkingSet::new(0x10_0000, 64, 0.0, 4), 2),
+        ]);
+        let mut r = rng();
+        let regions: Vec<bool> =
+            (0..10).map(|_| p.next_ref(&mut r).addr.raw() >= 0x10_0000).collect();
+        assert_eq!(
+            regions,
+            vec![false, false, false, true, true, false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn current_phase_tracks_position() {
+        let mut p = PhasedPattern::new(vec![
+            Phase::new("a", WorkingSet::new(0, 64, 0.0, 4), 2),
+            Phase::new("b", WorkingSet::new(0, 64, 0.0, 4), 2),
+        ]);
+        let mut r = rng();
+        assert_eq!(p.current_phase(), "a");
+        p.next_ref(&mut r);
+        p.next_ref(&mut r);
+        p.next_ref(&mut r); // third ref rolls into phase b
+        assert_eq!(p.current_phase(), "b");
+    }
+
+    #[test]
+    fn cycle_refs_sums_budgets() {
+        let p = PhasedPattern::new(vec![
+            Phase::new("a", WorkingSet::new(0, 64, 0.0, 4), 30),
+            Phase::new("b", WorkingSet::new(0, 64, 0.0, 4), 70),
+        ]);
+        assert_eq!(p.cycle_refs(), 100);
+    }
+
+    #[test]
+    fn into_trace_produces_instructions() {
+        let p = PhasedPattern::new(vec![Phase::new(
+            "only",
+            WorkingSet::new(0, 1024, 0.3, 4),
+            100,
+        )]);
+        let n = p.into_trace(TraceShape::default(), 5).take(500).count();
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panics() {
+        PhasedPattern::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reference")]
+    fn zero_budget_panics() {
+        Phase::new("x", WorkingSet::new(0, 64, 0.0, 4), 0);
+    }
+}

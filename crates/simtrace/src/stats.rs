@@ -1,0 +1,187 @@
+//! Streaming trace statistics.
+
+use crate::instr::{Instr, MemOp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate counts over a trace.
+///
+/// Corresponds to the application-characterisation side of the paper's
+/// Table 1: `E` (instructions), the load/store population that `R`, `W`
+/// and `Λ` are computed from, and byte volumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Instructions observed (`E`).
+    pub instructions: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Bytes stored.
+    pub store_bytes: u64,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes a trace and accumulates its statistics.
+    pub fn from_trace(trace: impl IntoIterator<Item = Instr>) -> Self {
+        let mut s = Self::new();
+        for i in trace {
+            s.record(&i);
+        }
+        s
+    }
+
+    /// Records one instruction.
+    pub fn record(&mut self, instr: &Instr) {
+        self.instructions += 1;
+        if let Some(m) = instr.mem {
+            match m.op {
+                MemOp::Load => {
+                    self.loads += 1;
+                    self.load_bytes += u64::from(m.size);
+                }
+                MemOp::Store => {
+                    self.stores += 1;
+                    self.store_bytes += u64::from(m.size);
+                }
+            }
+        }
+    }
+
+    /// Total data references (loads + stores).
+    pub fn data_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of instructions that reference data memory.
+    ///
+    /// Returns 0 for an empty trace.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.data_refs() as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of data references that are stores.
+    ///
+    /// Returns 0 when there are no data references.
+    pub fn store_fraction(&self) -> f64 {
+        let refs = self.data_refs();
+        if refs == 0 {
+            0.0
+        } else {
+            self.stores as f64 / refs as f64
+        }
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.load_bytes += other.load_bytes;
+        self.store_bytes += other.store_bytes;
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instr, {} loads, {} stores ({:.1}% mem, {:.1}% stores)",
+            self.instructions,
+            self.loads,
+            self.stores,
+            100.0 * self.mem_fraction(),
+            100.0 * self.store_fraction()
+        )
+    }
+}
+
+impl Extend<Instr> for TraceStats {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        for i in iter {
+            self.record(&i);
+        }
+    }
+}
+
+impl FromIterator<Instr> for TraceStats {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Self::from_trace(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::MemRef;
+
+    fn sample() -> Vec<Instr> {
+        vec![
+            Instr::plain(0u64),
+            Instr::mem(4u64, MemRef::load(0x100u64, 4)),
+            Instr::mem(8u64, MemRef::store(0x104u64, 8)),
+            Instr::plain(12u64),
+        ]
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let s = TraceStats::from_trace(sample());
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.load_bytes, 4);
+        assert_eq!(s.store_bytes, 8);
+        assert_eq!(s.data_refs(), 2);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = TraceStats::from_trace(sample());
+        assert!((s.mem_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.store_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_fractions_are_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.mem_fraction(), 0.0);
+        assert_eq!(s.store_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TraceStats::from_trace(sample());
+        let b = TraceStats::from_trace(sample());
+        a.merge(&b);
+        assert_eq!(a.instructions, 8);
+        assert_eq!(a.loads, 2);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: TraceStats = sample().into_iter().collect();
+        assert_eq!(s.instructions, 4);
+        let mut t = TraceStats::new();
+        t.extend(sample());
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = TraceStats::from_trace(sample());
+        let text = s.to_string();
+        assert!(text.contains("4 instr") && text.contains("1 loads"));
+    }
+}

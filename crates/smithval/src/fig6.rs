@@ -1,0 +1,259 @@
+//! Figure 6: validation against Smith's design targets.
+//!
+//! Each panel fixes a cache size, a bus width `D` and a memory
+//! technology `Delay = T_lat + T_byte × bytes`. Normalising to CPU
+//! cycles with the bus speed `β` as the free variable gives the fill
+//! timing `c(β) = (T_lat / (T_byte·D))·β + 1` (the `+1` carries the hit
+//! cycle, so Smith's latency constant is `c − 1`). The panel plots the
+//! *reduced memory delay per reference* (Eq. 19) of each candidate line
+//! against `β`; the line with the highest positive curve is optimal, and
+//! it must match Smith's published choice.
+
+use crate::model::MissRatioModel;
+use serde::{Deserialize, Serialize};
+use tradeoff::linesize::{
+    optimal_line_eq19, optimal_line_smith, reduced_delay, FillTiming, LineCandidate,
+};
+use tradeoff::{HitRatio, TradeoffError};
+
+/// The candidate line sizes the panels consider.
+pub const CANDIDATE_LINES: [f64; 7] = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// One panel of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig6Panel {
+    /// Panel label, e.g. `"(a) 16K full blocking data cache"`.
+    pub name: &'static str,
+    /// Cache capacity in bytes.
+    pub cache_bytes: f64,
+    /// Bus width `D` in bytes.
+    pub bus_bytes: f64,
+    /// Memory access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Transfer time per byte in nanoseconds.
+    pub per_byte_ns: f64,
+    /// Smith's published optimal line size(s) for this design point.
+    pub smith_optimal: &'static [f64],
+    /// The normalised bus speed at which Smith quotes the optimum.
+    pub quoted_beta: f64,
+}
+
+impl Fig6Panel {
+    /// The latency-to-transfer ratio `T_lat / (T_byte · D)`.
+    pub fn latency_ratio(&self) -> f64 {
+        self.latency_ns / (self.per_byte_ns * self.bus_bytes)
+    }
+
+    /// The fill-timing latency `c(β) = ratio·β + 1`.
+    pub fn c_of_beta(&self, beta: f64) -> f64 {
+        self.latency_ratio() * beta + 1.0
+    }
+
+    /// The panel's fill timing at bus speed `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-validation errors for non-positive `beta`.
+    pub fn timing(&self, beta: f64) -> Result<FillTiming, TradeoffError> {
+        FillTiming::new(self.c_of_beta(beta), beta)
+    }
+
+    /// The candidate list with hit ratios supplied by `model`.
+    pub fn candidates(&self, model: &dyn MissRatioModel) -> Vec<LineCandidate> {
+        CANDIDATE_LINES
+            .iter()
+            .map(|&l| LineCandidate {
+                line_bytes: l,
+                hit_ratio: HitRatio::new(model.hit_ratio(self.cache_bytes, l))
+                    .expect("model returns a valid ratio"),
+            })
+            .collect()
+    }
+
+    /// The reduced-delay series (Eq. 19) of one candidate line across
+    /// bus speeds, relative to the 4-byte base line. Values are per
+    /// hundred references, matching the figure's axis scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn reduced_delay_series(
+        &self,
+        model: &dyn MissRatioModel,
+        line_bytes: f64,
+        betas: &[f64],
+    ) -> Result<Vec<(f64, f64)>, TradeoffError> {
+        let base_l = CANDIDATE_LINES[0];
+        let hr0 = HitRatio::new(model.hit_ratio(self.cache_bytes, base_l))?;
+        let hri = HitRatio::new(model.hit_ratio(self.cache_bytes, line_bytes))?;
+        let mut out = Vec::with_capacity(betas.len());
+        for &beta in betas {
+            let timing = self.timing(beta)?;
+            let v = reduced_delay(&timing, self.bus_bytes, base_l, hr0, line_bytes, hri, 0.0)?;
+            out.push((beta, 100.0 * v));
+        }
+        Ok(out)
+    }
+}
+
+/// The four Figure 6 design points.
+///
+/// Panels (a)–(d) as annotated in the paper; the 8 KB panel's latency
+/// ratio `360/(15·8) = 3` follows from its stated technology.
+pub const PANELS: [Fig6Panel; 4] = [
+    Fig6Panel {
+        name: "(a) 16K data cache, 360ns + 15ns/B, D=4",
+        cache_bytes: 16.0 * 1024.0,
+        bus_bytes: 4.0,
+        latency_ns: 360.0,
+        per_byte_ns: 15.0,
+        smith_optimal: &[32.0],
+        quoted_beta: 2.0,
+    },
+    Fig6Panel {
+        name: "(b) 16K data cache, 160ns + 15ns/B, D=8",
+        cache_bytes: 16.0 * 1024.0,
+        bus_bytes: 8.0,
+        latency_ns: 160.0,
+        per_byte_ns: 15.0,
+        smith_optimal: &[16.0],
+        quoted_beta: 3.0,
+    },
+    Fig6Panel {
+        name: "(c) 16K data cache, 600ns + 4ns/B, D=8",
+        cache_bytes: 16.0 * 1024.0,
+        bus_bytes: 8.0,
+        latency_ns: 600.0,
+        per_byte_ns: 4.0,
+        smith_optimal: &[64.0, 128.0],
+        quoted_beta: 1.0,
+    },
+    Fig6Panel {
+        name: "(d) 8K data cache, 360ns + 15ns/B, D=8",
+        cache_bytes: 8.0 * 1024.0,
+        bus_bytes: 8.0,
+        latency_ns: 360.0,
+        per_byte_ns: 15.0,
+        smith_optimal: &[32.0],
+        quoted_beta: 2.0,
+    },
+];
+
+/// The outcome of validating one panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelValidation {
+    /// Panel name.
+    pub panel: &'static str,
+    /// The line Smith's criterion (Eq. 16) picks.
+    pub smith_line: f64,
+    /// The line the tradeoff methodology (Eq. 19) picks.
+    pub eq19_line: f64,
+    /// Whether the two selectors agree (the paper's validation claim).
+    pub selectors_agree: bool,
+    /// Whether the selection matches Smith's published optimum.
+    pub matches_paper: bool,
+}
+
+/// Runs the Figure 6 validation on all four panels at their quoted bus
+/// speeds.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn validate_all_panels(
+    model: &dyn MissRatioModel,
+) -> Result<Vec<PanelValidation>, TradeoffError> {
+    PANELS
+        .iter()
+        .map(|panel| {
+            let cands = panel.candidates(model);
+            let timing = panel.timing(panel.quoted_beta)?;
+            let smith = optimal_line_smith(&timing, panel.bus_bytes, &cands)?;
+            let ours = optimal_line_eq19(&timing, panel.bus_bytes, &cands)?;
+            Ok(PanelValidation {
+                panel: panel.name,
+                smith_line: smith.line_bytes,
+                eq19_line: ours.line_bytes,
+                selectors_agree: smith.line_bytes == ours.line_bytes,
+                matches_paper: panel.smith_optimal.contains(&smith.line_bytes),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DesignTargetModel;
+
+    #[test]
+    fn latency_ratios_match_annotations() {
+        assert!((PANELS[0].latency_ratio() - 6.0).abs() < 1e-12);
+        assert!((PANELS[1].latency_ratio() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((PANELS[2].latency_ratio() - 18.75).abs() < 1e-12);
+        assert!((PANELS[3].latency_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_panels_reproduce_smith_optima() {
+        let model = DesignTargetModel::default();
+        for v in validate_all_panels(&model).unwrap() {
+            assert!(v.selectors_agree, "{}: Smith {} vs Eq.19 {}", v.panel, v.smith_line, v.eq19_line);
+            assert!(v.matches_paper, "{}: selected {} not in Smith's set", v.panel, v.smith_line);
+        }
+    }
+
+    #[test]
+    fn selectors_agree_across_bus_speeds() {
+        // The equivalence is not specific to the quoted β.
+        let model = DesignTargetModel::default();
+        for panel in &PANELS {
+            let cands = panel.candidates(&model);
+            for beta in [0.5, 1.0, 2.0, 4.0, 8.0] {
+                let timing = panel.timing(beta).unwrap();
+                let s = optimal_line_smith(&timing, panel.bus_bytes, &cands).unwrap();
+                let o = optimal_line_eq19(&timing, panel.bus_bytes, &cands).unwrap();
+                assert_eq!(s.line_bytes, o.line_bytes, "{} at β={beta}", panel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn selectors_agree_even_for_alternative_models() {
+        // The Smith ≡ Eq. 19 identity is model-independent; check it on
+        // the simple power-law model whose optima differ from Smith's.
+        let model = crate::model::PowerLawModel::default();
+        for v in validate_all_panels(&model).unwrap() {
+            assert!(v.selectors_agree, "{}", v.panel);
+        }
+    }
+
+    #[test]
+    fn reduced_delay_series_has_positive_peak_for_optimal_line() {
+        let model = DesignTargetModel::default();
+        let panel = &PANELS[0];
+        let betas: Vec<f64> = (1..=10).map(f64::from).collect();
+        let series = panel.reduced_delay_series(&model, 32.0, &betas).unwrap();
+        assert!(series.iter().any(|&(_, v)| v > 0.0), "32B should be beneficial somewhere");
+    }
+
+    #[test]
+    fn very_slow_bus_turns_large_lines_negative() {
+        // Figure 6's negative region: past some β the large line's
+        // transfer cost wipes out its hit-ratio advantage.
+        let model = DesignTargetModel::default();
+        let panel = &PANELS[1]; // lowest latency ratio → earliest crossover
+        let series = panel.reduced_delay_series(&model, 256.0, &[10.0]).unwrap();
+        assert!(series[0].1 < 0.0, "256B at β=10 should be harmful: {}", series[0].1);
+    }
+
+    #[test]
+    fn candidates_cover_the_line_set() {
+        let model = DesignTargetModel::default();
+        let cands = PANELS[0].candidates(&model);
+        assert_eq!(cands.len(), CANDIDATE_LINES.len());
+        for w in cands.windows(2) {
+            assert!(w[0].line_bytes < w[1].line_bytes);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Smith (1987) line-size methodology and the paper's Figure 6
+//! validation.
+//!
+//! Section 5.4 of Chen & Somani validates the tradeoff methodology by
+//! showing that the optimal line size selected by their Eq. 19 is
+//! *identical* to the one Smith's minimum-mean-delay criterion selects,
+//! across four cache/bus design points. Smith's design-target miss-ratio
+//! tables are not redistributable, so this crate provides a calibrated
+//! parametric model ([`DesignTargetModel`]) with the canonical shape —
+//! power law in cache size, strong spatial-locality gains for small
+//! lines, and a pollution term that punishes large lines in small caches
+//! — tuned so the four Figure 6 panels reproduce Smith's published
+//! optima (32 B, 16 B, 64–128 B, 32 B).
+//!
+//! # Example
+//!
+//! ```
+//! use smithval::{DesignTargetModel, MissRatioModel};
+//!
+//! let model = DesignTargetModel::default();
+//! let m32 = model.miss_ratio(16_384.0, 32.0);
+//! let m4 = model.miss_ratio(16_384.0, 4.0);
+//! assert!(m32 < m4, "larger lines hit more in a 16K cache");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig6;
+pub mod model;
+
+pub use fig6::{validate_all_panels, Fig6Panel, PanelValidation, PANELS};
+pub use model::{DesignTargetModel, MissRatioModel, PowerLawModel, TableModel};

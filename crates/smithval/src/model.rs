@@ -1,0 +1,293 @@
+//! Miss-ratio models in the style of Smith's design target miss ratios.
+
+use serde::{Deserialize, Serialize};
+
+/// A miss ratio as a function of cache geometry.
+///
+/// Implementations must return values in `[0, 1]`.
+pub trait MissRatioModel {
+    /// The miss ratio of a `cache_bytes` cache with `line_bytes` lines.
+    fn miss_ratio(&self, cache_bytes: f64, line_bytes: f64) -> f64;
+
+    /// Convenience: the hit ratio `1 − m`.
+    fn hit_ratio(&self, cache_bytes: f64, line_bytes: f64) -> f64 {
+        1.0 - self.miss_ratio(cache_bytes, line_bytes)
+    }
+}
+
+/// Relative miss ratio versus line size at the 16 KB reference point,
+/// `(line_bytes, m(L) / m(4 B))`.
+///
+/// The shape is the canonical one from trace-driven studies (Smith 1987,
+/// Przybylski 1990): each doubling of the line roughly multiplies the
+/// miss ratio by 0.62–0.67 while spatial locality lasts, with the gains
+/// drying up past 64 B and reversing at 256 B.
+const LINE_SHAPE: [(f64, f64); 7] = [
+    (4.0, 1.0),
+    (8.0, 0.62),
+    (16.0, 0.403),
+    (32.0, 0.270),
+    (64.0, 0.216),
+    (128.0, 0.205),
+    (256.0, 0.236),
+];
+
+/// A calibrated design-target-style miss-ratio model:
+///
+/// ```text
+/// m(C, L) = m₀ · (C₀/C)^σ · shape(L) · (1 + κ·L/C)
+/// ```
+///
+/// with `shape` the tabulated 16 KB line-size profile (geometrically
+/// interpolated) and `κ·L/C` the line-pollution term that makes large
+/// lines pay in small caches. Defaults are calibrated so the four
+/// Figure 6 panels select Smith's published optimal line sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignTargetModel {
+    /// Miss ratio of the reference cache (16 KB, 4 B lines).
+    pub base_miss: f64,
+    /// Reference cache size in bytes.
+    pub base_cache: f64,
+    /// Cache-size exponent `σ` (miss ratio ∝ C^−σ).
+    pub size_exponent: f64,
+    /// Pollution coefficient `κ`.
+    pub pollution: f64,
+}
+
+impl Default for DesignTargetModel {
+    fn default() -> Self {
+        DesignTargetModel {
+            base_miss: 0.12,
+            base_cache: 16.0 * 1024.0,
+            size_exponent: 0.30,
+            pollution: 16.0,
+        }
+    }
+}
+
+impl DesignTargetModel {
+    /// Geometric interpolation of the tabulated line shape.
+    fn shape(line_bytes: f64) -> f64 {
+        let l = line_bytes.max(1.0);
+        let first = LINE_SHAPE[0];
+        let last = LINE_SHAPE[LINE_SHAPE.len() - 1];
+        if l <= first.0 {
+            // Below the table: spatial locality loss, extrapolate with
+            // the first segment's ratio.
+            let (l0, v0) = first;
+            let (l1, v1) = LINE_SHAPE[1];
+            let slope = (v1 / v0).ln() / (l1 / l0).ln();
+            return v0 * (l / l0).powf(slope);
+        }
+        if l >= last.0 {
+            let (l0, v0) = LINE_SHAPE[LINE_SHAPE.len() - 2];
+            let (l1, v1) = last;
+            let slope = (v1 / v0).ln() / (l1 / l0).ln();
+            return v1 * (l / l1).powf(slope);
+        }
+        for pair in LINE_SHAPE.windows(2) {
+            let (l0, v0) = pair[0];
+            let (l1, v1) = pair[1];
+            if l >= l0 && l <= l1 {
+                let t = (l / l0).ln() / (l1 / l0).ln();
+                return v0 * (v1 / v0).powf(t);
+            }
+        }
+        unreachable!("line size covered by table bounds");
+    }
+}
+
+impl MissRatioModel for DesignTargetModel {
+    fn miss_ratio(&self, cache_bytes: f64, line_bytes: f64) -> f64 {
+        let size_factor = (self.base_cache / cache_bytes).powf(self.size_exponent);
+        let pollution = 1.0 + self.pollution * line_bytes / cache_bytes;
+        (self.base_miss * size_factor * Self::shape(line_bytes) * pollution).clamp(0.0, 1.0)
+    }
+}
+
+/// A two-parameter power-law model: `m(C, L) = k·C^(−σ)` with a fixed
+/// √L spatial-locality factor — the textbook "square-root rule"
+/// (miss ratio halves when the cache quadruples).
+///
+/// Useful as a sanity alternative to [`DesignTargetModel`]: the Figure 6
+/// *selector agreement* (Smith ≡ Eq. 19) must hold for any model, even
+/// one whose optima differ from Smith's published choices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawModel {
+    /// Miss ratio at 1 KB with 16-byte lines.
+    pub k: f64,
+    /// Cache-size exponent (≈ 0.5 for the square-root rule).
+    pub sigma: f64,
+}
+
+impl Default for PowerLawModel {
+    fn default() -> Self {
+        PowerLawModel { k: 0.25, sigma: 0.5 }
+    }
+}
+
+impl MissRatioModel for PowerLawModel {
+    fn miss_ratio(&self, cache_bytes: f64, line_bytes: f64) -> f64 {
+        let size = (1024.0 / cache_bytes).powf(self.sigma);
+        let spatial = (16.0 / line_bytes).sqrt();
+        (self.k * size * spatial).clamp(0.0, 1.0)
+    }
+}
+
+/// A miss-ratio model backed by explicit `(line_bytes, miss_ratio)`
+/// measurements at one cache size — e.g. points produced by the
+/// `simcache` sweep helpers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableModel {
+    cache_bytes: f64,
+    points: Vec<(f64, f64)>,
+}
+
+impl TableModel {
+    /// Creates a table model; points are sorted by line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or contains a miss ratio outside
+    /// `[0, 1]`.
+    pub fn new(cache_bytes: f64, mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "table model needs at least one point");
+        for &(l, m) in &points {
+            assert!(l > 0.0, "line size must be positive");
+            assert!((0.0..=1.0).contains(&m), "miss ratio {m} outside [0, 1]");
+        }
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        TableModel { cache_bytes, points }
+    }
+
+    /// The cache size the table was measured at.
+    pub fn cache_bytes(&self) -> f64 {
+        self.cache_bytes
+    }
+
+    /// The tabulated points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+impl MissRatioModel for TableModel {
+    /// Log-linear interpolation in line size; the cache-size argument is
+    /// ignored (the table is for one size).
+    fn miss_ratio(&self, _cache_bytes: f64, line_bytes: f64) -> f64 {
+        let pts = &self.points;
+        if line_bytes <= pts[0].0 {
+            return pts[0].1;
+        }
+        if line_bytes >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for pair in pts.windows(2) {
+            let (l0, m0) = pair[0];
+            let (l1, m1) = pair[1];
+            if line_bytes >= l0 && line_bytes <= l1 {
+                let t = (line_bytes / l0).ln() / (l1 / l0).ln();
+                return m0 + (m1 - m0) * t;
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_at_knots() {
+        for (l, v) in LINE_SHAPE {
+            assert!((DesignTargetModel::shape(l) - v).abs() < 1e-12, "L={l}");
+        }
+    }
+
+    #[test]
+    fn shape_interpolates_between_knots() {
+        let v = DesignTargetModel::shape(24.0);
+        assert!(v < 0.403 && v > 0.270);
+    }
+
+    #[test]
+    fn miss_ratio_decreases_with_cache_size() {
+        let m = DesignTargetModel::default();
+        assert!(m.miss_ratio(8_192.0, 32.0) > m.miss_ratio(16_384.0, 32.0));
+        assert!(m.miss_ratio(16_384.0, 32.0) > m.miss_ratio(65_536.0, 32.0));
+    }
+
+    #[test]
+    fn line_size_sweet_spot_moves_with_cache_size() {
+        // The miss-minimising line is larger for larger caches (pollution
+        // term) — the paper's "larger line sizes are better in larger
+        // caches".
+        let model = DesignTargetModel::default();
+        let best_line = |cache: f64| {
+            [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+                .into_iter()
+                .min_by(|&a, &b| {
+                    model.miss_ratio(cache, a).total_cmp(&model.miss_ratio(cache, b))
+                })
+                .unwrap()
+        };
+        assert!(best_line(128.0 * 1024.0) >= best_line(2.0 * 1024.0));
+    }
+
+    #[test]
+    fn miss_ratio_is_clamped() {
+        let model = DesignTargetModel { base_miss: 0.9, ..DesignTargetModel::default() };
+        let m = model.miss_ratio(256.0, 256.0);
+        assert!((0.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn hit_ratio_complements_miss_ratio() {
+        let model = DesignTargetModel::default();
+        let c = 16_384.0;
+        assert!((model.hit_ratio(c, 32.0) + model.miss_ratio(c, 32.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_model_interpolates_and_clamps() {
+        let t = TableModel::new(8_192.0, vec![(8.0, 0.10), (32.0, 0.04), (16.0, 0.06)]);
+        assert_eq!(t.miss_ratio(0.0, 4.0), 0.10); // below range
+        assert_eq!(t.miss_ratio(0.0, 64.0), 0.04); // above range
+        assert_eq!(t.miss_ratio(0.0, 16.0), 0.06); // exact knot
+        let mid = t.miss_ratio(0.0, 11.3); // between 8 and 16
+        assert!(mid < 0.10 && mid > 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_table_panics() {
+        TableModel::new(8_192.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_miss_ratio_panics() {
+        TableModel::new(8_192.0, vec![(8.0, 1.5)]);
+    }
+
+    #[test]
+    fn power_law_follows_square_root_rule() {
+        let m = PowerLawModel::default();
+        let at = |c: f64| m.miss_ratio(c, 32.0);
+        // Quadrupling the cache halves the miss ratio (σ = 0.5).
+        assert!((at(4.0 * 8192.0) / at(8192.0) - 0.5).abs() < 1e-12);
+        // Larger lines help monotonically under this simple model.
+        assert!(m.miss_ratio(8192.0, 64.0) < m.miss_ratio(8192.0, 16.0));
+        // Clamped to a probability.
+        assert!(m.miss_ratio(1.0, 1.0) <= 1.0);
+    }
+
+    #[test]
+    fn sixteen_k_shape_has_interior_minimum() {
+        let model = DesignTargetModel::default();
+        let m = |l: f64| model.miss_ratio(16_384.0, l);
+        assert!(m(128.0) < m(4.0));
+        assert!(m(256.0) > m(128.0) * 0.99, "gains dry up at very large lines");
+    }
+}

@@ -1,0 +1,213 @@
+//! Pin-count and chip-area implications (the paper's abstract and
+//! Section 5.2).
+//!
+//! The equivalence law prices features in hit ratio; this module prices
+//! the *costs* the abstract calls out, so equal-performance designs can
+//! be compared in silicon and package terms:
+//!
+//! * [`CacheAreaModel`] — SRAM bit counts for a set-associative cache
+//!   (data + tags + status), including the tag-overhead observation of
+//!   Alpert & Flynn that larger lines amortise tags;
+//! * [`PinModel`] — package pins as a function of external bus width;
+//! * [`equivalent_cache_size`] — inverts a miss-ratio model to find the
+//!   cache size that delivers a target hit ratio, closing the loop from
+//!   "doubling the bus is worth ΔHR" to "doubling the bus saves this
+//!   many KB of SRAM".
+
+use crate::error::TradeoffError;
+use serde::{Deserialize, Serialize};
+
+/// Bit-count model of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheAreaModel {
+    /// Physical/virtual address width the tags must cover.
+    pub addr_bits: u32,
+    /// Status bits per line (valid + dirty for a write-back cache).
+    pub status_bits_per_line: u32,
+}
+
+impl Default for CacheAreaModel {
+    fn default() -> Self {
+        // The paper's era: 32-bit addresses, valid + dirty.
+        CacheAreaModel { addr_bits: 32, status_bits_per_line: 2 }
+    }
+}
+
+/// The bit breakdown of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheBits {
+    /// SRAM bits holding data.
+    pub data: u64,
+    /// SRAM bits holding address tags.
+    pub tags: u64,
+    /// Valid/dirty/etc. bits.
+    pub status: u64,
+}
+
+impl CacheBits {
+    /// Total bits.
+    pub fn total(&self) -> u64 {
+        self.data + self.tags + self.status
+    }
+
+    /// The fraction of bits that are not data (Alpert & Flynn's tag
+    /// overhead).
+    pub fn overhead_fraction(&self) -> f64 {
+        (self.tags + self.status) as f64 / self.total() as f64
+    }
+}
+
+impl CacheAreaModel {
+    /// Computes the bit breakdown for a cache of `size_bytes` with
+    /// `line_bytes` lines and `assoc` ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TradeoffError::NotPositive`] for degenerate geometry
+    /// (zero sizes, line larger than a way, non-powers of two).
+    pub fn bits(&self, size_bytes: u64, line_bytes: u64, assoc: u32) -> Result<CacheBits, TradeoffError> {
+        for (what, v) in [("cache size", size_bytes), ("line size", line_bytes)] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(TradeoffError::NotPositive { what, value: v as f64 });
+            }
+        }
+        if assoc == 0 || !assoc.is_power_of_two() {
+            return Err(TradeoffError::NotPositive { what: "associativity", value: f64::from(assoc) });
+        }
+        let lines = size_bytes / line_bytes;
+        if lines == 0 || u64::from(assoc) > lines {
+            return Err(TradeoffError::NotPositive {
+                what: "lines per way",
+                value: lines as f64 / f64::from(assoc),
+            });
+        }
+        let sets = lines / u64::from(assoc);
+        let offset_bits = line_bytes.trailing_zeros();
+        let index_bits = sets.trailing_zeros();
+        let tag_bits_per_line = u64::from(self.addr_bits.saturating_sub(offset_bits + index_bits));
+        Ok(CacheBits {
+            data: size_bytes * 8,
+            tags: lines * tag_bits_per_line,
+            status: lines * u64::from(self.status_bits_per_line),
+        })
+    }
+}
+
+/// Package-pin model for the processor's external interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PinModel {
+    /// Address pins.
+    pub addr_pins: u32,
+    /// Control/clock/power overhead pins attributed to the bus interface.
+    pub control_pins: u32,
+}
+
+impl Default for PinModel {
+    fn default() -> Self {
+        PinModel { addr_pins: 32, control_pins: 16 }
+    }
+}
+
+impl PinModel {
+    /// Total pins for a `bus_bytes`-wide external data bus.
+    pub fn pins(&self, bus_bytes: u64) -> u64 {
+        8 * bus_bytes + u64::from(self.addr_pins) + u64::from(self.control_pins)
+    }
+
+    /// Extra pins doubling the bus costs.
+    pub fn doubling_cost(&self, bus_bytes: u64) -> u64 {
+        self.pins(bus_bytes * 2) - self.pins(bus_bytes)
+    }
+}
+
+/// Inverts a monotone hit-ratio-versus-size curve: the smallest
+/// power-of-two cache size in `[min_bytes, max_bytes]` whose hit ratio
+/// reaches `target`.
+///
+/// Returns `None` when even `max_bytes` falls short.
+pub fn equivalent_cache_size(
+    hit_ratio_of_size: impl Fn(f64) -> f64,
+    target: f64,
+    min_bytes: u64,
+    max_bytes: u64,
+) -> Option<u64> {
+    let mut size = min_bytes.max(1).next_power_of_two();
+    while size <= max_bytes {
+        if hit_ratio_of_size(size as f64) >= target {
+            return Some(size);
+        }
+        size *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_counts_hand_checked() {
+        // 8 KB, 32 B lines, 2-way, 32-bit addresses: 256 lines, 128 sets.
+        // Tag = 32 − 5 (offset) − 7 (index) = 20 bits per line.
+        let bits = CacheAreaModel::default().bits(8 * 1024, 32, 2).unwrap();
+        assert_eq!(bits.data, 8 * 1024 * 8);
+        assert_eq!(bits.tags, 256 * 20);
+        assert_eq!(bits.status, 256 * 2);
+        assert!((bits.overhead_fraction() - (5120.0 + 512.0) / 71168.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_lines_amortise_tags() {
+        // Alpert & Flynn: tag overhead falls as the line grows.
+        let m = CacheAreaModel::default();
+        let mut prev = f64::INFINITY;
+        for line in [8u64, 16, 32, 64, 128] {
+            let frac = m.bits(16 * 1024, line, 2).unwrap().overhead_fraction();
+            assert!(frac < prev, "L={line}: {frac}");
+            prev = frac;
+        }
+    }
+
+    #[test]
+    fn bigger_caches_have_lower_relative_overhead() {
+        let m = CacheAreaModel::default();
+        let small = m.bits(4 * 1024, 32, 2).unwrap().overhead_fraction();
+        let big = m.bits(256 * 1024, 32, 2).unwrap().overhead_fraction();
+        assert!(big < small, "index bits eat into the tag");
+    }
+
+    #[test]
+    fn degenerate_geometry_rejected() {
+        let m = CacheAreaModel::default();
+        assert!(m.bits(0, 32, 2).is_err());
+        assert!(m.bits(8192, 24, 2).is_err());
+        assert!(m.bits(8192, 32, 0).is_err());
+        assert!(m.bits(64, 32, 4).is_err(), "more ways than lines");
+    }
+
+    #[test]
+    fn pin_model_scales_with_bus() {
+        let p = PinModel::default();
+        assert_eq!(p.pins(4), 32 + 32 + 16);
+        assert_eq!(p.pins(8), 64 + 32 + 16);
+        assert_eq!(p.doubling_cost(4), 32);
+        assert_eq!(p.doubling_cost(8), 64);
+    }
+
+    #[test]
+    fn cache_size_inversion() {
+        // A toy power-law curve: HR(C) = 1 − (8192/C)^0.5 · 0.09.
+        let hr = |c: f64| 1.0 - 0.09 * (8192.0 / c).sqrt();
+        let size = equivalent_cache_size(hr, hr(32.0 * 1024.0), 1024, 1 << 22).unwrap();
+        assert_eq!(size, 32 * 1024);
+        // Just above the reachable range: None.
+        assert_eq!(equivalent_cache_size(hr, 0.9999, 1024, 1 << 22), None);
+    }
+
+    #[test]
+    fn inversion_returns_smallest_sufficient_size() {
+        let hr = |c: f64| (c / (1 << 20) as f64).min(1.0);
+        let size = equivalent_cache_size(hr, 0.26, 1024, 1 << 22).unwrap();
+        assert_eq!(size, 512 * 1024, "first power of two with HR ≥ 0.26");
+    }
+}

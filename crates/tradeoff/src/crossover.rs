@@ -1,0 +1,159 @@
+//! Crossover analysis: where a pipelined memory overtakes the other
+//! features (Section 5.3).
+//!
+//! Two enhancements deliver identical tradeoffs at memory cycle `β_m`
+//! exactly when their delays per missed line match; because both are
+//! compared against the same baseline, `ΔHR_a(β) = ΔHR_b(β)` iff
+//! `G_a(β) = G_b(β)`. Closed forms exist for the paper's cases and a
+//! bisection fallback covers arbitrary pairs.
+
+use crate::error::TradeoffError;
+use crate::params::Machine;
+use crate::system::SystemConfig;
+
+/// Closed form: the memory cycle time beyond which a pipelined memory
+/// (issue interval `q`) beats doubling the bus, for `chunks = L/D` and a
+/// shared flush ratio.
+///
+/// Solving `(1 + α)(β + q(X − 1)) = (X/2)(1 + α)β` gives
+/// `β* = q(X − 1)/(X/2 − 1)`.
+///
+/// Returns `None` when `X ≤ 2` — the regimes where pipelining never wins
+/// (Figure 3's observation for `L/D = 2`).
+pub fn pipelined_vs_double_bus(chunks: f64, q: f64) -> Option<f64> {
+    if chunks <= 2.0 || q <= 0.0 {
+        return None;
+    }
+    Some(q * (chunks - 1.0) / (chunks / 2.0 - 1.0))
+}
+
+/// Closed form: the memory cycle beyond which a pipelined memory beats
+/// read-bypassing write buffers.
+///
+/// Solving `(1 + α)(β + q(X − 1)) = X·β` gives
+/// `β* = (1 + α)·q·(X − 1)/(X − 1 − α)`.
+///
+/// Returns `None` when `X ≤ 1 + α` (no crossover).
+pub fn pipelined_vs_write_buffers(chunks: f64, q: f64, alpha: f64) -> Option<f64> {
+    let denom = chunks - 1.0 - alpha;
+    if denom <= 0.0 || q <= 0.0 {
+        return None;
+    }
+    Some((1.0 + alpha) * q * (chunks - 1.0) / denom)
+}
+
+/// Numerically locates the `β_m` in `[lo, hi]` where the two systems'
+/// delays per missed line cross, by bisection on `G_a − G_b`.
+///
+/// Returns `Ok(None)` when the difference does not change sign over the
+/// interval.
+///
+/// # Errors
+///
+/// Propagates system-validation errors, and rejects a non-positive or
+/// reversed interval.
+pub fn find_crossover(
+    machine: &Machine,
+    a: &SystemConfig,
+    b: &SystemConfig,
+    lo: f64,
+    hi: f64,
+) -> Result<Option<f64>, TradeoffError> {
+    if !(lo > 0.0 && hi > lo) {
+        return Err(TradeoffError::NotPositive { what: "crossover interval", value: hi - lo });
+    }
+    let diff = |beta: f64| -> Result<f64, TradeoffError> {
+        let m = machine.with_beta_m(beta)?;
+        Ok(a.delay_per_missed_line(&m)? - b.delay_per_missed_line(&m)?)
+    };
+    let mut flo = diff(lo)?;
+    let fhi = diff(hi)?;
+    if flo == 0.0 {
+        return Ok(Some(lo));
+    }
+    if fhi == 0.0 {
+        return Ok(Some(hi));
+    }
+    if flo.signum() == fhi.signum() {
+        return Ok(None);
+    }
+    let (mut a_, mut b_) = (lo, hi);
+    for _ in 0..200 {
+        let mid = 0.5 * (a_ + b_);
+        let fm = diff(mid)?;
+        if fm == 0.0 || (b_ - a_) < 1e-12 {
+            return Ok(Some(mid));
+        }
+        if fm.signum() == flo.signum() {
+            a_ = mid;
+            flo = fm;
+        } else {
+            b_ = mid;
+        }
+    }
+    Ok(Some(0.5 * (a_ + b_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_paper_range() {
+        // L/D = 8, q = 2: β* = 2·7/3 ≈ 4.67 — "less than about five or
+        // six clock cycles".
+        let beta = pipelined_vs_double_bus(8.0, 2.0).unwrap();
+        assert!((beta - 14.0 / 3.0).abs() < 1e-12);
+        assert!(beta > 4.0 && beta < 6.0);
+    }
+
+    #[test]
+    fn no_crossover_for_l_2d() {
+        assert_eq!(pipelined_vs_double_bus(2.0, 2.0), None);
+        assert_eq!(pipelined_vs_double_bus(1.0, 2.0), None);
+    }
+
+    #[test]
+    fn write_buffer_crossover() {
+        // X = 8, q = 2, α = 0.5: β* = 1.5·2·7/6.5 ≈ 3.23.
+        let beta = pipelined_vs_write_buffers(8.0, 2.0, 0.5).unwrap();
+        assert!((beta - 1.5 * 2.0 * 7.0 / 6.5).abs() < 1e-12);
+        // Write buffers always win when X ≤ 1 + α.
+        assert_eq!(pipelined_vs_write_buffers(1.0, 2.0, 0.5), None);
+    }
+
+    #[test]
+    fn bisection_agrees_with_closed_form() {
+        let machine = Machine::new(4.0, 32.0, 8.0).unwrap(); // chunks = 8
+        let base = SystemConfig::full_stalling(0.5);
+        let piped = base.with_pipelined_memory(2.0);
+        let bus = base.with_bus_factor(2.0);
+        let numeric = find_crossover(&machine, &piped, &bus, 2.0, 50.0).unwrap().unwrap();
+        let closed = pipelined_vs_double_bus(8.0, 2.0).unwrap();
+        assert!((numeric - closed).abs() < 1e-6, "numeric {numeric} vs closed {closed}");
+    }
+
+    #[test]
+    fn bisection_reports_no_sign_change() {
+        // L/D = 2: pipelining never crosses bus doubling.
+        let machine = Machine::new(4.0, 8.0, 8.0).unwrap();
+        let base = SystemConfig::full_stalling(0.5);
+        let piped = base.with_pipelined_memory(2.0);
+        let bus = base.with_bus_factor(2.0);
+        assert_eq!(find_crossover(&machine, &piped, &bus, 2.0, 500.0).unwrap(), None);
+    }
+
+    #[test]
+    fn bisection_validates_interval() {
+        let machine = Machine::new(4.0, 32.0, 8.0).unwrap();
+        let s = SystemConfig::full_stalling(0.5);
+        assert!(find_crossover(&machine, &s, &s, 5.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn crossover_scales_linearly_with_q() {
+        let b1 = pipelined_vs_double_bus(8.0, 1.0).unwrap();
+        let b4 = pipelined_vs_double_bus(8.0, 4.0).unwrap();
+        assert!((b4 - 4.0 * b1).abs() < 1e-12);
+    }
+}

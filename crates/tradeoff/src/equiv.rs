@@ -1,0 +1,324 @@
+//! The equivalence of mean memory delay: Eq. 3–7.
+//!
+//! Two systems run the same application with equal execution time exactly
+//! when `HR + (1 − HR)·G` matches on both sides. From this single law the
+//! paper's results follow:
+//!
+//! * the miss-traffic ratio `r = R'/R = (G_base − 1)/(G_enh − 1)`
+//!   ([`miss_traffic_ratio`], Eq. 3 and Table 3),
+//! * the hit ratio an enhancement *releases* —
+//!   `ΔHR = (r − 1)(1 − HR₁)` ([`traded_hit_ratio`], Eq. 6),
+//! * the hit-ratio *increase* worth the same as the enhancement —
+//!   `ΔHR = (1 − 1/r)(1 − HR₂)` ([`hit_gain_equivalent`], Eq. 7).
+
+use crate::error::TradeoffError;
+use crate::params::{HitRatio, Machine};
+use crate::system::SystemConfig;
+
+/// The per-miss delay net of the one base cycle a hit would have cost.
+///
+/// Eq. 3's `−1` terms: a load/store that misses replaces its single
+/// execution cycle with `G` memory cycles, so equivalence compares
+/// `G − 1` between systems.
+///
+/// # Errors
+///
+/// Returns [`TradeoffError::NonPhysicalDelay`] if `G ≤ 1` (an enhancement
+/// so strong a miss is as cheap as a hit breaks the equivalence algebra).
+pub fn excess_delay(machine: &Machine, system: &SystemConfig) -> Result<f64, TradeoffError> {
+    let g = system.delay_per_missed_line(machine)?;
+    if g <= 1.0 {
+        return Err(TradeoffError::NonPhysicalDelay { delay: g });
+    }
+    Ok(g - 1.0)
+}
+
+/// Eq. 3 (generalised by Table 3): the ratio `r = R'/R` of miss traffic
+/// the enhanced system may sustain while matching the baseline's
+/// performance.
+///
+/// `r ≥ 1` whenever `enhanced` is genuinely no slower per miss.
+///
+/// # Errors
+///
+/// Propagates [`excess_delay`] errors from either side.
+pub fn miss_traffic_ratio(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+) -> Result<f64, TradeoffError> {
+    Ok(excess_delay(machine, base)? / excess_delay(machine, enhanced)?)
+}
+
+/// Eq. 6: the hit ratio the enhancement releases.
+///
+/// If the baseline runs at `HR₁ = base_hr`, the enhanced system matches
+/// its performance at `HR₂ = HR₁ − ΔHR` with
+/// `ΔHR = (r − 1)·(1 − HR₁)`.
+///
+/// # Errors
+///
+/// Propagates [`miss_traffic_ratio`] errors.
+pub fn traded_hit_ratio(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    base_hr: HitRatio,
+) -> Result<f64, TradeoffError> {
+    let r = miss_traffic_ratio(machine, base, enhanced)?;
+    Ok((r - 1.0) * base_hr.miss_ratio())
+}
+
+/// The enhanced system's equal-performance hit ratio `HR₂`.
+///
+/// # Errors
+///
+/// Propagates equivalence errors and returns
+/// [`TradeoffError::HitRatioUnderflow`] when `HR₂ < 0` — the regime the
+/// paper marks "only valid for the physical system where HR₂ > 0".
+pub fn equivalent_hit_ratio(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    base_hr: HitRatio,
+) -> Result<HitRatio, TradeoffError> {
+    let dhr = traded_hit_ratio(machine, base, enhanced, base_hr)?;
+    let hr2 = base_hr.value() - dhr;
+    if hr2 < 0.0 {
+        return Err(TradeoffError::HitRatioUnderflow { base: base_hr.value(), implied: hr2 });
+    }
+    HitRatio::new(hr2)
+}
+
+/// Eq. 7: the hit-ratio *increase* at `HR₂ = enhanced_hr` that buys the
+/// same performance as the enhancement does:
+/// `ΔHR = (1 − r⁻¹)·(1 − HR₂)` where `r` is [`miss_traffic_ratio`].
+///
+/// # Errors
+///
+/// Propagates [`miss_traffic_ratio`] errors.
+pub fn hit_gain_equivalent(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    enhanced_hr: HitRatio,
+) -> Result<f64, TradeoffError> {
+    let r = miss_traffic_ratio(machine, base, enhanced)?;
+    Ok((1.0 - 1.0 / r) * enhanced_hr.miss_ratio())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execution_time, AppSignature};
+    use crate::params::FlushRatio;
+
+    fn machine(l: f64, beta: f64) -> Machine {
+        Machine::new(4.0, l, beta).unwrap()
+    }
+
+    fn fs() -> SystemConfig {
+        SystemConfig::full_stalling(0.5)
+    }
+
+    fn doubled() -> SystemConfig {
+        fs().with_bus_factor(2.0)
+    }
+
+    #[test]
+    fn paper_limit_r_is_2_5_at_beta_2_with_l_2d() {
+        // L = 2D, β_m = 2, α = 0.5: R' = 2.5 R (Section 4.1).
+        let m = machine(8.0, 2.0);
+        let r = miss_traffic_ratio(&m, &fs(), &doubled()).unwrap();
+        assert!((r - 2.5).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn paper_limit_r_tends_to_2_for_large_beta() {
+        // α = 0.5, β_m → ∞: R' → 2R for any L ≥ 2D.
+        for l in [8.0, 16.0, 32.0, 64.0] {
+            let m = machine(l, 1e7);
+            let r = miss_traffic_ratio(&m, &fs(), &doubled()).unwrap();
+            assert!((r - 2.0).abs() < 1e-4, "L={l}: r = {r}");
+        }
+    }
+
+    #[test]
+    fn paper_hr2_bounds_2hr_minus_1_to_2_5hr_minus_1_5() {
+        // "reducing the hit ratio from HR to 2HR−1 … 2.5HR−1.5 can be
+        // compensated by doubling the data bus width."
+        let hr = HitRatio::new(0.95).unwrap();
+        let m_slow = machine(8.0, 2.0);
+        let hr2 = equivalent_hit_ratio(&m_slow, &fs(), &doubled(), hr).unwrap();
+        assert!((hr2.value() - (2.5 * 0.95 - 1.5)).abs() < 1e-12);
+
+        let m_fast = machine(8.0, 1e7);
+        let hr2 = equivalent_hit_ratio(&m_fast, &fs(), &doubled(), hr).unwrap();
+        assert!((hr2.value() - (2.0 * 0.95 - 1.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn paper_examples_98_to_96_and_95_to_90() {
+        // "the performance loss due to reducing cache hit ratio from 0.95
+        // to 0.9 or from 0.98 to 0.96 can be compensated by doubling the
+        // external data bus" (large β_m limit).
+        let m = machine(8.0, 1e7);
+        for (hr1, hr2_expect) in [(0.95, 0.90), (0.98, 0.96)] {
+            let hr2 =
+                equivalent_hit_ratio(&m, &fs(), &doubled(), HitRatio::new(hr1).unwrap()).unwrap();
+            assert!((hr2.value() - hr2_expect).abs() < 1e-4, "{hr1} → {}", hr2.value());
+        }
+    }
+
+    #[test]
+    fn eq7_gain_range_half_to_0_6() {
+        // Increasing HR by 0.5(1−HR) … 0.6(1−HR) equals doubling the bus.
+        let hr = HitRatio::new(0.9).unwrap();
+        let gain_slow = hit_gain_equivalent(&machine(8.0, 2.0), &fs(), &doubled(), hr).unwrap();
+        assert!((gain_slow - 0.6 * 0.1).abs() < 1e-12, "gain = {gain_slow}");
+        let gain_fast = hit_gain_equivalent(&machine(8.0, 1e7), &fs(), &doubled(), hr).unwrap();
+        assert!((gain_fast - 0.5 * 0.1).abs() < 1e-4, "gain = {gain_fast}");
+    }
+
+    #[test]
+    fn equivalence_verified_against_execution_time() {
+        // HR₂ from the model must make the two systems' Eq.-2 times equal.
+        let m = machine(32.0, 8.0);
+        let hr1 = HitRatio::new(0.95).unwrap();
+        let enh = doubled();
+        let hr2 = equivalent_hit_ratio(&m, &fs(), &enh, hr1).unwrap();
+
+        // Build matched applications: same total data references, hit
+        // ratios hr1 / hr2 → misses = refs·MR, R = misses·L.
+        let refs = 100_000.0;
+        let mk_app = |hr: HitRatio| {
+            let fills = refs * hr.miss_ratio();
+            AppSignature::new(300_000.0, fills * m.line_bytes(), 0.0).unwrap()
+        };
+        let x1 = execution_time(&mk_app(hr1), &m, &fs()).unwrap();
+        let x2 = execution_time(&mk_app(hr2), &m, &enh).unwrap();
+        assert!((x1 - x2).abs() / x1 < 1e-12, "X₁ = {x1}, X₂ = {x2}");
+    }
+
+    #[test]
+    fn write_buffer_trade_is_smaller_than_bus_doubling() {
+        // Figure 3 ordering: doubling bus > write buffers.
+        let m = machine(8.0, 8.0);
+        let hr = HitRatio::new(0.95).unwrap();
+        let bus = traded_hit_ratio(&m, &fs(), &doubled(), hr).unwrap();
+        let wb = traded_hit_ratio(&m, &fs(), &fs().with_write_buffers(), hr).unwrap();
+        assert!(bus > wb, "bus {bus} ≤ wb {wb}");
+        assert!(wb > 0.0);
+    }
+
+    #[test]
+    fn pipelined_equals_baseline_at_beta_equals_q() {
+        // β_m = q = 2 → β_p = (L/D)·β_m: the solid curve meets the x-axis.
+        let m = machine(8.0, 2.0);
+        let piped = fs().with_pipelined_memory(2.0);
+        let dhr = traded_hit_ratio(&m, &fs(), &piped, HitRatio::new(0.95).unwrap()).unwrap();
+        assert!(dhr.abs() < 1e-12, "ΔHR = {dhr}");
+    }
+
+    #[test]
+    fn pipelined_beats_bus_doubling_past_crossover_for_l32() {
+        // L/D = 8, q = 2: crossover near β_m ≈ 4.7 (Section 5.3).
+        let hr = HitRatio::new(0.95).unwrap();
+        let piped = fs().with_pipelined_memory(2.0);
+        let at = |beta: f64| {
+            let m = machine(32.0, beta);
+            let p = traded_hit_ratio(&m, &fs(), &piped, hr).unwrap();
+            let b = traded_hit_ratio(&m, &fs(), &doubled(), hr).unwrap();
+            (p, b)
+        };
+        let (p4, b4) = at(4.0);
+        assert!(p4 < b4, "at β=4 pipelining should not yet win: {p4} vs {b4}");
+        let (p6, b6) = at(6.0);
+        assert!(p6 > b6, "at β=6 pipelining should win: {p6} vs {b6}");
+    }
+
+    #[test]
+    fn pipelined_never_beats_bus_doubling_for_l_2d() {
+        // Figure 3's observation for L/D = 2.
+        let hr = HitRatio::new(0.95).unwrap();
+        let piped = fs().with_pipelined_memory(2.0);
+        for beta in [2.0, 5.0, 10.0, 50.0, 500.0] {
+            let m = machine(8.0, beta);
+            let p = traded_hit_ratio(&m, &fs(), &piped, hr).unwrap();
+            let b = traded_hit_ratio(&m, &fs(), &doubled(), hr).unwrap();
+            assert!(p <= b + 1e-12, "β={beta}: pipelined {p} > bus {b}");
+        }
+    }
+
+    #[test]
+    fn traded_hit_ratio_shrinks_with_memory_cycle() {
+        // Figure 2: as β_m grows, the hit ratio traded by the bus falls.
+        let hr = HitRatio::new(0.98).unwrap();
+        let mut prev = f64::INFINITY;
+        for beta in [2.0, 4.0, 8.0, 16.0, 32.0] {
+            let m = machine(32.0, beta);
+            let dhr = traded_hit_ratio(&m, &fs(), &doubled(), hr).unwrap();
+            assert!(dhr < prev, "ΔHR not decreasing at β={beta}");
+            prev = dhr;
+        }
+    }
+
+    #[test]
+    fn larger_lines_trade_less_hit_ratio() {
+        // Figure 2: with the same base HR, larger L trades less.
+        let hr = HitRatio::new(0.98).unwrap();
+        let dhr_l8 = traded_hit_ratio(&machine(8.0, 4.0), &fs(), &doubled(), hr).unwrap();
+        let dhr_l32 = traded_hit_ratio(&machine(32.0, 4.0), &fs(), &doubled(), hr).unwrap();
+        assert!(dhr_l8 > dhr_l32);
+    }
+
+    #[test]
+    fn hit_ratio_underflow_is_reported() {
+        // A 50 % base hit ratio cannot give up 2.5×-traffic worth of HR.
+        let m = machine(8.0, 2.0);
+        let res = equivalent_hit_ratio(&m, &fs(), &doubled(), HitRatio::new(0.2).unwrap());
+        assert!(matches!(res, Err(TradeoffError::HitRatioUnderflow { .. })));
+    }
+
+    #[test]
+    fn non_physical_delay_detected() {
+        // β_m so small that G ≤ 1 on the enhanced side.
+        let m = Machine::new(4.0, 4.0, 0.5).unwrap();
+        let enh = SystemConfig::full_stalling(0.0).with_write_buffers();
+        assert!(matches!(
+            miss_traffic_ratio(&m, &fs(), &enh),
+            Err(TradeoffError::NonPhysicalDelay { .. })
+        ));
+    }
+
+    #[test]
+    fn alpha_affects_bus_trade_only_near_small_beta() {
+        // Both flush ratios converge to r = 2 for large β_m, but at small
+        // β_m the flush-free system trades *more*: halving a cheaper miss
+        // leaves the fixed one-cycle hit discount relatively larger.
+        let hr = HitRatio::new(0.95).unwrap();
+        let a0 = SystemConfig::full_stalling(0.0);
+        let a0d = a0.with_bus_factor(2.0);
+        let m_small = machine(8.0, 2.0);
+        let dhr_a0 = traded_hit_ratio(&m_small, &a0, &a0d, hr).unwrap();
+        let dhr_a5 = traded_hit_ratio(&m_small, &fs(), &doubled(), hr).unwrap();
+        assert!((dhr_a0 - 2.0 * hr.miss_ratio()).abs() < 1e-12); // r = 3 at β = 2
+        assert!(dhr_a0 > dhr_a5);
+        let m_large = machine(8.0, 1e7);
+        let d0 = traded_hit_ratio(&m_large, &a0, &a0d, hr).unwrap();
+        let d5 = traded_hit_ratio(&m_large, &fs(), &doubled(), hr).unwrap();
+        assert!((d0 - d5).abs() < 1e-4, "both converge to (2 − 1)(1 − HR)");
+    }
+
+    #[test]
+    fn differing_alphas_between_systems() {
+        // Eq. 3 allows α ≠ α′; a dirtier enhanced system trades less.
+        let m = machine(32.0, 8.0);
+        let hr = HitRatio::new(0.95).unwrap();
+        let dirty_enh = doubled().with_alpha(FlushRatio::new(1.0).unwrap());
+        let clean_enh = doubled().with_alpha(FlushRatio::new(0.0).unwrap());
+        let d = traded_hit_ratio(&m, &fs(), &dirty_enh, hr).unwrap();
+        let c = traded_hit_ratio(&m, &fs(), &clean_enh, hr).unwrap();
+        assert!(c > d);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the tradeoff model.
+
+use std::fmt;
+
+/// Errors from model-parameter validation and non-physical comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TradeoffError {
+    /// A ratio that must lie in `[0, 1]` did not.
+    FractionOutOfRange {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive (and finite) was not.
+    NotPositive {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The line is narrower than the (effective) bus — `L ≥ D` is required
+    /// by the model (a fill must take at least one chunk).
+    LineNarrowerThanBus {
+        /// Line size in bytes.
+        line_bytes: f64,
+        /// Effective bus width in bytes.
+        bus_bytes: f64,
+    },
+    /// A system's per-missed-line delay was ≤ 1 cycle, so the equivalence
+    /// `r = (G_b − 1)/(G_e − 1)` has no physical solution (Eq. 3's
+    /// denominator).
+    NonPhysicalDelay {
+        /// The offending delay-per-missed-line.
+        delay: f64,
+    },
+    /// The traded hit ratio would push the enhanced system's hit ratio
+    /// below zero (`HR₂ > 0` is required for Eq. 6 to be meaningful).
+    HitRatioUnderflow {
+        /// The base hit ratio.
+        base: f64,
+        /// The (negative) equivalent hit ratio implied.
+        implied: f64,
+    },
+    /// A stalling factor was outside the feature's Table 2 bounds.
+    PhiOutOfRange {
+        /// The offending stalling factor.
+        phi: f64,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound (`L/D`).
+        max: f64,
+    },
+    /// An empty candidate set was supplied where at least one is needed.
+    EmptyCandidates,
+}
+
+impl fmt::Display for TradeoffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TradeoffError::FractionOutOfRange { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            TradeoffError::NotPositive { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            TradeoffError::LineNarrowerThanBus { line_bytes, bus_bytes } => {
+                write!(f, "line size {line_bytes} B is narrower than the {bus_bytes} B bus")
+            }
+            TradeoffError::NonPhysicalDelay { delay } => {
+                write!(f, "delay per missed line {delay} ≤ 1 cycle has no equivalence solution")
+            }
+            TradeoffError::HitRatioUnderflow { base, implied } => {
+                write!(f, "hit ratio {base} trades below zero (implied {implied})")
+            }
+            TradeoffError::PhiOutOfRange { phi, min, max } => {
+                write!(f, "stalling factor {phi} outside [{min}, {max}]")
+            }
+            TradeoffError::EmptyCandidates => f.write_str("candidate set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TradeoffError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(TradeoffError, &str)> = vec![
+            (TradeoffError::FractionOutOfRange { what: "hit ratio", value: 1.5 }, "hit ratio"),
+            (TradeoffError::NotPositive { what: "beta_m", value: -1.0 }, "beta_m"),
+            (
+                TradeoffError::LineNarrowerThanBus { line_bytes: 4.0, bus_bytes: 8.0 },
+                "narrower",
+            ),
+            (TradeoffError::NonPhysicalDelay { delay: 0.5 }, "no equivalence"),
+            (TradeoffError::HitRatioUnderflow { base: 0.5, implied: -0.2 }, "below zero"),
+            (TradeoffError::PhiOutOfRange { phi: 9.0, min: 1.0, max: 8.0 }, "stalling factor"),
+            (TradeoffError::EmptyCandidates, "empty"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The CPU execution-time model (Eq. 2) and mean memory delay
+//! (Section 4.5).
+
+use crate::error::TradeoffError;
+use crate::params::{HitRatio, Machine};
+use crate::system::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The application signature of Table 1: `{E, R, W, α, φ}`.
+///
+/// `α` and `φ` live in the [`SystemConfig`] (they depend on the hardware
+/// the application runs on); this struct carries the pure program-side
+/// quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppSignature {
+    /// Instructions executed (`E`).
+    pub instructions: f64,
+    /// Bytes read from memory by data-cache line fills (`R`).
+    pub read_bytes: f64,
+    /// Write-around miss operations on the bus (`W`); zero under
+    /// write-allocate.
+    pub write_arounds: f64,
+}
+
+impl AppSignature {
+    /// Creates a signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TradeoffError::NotPositive`] if `instructions` is not
+    /// positive, or a range error if byte/op counts are negative.
+    pub fn new(instructions: f64, read_bytes: f64, write_arounds: f64) -> Result<Self, TradeoffError> {
+        if !(instructions.is_finite() && instructions > 0.0) {
+            return Err(TradeoffError::NotPositive { what: "instructions", value: instructions });
+        }
+        for (what, v) in [("read bytes", read_bytes), ("write arounds", write_arounds)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(TradeoffError::NotPositive { what, value: v });
+            }
+        }
+        Ok(AppSignature { instructions, read_bytes, write_arounds })
+    }
+
+    /// The number of load/store misses `Λm = R/L + W` on a machine with
+    /// line size `L` (Eq. 1).
+    pub fn misses(&self, line_bytes: f64) -> f64 {
+        self.read_bytes / line_bytes + self.write_arounds
+    }
+}
+
+impl fmt::Display for AppSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E={:.0} R={:.0}B W={:.0}",
+            self.instructions, self.read_bytes, self.write_arounds
+        )
+    }
+}
+
+/// Eq. 2: the CPU execution time in cycles.
+///
+/// ```text
+/// X = (E − Λm) + (R/L)·(miss service) + flush cost·(R/L) + W·β_m
+/// ```
+///
+/// with the miss-service and flush terms supplied by the system's
+/// [`SystemConfig::delay_per_missed_line`].
+///
+/// # Errors
+///
+/// Propagates system-validation errors.
+pub fn execution_time(
+    app: &AppSignature,
+    machine: &Machine,
+    system: &SystemConfig,
+) -> Result<f64, TradeoffError> {
+    let fills = app.read_bytes / machine.line_bytes();
+    let misses = fills + app.write_arounds;
+    let g = system.delay_per_missed_line(machine)?;
+    Ok(app.instructions - misses + fills * g + app.write_arounds * machine.beta_m())
+}
+
+/// Section 4.5: the mean memory delay per data reference,
+/// `HR·1 + (1 − HR)·G`.
+///
+/// Two systems have equal execution time on the same application exactly
+/// when this quantity is equal — the paper's equivalence basis.
+///
+/// # Errors
+///
+/// Propagates system-validation errors.
+pub fn mean_access_time(
+    machine: &Machine,
+    system: &SystemConfig,
+    hr: HitRatio,
+) -> Result<f64, TradeoffError> {
+    let g = system.delay_per_missed_line(machine)?;
+    Ok(hr.value() + hr.miss_ratio() * g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    fn machine() -> Machine {
+        Machine::new(4.0, 32.0, 8.0).unwrap()
+    }
+
+    #[test]
+    fn eq2_full_stall_hand_computed() {
+        // E = 1000, R = 320 B (10 fills), W = 0, α = 0.5.
+        let app = AppSignature::new(1000.0, 320.0, 0.0).unwrap();
+        let sys = SystemConfig::full_stalling(0.5);
+        // X = (1000 − 10) + 10·(64 + 32) = 990 + 960 = 1950.
+        let x = execution_time(&app, &machine(), &sys).unwrap();
+        assert!((x - 1950.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_with_write_arounds() {
+        let app = AppSignature::new(1000.0, 320.0, 20.0).unwrap();
+        let sys = SystemConfig::full_stalling(0.0);
+        // Λm = 10 + 20 = 30; X = 970 + 10·64 + 20·8 = 970 + 640 + 160.
+        let x = execution_time(&app, &machine(), &sys).unwrap();
+        assert!((x - 1770.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misses_follow_eq1() {
+        let app = AppSignature::new(100.0, 640.0, 5.0).unwrap();
+        assert!((app.misses(32.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_buffers_reduce_execution_time() {
+        let app = AppSignature::new(10_000.0, 3200.0, 0.0).unwrap();
+        let m = machine();
+        let plain = SystemConfig::full_stalling(0.5);
+        let buffered = plain.with_write_buffers();
+        let x0 = execution_time(&app, &m, &plain).unwrap();
+        let x1 = execution_time(&app, &m, &buffered).unwrap();
+        // Exactly the flush term: fills · α(L/D)β = 100 · 32.
+        assert!((x0 - x1 - 3200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_access_time_weights_by_miss_ratio() {
+        let m = machine();
+        let sys = SystemConfig::full_stalling(0.5); // G = 96
+        let t = mean_access_time(&m, &sys, HitRatio::new(0.9).unwrap()).unwrap();
+        assert!((t - (0.9 + 0.1 * 96.0)).abs() < 1e-12);
+        // Perfect cache: one cycle.
+        let t1 = mean_access_time(&m, &sys, HitRatio::new(1.0).unwrap()).unwrap();
+        assert!((t1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_validation() {
+        assert!(AppSignature::new(0.0, 1.0, 0.0).is_err());
+        assert!(AppSignature::new(10.0, -1.0, 0.0).is_err());
+        assert!(AppSignature::new(10.0, 0.0, -2.0).is_err());
+        assert!(AppSignature::new(10.0, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let app = AppSignature::new(1000.0, 320.0, 5.0).unwrap();
+        let s = app.to_string();
+        assert!(s.contains("E=1000") && s.contains("R=320B") && s.contains("W=5"));
+    }
+}

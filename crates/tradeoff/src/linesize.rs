@@ -1,0 +1,365 @@
+//! Line size versus hit ratio (Section 5.4, Eq. 11–19).
+//!
+//! Fill timing follows Smith's model: filling an `L`-byte line costs
+//! `c + β·(L/D)` cycles, where `c` is the memory access latency and `β`
+//! the bus transfer time per `D`-byte chunk (both normalised to CPU
+//! cycles; `c` includes the one-cycle hit time, so Smith's latency
+//! constant is `c − 1`).
+//!
+//! The key results reproduced here:
+//!
+//! * [`miss_count_ratio`] (Eq. 13): the miss-count ratio `r < 1` a larger
+//!   line must not exceed;
+//! * [`required_hit_gain`] (Eq. 14): the minimum hit-ratio improvement
+//!   `ΔEHR` a larger line must deliver to break even;
+//! * [`reduced_delay`] (Eq. 19): the memory delay per reference a line
+//!   candidate saves over the base line;
+//! * [`optimal_line_smith`] (Eq. 16) and [`optimal_line_eq19`] (Eq. 19):
+//!   two selectors that *provably agree* — the paper's validation of the
+//!   whole methodology (Figure 6).
+
+use crate::error::TradeoffError;
+use crate::params::HitRatio;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Smith-style fill timing: latency `c` (CPU cycles, including the hit
+/// cycle) and per-chunk transfer time `β`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FillTiming {
+    /// Memory access latency in CPU cycles, hit cycle included (`c ≥ 1`).
+    pub c: f64,
+    /// Transfer time per `D`-byte bus chunk in CPU cycles (`β > 0`).
+    pub beta: f64,
+}
+
+impl FillTiming {
+    /// Creates a fill timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TradeoffError::NotPositive`] when `c < 1` or `β ≤ 0`.
+    pub fn new(c: f64, beta: f64) -> Result<Self, TradeoffError> {
+        if !(c.is_finite() && c >= 1.0) {
+            return Err(TradeoffError::NotPositive { what: "latency c (≥ 1)", value: c });
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(TradeoffError::NotPositive { what: "bus speed beta", value: beta });
+        }
+        Ok(FillTiming { c, beta })
+    }
+
+    /// The fill time `c + β·(L/D)` for an `line_bytes` line on a
+    /// `bus_bytes` bus.
+    pub fn fill_time(&self, line_bytes: f64, bus_bytes: f64) -> f64 {
+        self.c + self.beta * (line_bytes / bus_bytes)
+    }
+
+    /// Smith's miss-penalty weight `c − 1 + β·(L/D)` (hit cycle removed).
+    pub fn miss_weight(&self, line_bytes: f64, bus_bytes: f64) -> f64 {
+        self.c - 1.0 + self.beta * (line_bytes / bus_bytes)
+    }
+}
+
+impl fmt::Display for FillTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c={} β={}", self.c, self.beta)
+    }
+}
+
+/// Eq. 13: the ratio of miss counts `r = Λm*/Λm` at which a larger line
+/// `l_star` matches the performance of the base line `l0`.
+///
+/// `alpha0`/`alpha_star` are the two systems' flush ratios (0 reproduces
+/// Smith's read-only setting).
+///
+/// # Errors
+///
+/// Returns validation errors for non-positive sizes, and
+/// [`TradeoffError::NonPhysicalDelay`] when a fill is no costlier than a
+/// hit.
+pub fn miss_count_ratio(
+    timing: &FillTiming,
+    bus_bytes: f64,
+    l0: f64,
+    l_star: f64,
+    alpha0: f64,
+    alpha_star: f64,
+) -> Result<f64, TradeoffError> {
+    for (what, v) in [("bus width", bus_bytes), ("base line", l0), ("larger line", l_star)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(TradeoffError::NotPositive { what, value: v });
+        }
+    }
+    let num = (1.0 + alpha0) * timing.fill_time(l0, bus_bytes) - 1.0;
+    let den = (1.0 + alpha_star) * timing.fill_time(l_star, bus_bytes) - 1.0;
+    if num <= 0.0 {
+        return Err(TradeoffError::NonPhysicalDelay { delay: num + 1.0 });
+    }
+    if den <= 0.0 {
+        return Err(TradeoffError::NonPhysicalDelay { delay: den + 1.0 });
+    }
+    Ok(num / den)
+}
+
+/// Eq. 14: the minimum hit-ratio gain `ΔEHR` the larger line must
+/// deliver: `(1 − r)(1 − HR₀)`.
+pub fn required_hit_gain(miss_count_ratio: f64, base_hr: HitRatio) -> f64 {
+    (1.0 - miss_count_ratio) * base_hr.miss_ratio()
+}
+
+/// Section 5.4.1: a larger line with *actual* gain `ΔHR` improves
+/// performance only when `ΔHR > ΔEHR`.
+pub fn worth_larger_line(actual_gain: f64, required_gain: f64) -> bool {
+    actual_gain > required_gain
+}
+
+/// Eq. 19: the reduced memory delay per reference of line `l_i` with hit
+/// ratio `hr_i`, relative to base line `l0`/`hr0`:
+/// `(ΔMR − ΔEMR)·(c − 1 + β·l_i/D)`.
+///
+/// Positive values mean `l_i` is a genuine improvement at this bus speed.
+///
+/// # Errors
+///
+/// Propagates [`miss_count_ratio`] errors.
+pub fn reduced_delay(
+    timing: &FillTiming,
+    bus_bytes: f64,
+    l0: f64,
+    hr0: HitRatio,
+    l_i: f64,
+    hr_i: HitRatio,
+    alpha: f64,
+) -> Result<f64, TradeoffError> {
+    let r = miss_count_ratio(timing, bus_bytes, l0, l_i, alpha, alpha)?;
+    let delta_mr = hr_i.value() - hr0.value(); // = MR₀ − MRᵢ
+    let delta_emr = required_hit_gain(r, hr0);
+    Ok((delta_mr - delta_emr) * timing.miss_weight(l_i, bus_bytes))
+}
+
+/// A line-size candidate: size in bytes and the hit ratio the workload
+/// achieves with it (at fixed cache size).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineCandidate {
+    /// Line size in bytes.
+    pub line_bytes: f64,
+    /// Hit ratio at this line size.
+    pub hit_ratio: HitRatio,
+}
+
+/// Smith's selector (Eq. 16): the candidate minimising
+/// `(1 − HR)·(c − 1 + β·L/D)`.
+///
+/// # Errors
+///
+/// Returns [`TradeoffError::EmptyCandidates`] for an empty slice.
+pub fn optimal_line_smith(
+    timing: &FillTiming,
+    bus_bytes: f64,
+    candidates: &[LineCandidate],
+) -> Result<LineCandidate, TradeoffError> {
+    candidates
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            let fa = a.hit_ratio.miss_ratio() * timing.miss_weight(a.line_bytes, bus_bytes);
+            let fb = b.hit_ratio.miss_ratio() * timing.miss_weight(b.line_bytes, bus_bytes);
+            fa.total_cmp(&fb)
+        })
+        .ok_or(TradeoffError::EmptyCandidates)
+}
+
+/// The paper's selector (Eq. 19): take the smallest line as base and pick
+/// the candidate with the largest reduced memory delay.
+///
+/// With equal flush ratios this provably agrees with
+/// [`optimal_line_smith`]; the property test below exercises that for
+/// arbitrary hit-ratio curves, reproducing the paper's Figure 6
+/// validation.
+///
+/// # Errors
+///
+/// Returns [`TradeoffError::EmptyCandidates`] for an empty slice and
+/// propagates evaluation errors.
+pub fn optimal_line_eq19(
+    timing: &FillTiming,
+    bus_bytes: f64,
+    candidates: &[LineCandidate],
+) -> Result<LineCandidate, TradeoffError> {
+    let base = candidates
+        .iter()
+        .copied()
+        .min_by(|a, b| a.line_bytes.total_cmp(&b.line_bytes))
+        .ok_or(TradeoffError::EmptyCandidates)?;
+    let mut best = base;
+    let mut best_value = 0.0; // the base's reduced delay over itself
+    for c in candidates {
+        let v = reduced_delay(
+            timing,
+            bus_bytes,
+            base.line_bytes,
+            base.hit_ratio,
+            c.line_bytes,
+            c.hit_ratio,
+            0.0,
+        )?;
+        if v > best_value {
+            best_value = v;
+            best = *c;
+        }
+    }
+    Ok(best)
+}
+
+/// The bus-speed range over which `l_i` beats the base line: all `β` in
+/// `candidates_beta` with positive [`reduced_delay`] (Figure 6's
+/// "beneficial range of bus speed").
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn beneficial_bus_speeds(
+    c_of_beta: impl Fn(f64) -> f64,
+    betas: &[f64],
+    bus_bytes: f64,
+    l0: f64,
+    hr0: HitRatio,
+    l_i: f64,
+    hr_i: HitRatio,
+) -> Result<Vec<f64>, TradeoffError> {
+    let mut out = Vec::new();
+    for &beta in betas {
+        let timing = FillTiming::new(c_of_beta(beta), beta)?;
+        if reduced_delay(&timing, bus_bytes, l0, hr0, l_i, hr_i, 0.0)? > 0.0 {
+            out.push(beta);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hr(v: f64) -> HitRatio {
+        HitRatio::new(v).unwrap()
+    }
+
+    #[test]
+    fn fill_timing_validation() {
+        assert!(FillTiming::new(1.0, 0.5).is_ok());
+        assert!(FillTiming::new(0.5, 1.0).is_err());
+        assert!(FillTiming::new(2.0, 0.0).is_err());
+        let t = FillTiming::new(5.0, 2.0).unwrap();
+        assert_eq!(t.fill_time(32.0, 4.0), 5.0 + 2.0 * 8.0);
+        assert_eq!(t.miss_weight(32.0, 4.0), 4.0 + 16.0);
+    }
+
+    #[test]
+    fn miss_count_ratio_below_one_for_larger_line() {
+        let t = FillTiming::new(6.0, 2.0).unwrap();
+        let r = miss_count_ratio(&t, 4.0, 16.0, 64.0, 0.0, 0.0).unwrap();
+        assert!(r < 1.0 && r > 0.0, "r = {r}");
+        // Same line: ratio is exactly one.
+        let r1 = miss_count_ratio(&t, 4.0, 16.0, 16.0, 0.0, 0.0).unwrap();
+        assert!((r1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_gain_positive_and_scales_with_miss_ratio() {
+        let t = FillTiming::new(6.0, 2.0).unwrap();
+        let r = miss_count_ratio(&t, 4.0, 16.0, 64.0, 0.0, 0.0).unwrap();
+        let g_90 = required_hit_gain(r, hr(0.90));
+        let g_99 = required_hit_gain(r, hr(0.99));
+        assert!(g_90 > 0.0 && g_99 > 0.0);
+        assert!((g_90 / g_99 - 10.0).abs() < 1e-9, "gain ∝ miss ratio");
+    }
+
+    #[test]
+    fn worth_switching_logic() {
+        assert!(worth_larger_line(0.05, 0.03));
+        assert!(!worth_larger_line(0.02, 0.03));
+        assert!(!worth_larger_line(0.03, 0.03));
+    }
+
+    #[test]
+    fn reduced_delay_sign_tracks_benefit() {
+        let t = FillTiming::new(6.0, 2.0).unwrap();
+        // A large actual hit gain: beneficial.
+        let good = reduced_delay(&t, 4.0, 8.0, hr(0.90), 32.0, hr(0.97), 0.0).unwrap();
+        assert!(good > 0.0);
+        // No hit gain at all: the larger line only costs.
+        let bad = reduced_delay(&t, 4.0, 8.0, hr(0.90), 32.0, hr(0.90), 0.0).unwrap();
+        assert!(bad < 0.0);
+    }
+
+    #[test]
+    fn smith_and_eq19_agree_on_a_hand_curve() {
+        // Hit ratios rising then saturating: classic line-size curve.
+        let cands = [
+            LineCandidate { line_bytes: 8.0, hit_ratio: hr(0.90) },
+            LineCandidate { line_bytes: 16.0, hit_ratio: hr(0.94) },
+            LineCandidate { line_bytes: 32.0, hit_ratio: hr(0.962) },
+            LineCandidate { line_bytes: 64.0, hit_ratio: hr(0.970) },
+            LineCandidate { line_bytes: 128.0, hit_ratio: hr(0.972) },
+        ];
+        for (c, beta) in [(2.0, 0.5), (7.0, 1.0), (13.0, 2.0), (25.0, 4.0), (49.0, 8.0)] {
+            let t = FillTiming::new(c, beta).unwrap();
+            let smith = optimal_line_smith(&t, 4.0, &cands).unwrap();
+            let ours = optimal_line_eq19(&t, 4.0, &cands).unwrap();
+            assert_eq!(
+                smith.line_bytes, ours.line_bytes,
+                "selectors disagree at c={c} β={beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_buses_favour_small_lines() {
+        let cands = [
+            LineCandidate { line_bytes: 8.0, hit_ratio: hr(0.90) },
+            LineCandidate { line_bytes: 64.0, hit_ratio: hr(0.96) },
+        ];
+        // Fast bus: big line wins.
+        let fast = FillTiming::new(20.0, 0.25).unwrap();
+        assert_eq!(optimal_line_smith(&fast, 4.0, &cands).unwrap().line_bytes, 64.0);
+        // Very slow bus: transfer dominates; small line wins.
+        let slow = FillTiming::new(2.0, 50.0).unwrap();
+        assert_eq!(optimal_line_smith(&slow, 4.0, &cands).unwrap().line_bytes, 8.0);
+    }
+
+    #[test]
+    fn beneficial_range_shrinks_with_beta() {
+        // For a modest hit gain, slow buses make the larger line lose.
+        let betas: Vec<f64> = (1..=10).map(|b| b as f64).collect();
+        let good =
+            beneficial_bus_speeds(|b| 6.0 * b + 1.0, &betas, 4.0, 8.0, hr(0.90), 32.0, hr(0.95))
+                .unwrap();
+        assert!(!good.is_empty());
+        // The set is a prefix: once it stops being beneficial it stays so.
+        for w in good.windows(2) {
+            assert!(w[1] - w[0] <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let t = FillTiming::new(6.0, 2.0).unwrap();
+        assert!(matches!(
+            optimal_line_smith(&t, 4.0, &[]),
+            Err(TradeoffError::EmptyCandidates)
+        ));
+        assert!(matches!(
+            optimal_line_eq19(&t, 4.0, &[]),
+            Err(TradeoffError::EmptyCandidates)
+        ));
+    }
+
+    #[test]
+    fn degenerate_ratio_inputs_rejected() {
+        let t = FillTiming::new(6.0, 2.0).unwrap();
+        assert!(miss_count_ratio(&t, 0.0, 8.0, 16.0, 0.0, 0.0).is_err());
+        assert!(miss_count_ratio(&t, 4.0, -8.0, 16.0, 0.0, 0.0).is_err());
+    }
+}

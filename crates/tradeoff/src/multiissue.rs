@@ -1,0 +1,224 @@
+//! Multiple-instruction-issue extension (the paper's Section 6 future
+//! work).
+//!
+//! With an issue width `w > 1` the non-stalling instructions retire `w`
+//! per cycle, so Eq. 2 becomes
+//!
+//! ```text
+//! X_w = (E − Λm − W)/w + Λm·G + W·β_m
+//! ```
+//!
+//! and the equivalence algebra changes in exactly one place: the cycle a
+//! hit "costs" drops from 1 to `1/w`, so the miss-traffic ratio becomes
+//!
+//! ```text
+//! r_w = (G_base − 1/w) / (G_enh − 1/w)
+//! ```
+//!
+//! Consequences the module exposes (and the tests pin down):
+//!
+//! * `w = 1` reproduces the paper's Eq. 3/6 exactly;
+//! * on a wider machine every feature trades slightly **less** hit
+//!   ratio: memory delay dominates execution time, so hit ratio becomes
+//!   more precious — the same mechanism as the falling curves of
+//!   Figure 2 when `β_m` grows;
+//! * as `w → ∞`, `r → G_base/G_enh` — the pure memory-delay ratio — so
+//!   the paper's single-issue numbers are an *upper bound* on what a
+//!   feature can buy.
+
+use crate::error::TradeoffError;
+use crate::params::{HitRatio, Machine};
+use crate::system::SystemConfig;
+
+fn check_width(issue_width: u32) -> Result<f64, TradeoffError> {
+    if issue_width == 0 {
+        return Err(TradeoffError::NotPositive { what: "issue width", value: 0.0 });
+    }
+    Ok(f64::from(issue_width))
+}
+
+/// The per-miss delay net of the `1/w` cycles a hit would have cost.
+///
+/// # Errors
+///
+/// Returns [`TradeoffError::NonPhysicalDelay`] when `G ≤ 1/w` and
+/// propagates system-validation errors.
+pub fn excess_delay_w(
+    machine: &Machine,
+    system: &SystemConfig,
+    issue_width: u32,
+) -> Result<f64, TradeoffError> {
+    let w = check_width(issue_width)?;
+    let g = system.delay_per_missed_line(machine)?;
+    if g <= 1.0 / w {
+        return Err(TradeoffError::NonPhysicalDelay { delay: g });
+    }
+    Ok(g - 1.0 / w)
+}
+
+/// Eq. 3 generalised to issue width `w`:
+/// `r_w = (G_b − 1/w)/(G_e − 1/w)`.
+///
+/// # Errors
+///
+/// Propagates [`excess_delay_w`] errors from either side.
+pub fn miss_traffic_ratio_w(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    issue_width: u32,
+) -> Result<f64, TradeoffError> {
+    Ok(excess_delay_w(machine, base, issue_width)?
+        / excess_delay_w(machine, enhanced, issue_width)?)
+}
+
+/// Eq. 6 generalised: the hit ratio the enhancement releases at issue
+/// width `w`.
+///
+/// # Errors
+///
+/// Propagates [`miss_traffic_ratio_w`] errors.
+pub fn traded_hit_ratio_w(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    base_hr: HitRatio,
+    issue_width: u32,
+) -> Result<f64, TradeoffError> {
+    let r = miss_traffic_ratio_w(machine, base, enhanced, issue_width)?;
+    Ok((r - 1.0) * base_hr.miss_ratio())
+}
+
+/// Execution time under issue width `w`:
+/// `X_w = (E − Λm − W)/w + Λm·G + W·β_m`.
+///
+/// # Errors
+///
+/// Propagates system-validation errors.
+pub fn execution_time_w(
+    app: &crate::exec::AppSignature,
+    machine: &Machine,
+    system: &SystemConfig,
+    issue_width: u32,
+) -> Result<f64, TradeoffError> {
+    let w = check_width(issue_width)?;
+    let fills = app.read_bytes / machine.line_bytes();
+    let misses = fills + app.write_arounds;
+    let g = system.delay_per_missed_line(machine)?;
+    Ok((app.instructions - misses) / w + fills * g + app.write_arounds * machine.beta_m())
+}
+
+/// The limiting miss-traffic ratio as `w → ∞`: `G_base / G_enh`.
+///
+/// # Errors
+///
+/// Propagates system-validation errors; the enhanced delay must be
+/// positive.
+pub fn miss_traffic_ratio_limit(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+) -> Result<f64, TradeoffError> {
+    let gb = base.delay_per_missed_line(machine)?;
+    let ge = enhanced.delay_per_missed_line(machine)?;
+    if ge <= 0.0 {
+        return Err(TradeoffError::NonPhysicalDelay { delay: ge });
+    }
+    Ok(gb / ge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{miss_traffic_ratio, traded_hit_ratio};
+    use crate::exec::AppSignature;
+
+    fn machine() -> Machine {
+        Machine::new(4.0, 32.0, 8.0).unwrap()
+    }
+
+    fn base() -> SystemConfig {
+        SystemConfig::full_stalling(0.5)
+    }
+
+    #[test]
+    fn width_one_reduces_to_paper_model() {
+        let m = machine();
+        let enh = base().with_bus_factor(2.0);
+        let r1 = miss_traffic_ratio(&m, &base(), &enh).unwrap();
+        let rw = miss_traffic_ratio_w(&m, &base(), &enh, 1).unwrap();
+        assert!((r1 - rw).abs() < 1e-12);
+        let hr = HitRatio::new(0.95).unwrap();
+        let d1 = traded_hit_ratio(&m, &base(), &enh, hr).unwrap();
+        let dw = traded_hit_ratio_w(&m, &base(), &enh, hr, 1).unwrap();
+        assert!((d1 - dw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_gets_more_precious_with_issue_width() {
+        // ΔHR decreases monotonically in w and stays above the w → ∞
+        // limit — the multi-issue analogue of Figure 2's falling curves.
+        let m = machine();
+        let hr = HitRatio::new(0.95).unwrap();
+        for enh in [base().with_bus_factor(2.0), base().with_write_buffers()] {
+            let limit =
+                (miss_traffic_ratio_limit(&m, &base(), &enh).unwrap() - 1.0) * hr.miss_ratio();
+            let mut prev = f64::INFINITY;
+            for w in [1u32, 2, 4, 8, 16] {
+                let dhr = traded_hit_ratio_w(&m, &base(), &enh, hr, w).unwrap();
+                assert!(dhr < prev, "w={w}: ΔHR {dhr} ≥ {prev}");
+                assert!(dhr > limit - 1e-12, "w={w}: ΔHR {dhr} below limit {limit}");
+                prev = dhr;
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_pure_delay_ratio() {
+        let m = machine();
+        let enh = base().with_bus_factor(2.0);
+        let limit = miss_traffic_ratio_limit(&m, &base(), &enh).unwrap();
+        assert!((limit - 2.0).abs() < 1e-12, "G ratio halves exactly");
+        let big_w = miss_traffic_ratio_w(&m, &base(), &enh, 1_000_000).unwrap();
+        assert!((big_w - limit).abs() < 1e-4);
+    }
+
+    #[test]
+    fn execution_time_w_consistent_with_eq2() {
+        let app = AppSignature::new(100_000.0, 32_000.0, 0.0).unwrap();
+        let m = machine();
+        let x1 = crate::exec::execution_time(&app, &m, &base()).unwrap();
+        let xw1 = execution_time_w(&app, &m, &base(), 1).unwrap();
+        assert!((x1 - xw1).abs() < 1e-9);
+        let xw4 = execution_time_w(&app, &m, &base(), 4).unwrap();
+        assert!(xw4 < xw1);
+        // The stall portion is width-independent.
+        let fills = 1000.0;
+        let g = base().delay_per_missed_line(&m).unwrap();
+        assert!((xw4 - ((100_000.0 - fills) / 4.0 + fills * g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let m = machine();
+        assert!(matches!(
+            miss_traffic_ratio_w(&m, &base(), &base().with_bus_factor(2.0), 0),
+            Err(TradeoffError::NotPositive { .. })
+        ));
+        let app = AppSignature::new(10.0, 0.0, 0.0).unwrap();
+        assert!(execution_time_w(&app, &m, &base(), 0).is_err());
+    }
+
+    #[test]
+    fn ranking_is_width_stable_but_magnitudes_grow() {
+        // The *ordering* bus > write buffers survives widening; only the
+        // magnitudes change.
+        let m = machine();
+        let hr = HitRatio::new(0.95).unwrap();
+        for w in [1u32, 4, 16] {
+            let bus = traded_hit_ratio_w(&m, &base(), &base().with_bus_factor(2.0), hr, w).unwrap();
+            let wb = traded_hit_ratio_w(&m, &base(), &base().with_write_buffers(), hr, w).unwrap();
+            assert!(bus > wb, "w={w}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Validated model parameters.
+
+use crate::error::TradeoffError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+fn check_fraction(what: &'static str, v: f64) -> Result<f64, TradeoffError> {
+    if v.is_finite() && (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(TradeoffError::FractionOutOfRange { what, value: v })
+    }
+}
+
+fn check_positive(what: &'static str, v: f64) -> Result<f64, TradeoffError> {
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(TradeoffError::NotPositive { what, value: v })
+    }
+}
+
+/// A cache hit ratio in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct HitRatio(f64);
+
+impl HitRatio {
+    /// Creates a hit ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TradeoffError::FractionOutOfRange`] outside `[0, 1]`.
+    pub fn new(v: f64) -> Result<Self, TradeoffError> {
+        check_fraction("hit ratio", v).map(HitRatio)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The miss ratio `1 − HR`.
+    pub fn miss_ratio(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// The hits-per-miss ratio `s = Λh / Λm = HR / (1 − HR)`.
+    ///
+    /// Returns `f64::INFINITY` for a perfect cache.
+    pub fn hits_per_miss(self) -> f64 {
+        if self.0 >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.0 / (1.0 - self.0)
+        }
+    }
+}
+
+impl fmt::Display for HitRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.0 * 100.0)
+    }
+}
+
+impl TryFrom<f64> for HitRatio {
+    type Error = TradeoffError;
+
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        HitRatio::new(v)
+    }
+}
+
+/// The flush ratio `α ∈ [0, 1]`: dirty lines copied back per line filled.
+///
+/// The paper assumes `α = 0.5` throughout its figures (after Smith's
+/// copy-back traffic measurements).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct FlushRatio(f64);
+
+impl FlushRatio {
+    /// The paper's default `α = 0.5`.
+    pub const HALF: FlushRatio = FlushRatio(0.5);
+
+    /// Creates a flush ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TradeoffError::FractionOutOfRange`] outside `[0, 1]`.
+    pub fn new(v: f64) -> Result<Self, TradeoffError> {
+        check_fraction("flush ratio", v).map(FlushRatio)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlushRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α={:.2}", self.0)
+    }
+}
+
+impl TryFrom<f64> for FlushRatio {
+    type Error = TradeoffError;
+
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        FlushRatio::new(v)
+    }
+}
+
+/// The hardware parameters shared by the two systems of a comparison:
+/// bus width `D` (bytes), line size `L` (bytes), memory cycle `β_m`
+/// (CPU cycles per `D`-byte transfer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    bus_bytes: f64,
+    line_bytes: f64,
+    beta_m: f64,
+}
+
+impl Machine {
+    /// Creates a machine description.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a parameter is non-positive or the line is
+    /// narrower than the bus.
+    pub fn new(bus_bytes: f64, line_bytes: f64, beta_m: f64) -> Result<Self, TradeoffError> {
+        let bus_bytes = check_positive("bus width", bus_bytes)?;
+        let line_bytes = check_positive("line size", line_bytes)?;
+        let beta_m = check_positive("beta_m", beta_m)?;
+        if line_bytes < bus_bytes {
+            return Err(TradeoffError::LineNarrowerThanBus { line_bytes, bus_bytes });
+        }
+        Ok(Machine { bus_bytes, line_bytes, beta_m })
+    }
+
+    /// Bus width `D` in bytes.
+    pub fn bus_bytes(&self) -> f64 {
+        self.bus_bytes
+    }
+
+    /// Line size `L` in bytes.
+    pub fn line_bytes(&self) -> f64 {
+        self.line_bytes
+    }
+
+    /// Memory cycle time `β_m` in CPU cycles.
+    pub fn beta_m(&self) -> f64 {
+        self.beta_m
+    }
+
+    /// Chunks per line `L/D`.
+    pub fn chunks(&self) -> f64 {
+        self.line_bytes / self.bus_bytes
+    }
+
+    /// The same machine with a different memory cycle time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TradeoffError::NotPositive`] if `beta_m` is not positive.
+    pub fn with_beta_m(&self, beta_m: f64) -> Result<Self, TradeoffError> {
+        Machine::new(self.bus_bytes, self.line_bytes, beta_m)
+    }
+
+    /// The same machine with a different line size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new line is invalid for this bus.
+    pub fn with_line_bytes(&self, line_bytes: f64) -> Result<Self, TradeoffError> {
+        Machine::new(self.bus_bytes, line_bytes, self.beta_m)
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D={}B L={}B βm={}", self.bus_bytes, self.line_bytes, self.beta_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_validation_and_derived() {
+        let hr = HitRatio::new(0.95).unwrap();
+        assert_eq!(hr.value(), 0.95);
+        assert!((hr.miss_ratio() - 0.05).abs() < 1e-12);
+        assert!((hr.hits_per_miss() - 19.0).abs() < 1e-9);
+        assert!(HitRatio::new(1.2).is_err());
+        assert!(HitRatio::new(-0.1).is_err());
+        assert!(HitRatio::new(f64::NAN).is_err());
+        assert_eq!(HitRatio::new(1.0).unwrap().hits_per_miss(), f64::INFINITY);
+    }
+
+    #[test]
+    fn flush_ratio_validation() {
+        assert_eq!(FlushRatio::HALF.value(), 0.5);
+        assert!(FlushRatio::new(1.0).is_ok());
+        assert!(FlushRatio::new(1.01).is_err());
+    }
+
+    #[test]
+    fn machine_validation() {
+        let m = Machine::new(4.0, 32.0, 8.0).unwrap();
+        assert_eq!(m.chunks(), 8.0);
+        assert!(Machine::new(0.0, 32.0, 8.0).is_err());
+        assert!(Machine::new(4.0, 32.0, 0.0).is_err());
+        assert!(matches!(
+            Machine::new(8.0, 4.0, 8.0),
+            Err(TradeoffError::LineNarrowerThanBus { .. })
+        ));
+    }
+
+    #[test]
+    fn machine_with_methods() {
+        let m = Machine::new(4.0, 32.0, 8.0).unwrap();
+        assert_eq!(m.with_beta_m(2.0).unwrap().beta_m(), 2.0);
+        assert_eq!(m.with_line_bytes(64.0).unwrap().chunks(), 16.0);
+        assert!(m.with_line_bytes(2.0).is_err());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(HitRatio::new(0.95).unwrap().to_string(), "95.00%");
+        assert_eq!(FlushRatio::HALF.to_string(), "α=0.50");
+        assert!(Machine::new(4.0, 32.0, 8.0).unwrap().to_string().contains("L=32B"));
+    }
+
+    #[test]
+    fn try_from_conversions() {
+        let hr: HitRatio = 0.9f64.try_into().unwrap();
+        assert_eq!(hr.value(), 0.9);
+        let bad: Result<FlushRatio, _> = 2.0f64.try_into();
+        assert!(bad.is_err());
+    }
+}

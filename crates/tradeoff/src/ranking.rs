@@ -1,0 +1,145 @@
+//! Feature ranking (Section 5.3 / the summary's priority list).
+
+use crate::equiv::traded_hit_ratio;
+use crate::error::TradeoffError;
+use crate::params::{HitRatio, Machine};
+use crate::system::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named enhancement candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Display name ("doubling bus", "write buffers", ...).
+    pub name: String,
+    /// The enhanced system configuration.
+    pub system: SystemConfig,
+}
+
+impl Candidate {
+    /// Creates a candidate.
+    pub fn new(name: impl Into<String>, system: SystemConfig) -> Self {
+        Candidate { name: name.into(), system }
+    }
+}
+
+/// One row of a ranking: the candidate and the hit ratio it trades.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ranked {
+    /// The candidate.
+    pub candidate: Candidate,
+    /// The hit ratio released by the candidate (Eq. 6).
+    pub traded_hr: f64,
+}
+
+impl fmt::Display for Ranked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ΔHR = {:.3}%", self.candidate.name, self.traded_hr * 100.0)
+    }
+}
+
+/// Ranks the candidates by the hit ratio they trade against `base` at
+/// `base_hr`, best first.
+///
+/// # Errors
+///
+/// Returns [`TradeoffError::EmptyCandidates`] for an empty slice and
+/// propagates equivalence errors from any candidate.
+pub fn rank_features(
+    machine: &Machine,
+    base: &SystemConfig,
+    base_hr: HitRatio,
+    candidates: &[Candidate],
+) -> Result<Vec<Ranked>, TradeoffError> {
+    if candidates.is_empty() {
+        return Err(TradeoffError::EmptyCandidates);
+    }
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let traded_hr = traded_hit_ratio(machine, base, &c.system, base_hr)?;
+        ranked.push(Ranked { candidate: c.clone(), traded_hr });
+    }
+    ranked.sort_by(|a, b| b.traded_hr.total_cmp(&a.traded_hr));
+    Ok(ranked)
+}
+
+/// The paper's standard candidate set for the unified comparison
+/// (Figures 3–5): doubled bus, read-bypassing write buffers, a BNL cache
+/// with measured `φ`, and a pipelined memory.
+pub fn paper_candidates(base: &SystemConfig, phi_bnl: f64, q: f64) -> Vec<Candidate> {
+    vec![
+        Candidate::new("doubling bus", base.with_bus_factor(2.0)),
+        Candidate::new("write buffers", base.with_write_buffers()),
+        Candidate::new("BNL cache", base.with_partial_stall(phi_bnl)),
+        Candidate::new("pipelined memory", base.with_pipelined_memory(q)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ranking_non_pipelined_regime() {
+        // At moderate β_m below the pipelining crossover the paper ranks:
+        // doubling bus > write buffers > BNL.
+        let machine = Machine::new(4.0, 32.0, 4.0).unwrap();
+        let base = SystemConfig::full_stalling(0.5);
+        let hr = HitRatio::new(0.95).unwrap();
+        // BNL1's measured φ is high (Figure 1): use 85 % of L/D.
+        let cands = paper_candidates(&base, 0.85 * 8.0, 2.0);
+        let ranked = rank_features(&machine, &base, hr, &cands).unwrap();
+        let names: Vec<&str> =
+            ranked.iter().map(|r| r.candidate.name.as_str()).collect();
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("doubling bus") < pos("write buffers"));
+        assert!(pos("write buffers") < pos("BNL cache"));
+    }
+
+    #[test]
+    fn pipelining_tops_ranking_past_crossover() {
+        let machine = Machine::new(4.0, 32.0, 12.0).unwrap(); // β_m = 12 > crossover 4.67
+        let base = SystemConfig::full_stalling(0.5);
+        let hr = HitRatio::new(0.95).unwrap();
+        let ranked =
+            rank_features(&machine, &base, hr, &paper_candidates(&base, 7.0, 2.0)).unwrap();
+        assert_eq!(ranked[0].candidate.name, "pipelined memory");
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let machine = Machine::new(4.0, 32.0, 8.0).unwrap();
+        let base = SystemConfig::full_stalling(0.5);
+        assert!(matches!(
+            rank_features(&machine, &base, HitRatio::new(0.9).unwrap(), &[]),
+            Err(TradeoffError::EmptyCandidates)
+        ));
+    }
+
+    #[test]
+    fn ranking_is_sorted_descending() {
+        let machine = Machine::new(4.0, 32.0, 6.0).unwrap();
+        let base = SystemConfig::full_stalling(0.5);
+        let ranked = rank_features(
+            &machine,
+            &base,
+            HitRatio::new(0.9).unwrap(),
+            &paper_candidates(&base, 6.5, 2.0),
+        )
+        .unwrap();
+        for pair in ranked.windows(2) {
+            assert!(pair[0].traded_hr >= pair[1].traded_hr);
+        }
+    }
+
+    #[test]
+    fn ranked_display() {
+        let base = SystemConfig::full_stalling(0.5);
+        let r = Ranked {
+            candidate: Candidate::new("doubling bus", base.with_bus_factor(2.0)),
+            traded_hr: 0.05,
+        };
+        assert!(r.to_string().contains("doubling bus"));
+        assert!(r.to_string().contains("5.000%"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Sensitivity analysis: how robust is a tradeoff to its inputs?
+//!
+//! The paper's curves fix `α = 0.5` and read `φ` off one simulation; a
+//! designer wants to know how much a mis-estimated input moves the
+//! answer. With `ΔHR = (r − 1)(1 − HR)` and `r = (G_b − 1)/(G_e − 1)`,
+//! the partial derivatives have closed forms; this module provides them,
+//! validated against numeric differentiation in the tests.
+
+use crate::equiv::{miss_traffic_ratio, traded_hit_ratio};
+use crate::error::TradeoffError;
+use crate::params::{HitRatio, Machine};
+use crate::system::SystemConfig;
+
+/// The local sensitivities of `ΔHR` at a design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivities {
+    /// `ΔHR` itself at the point.
+    pub delta_hr: f64,
+    /// `∂ΔHR/∂HR` — how the trade shrinks as the base cache improves
+    /// (always `−(r − 1)`).
+    pub d_hr: f64,
+    /// `∂ΔHR/∂β_m` — the slope of the Figure 2–5 curves.
+    pub d_beta: f64,
+    /// `∂ΔHR/∂α` — exposure to a mis-measured flush ratio (applied to
+    /// both systems simultaneously, the figures' `α = α′` convention).
+    pub d_alpha: f64,
+}
+
+fn with_alpha(sys: &SystemConfig, alpha: f64) -> Result<SystemConfig, TradeoffError> {
+    Ok(sys.with_alpha(crate::params::FlushRatio::new(alpha)?))
+}
+
+/// Evaluates `ΔHR` with both systems' flush ratios overridden to `alpha`
+/// and the machine's memory cycle set to `beta`.
+fn eval(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    hr: HitRatio,
+    beta: f64,
+    alpha: f64,
+) -> Result<f64, TradeoffError> {
+    let m = machine.with_beta_m(beta)?;
+    traded_hit_ratio(&m, &with_alpha(base, alpha)?, &with_alpha(enhanced, alpha)?, hr)
+}
+
+/// Computes the sensitivities at `(machine, hr)` for the comparison
+/// `base → enhanced`, using the shared flush ratio of `base`.
+///
+/// `∂/∂HR` is exact (`−(r − 1)`); the β_m and α derivatives use central
+/// differences with steps scaled to the operating point, which is
+/// accurate to ~1e-6 on these smooth rational functions.
+///
+/// # Errors
+///
+/// Propagates model-validation errors from any evaluation point.
+pub fn sensitivities(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    hr: HitRatio,
+) -> Result<Sensitivities, TradeoffError> {
+    let alpha = base.alpha.value();
+    let beta = machine.beta_m();
+    let delta_hr = eval(machine, base, enhanced, hr, beta, alpha)?;
+    let r = miss_traffic_ratio(machine, base, enhanced)?;
+    let d_hr = -(r - 1.0);
+
+    let h_beta = (beta * 1e-4).max(1e-6);
+    let d_beta = (eval(machine, base, enhanced, hr, beta + h_beta, alpha)?
+        - eval(machine, base, enhanced, hr, beta - h_beta, alpha)?)
+        / (2.0 * h_beta);
+
+    let h_alpha = 1e-5_f64.min(alpha.min(1.0 - alpha).max(1e-7));
+    let d_alpha = (eval(machine, base, enhanced, hr, beta, alpha + h_alpha)?
+        - eval(machine, base, enhanced, hr, beta, alpha - h_alpha)?)
+        / (2.0 * h_alpha);
+
+    Ok(Sensitivities { delta_hr, d_hr, d_beta, d_alpha })
+}
+
+/// First-order error bound: the |ΔHR| uncertainty induced by input
+/// uncertainties `(d_hr, d_beta, d_alpha)`.
+pub fn uncertainty(s: &Sensitivities, hr_err: f64, beta_err: f64, alpha_err: f64) -> f64 {
+    s.d_hr.abs() * hr_err + s.d_beta.abs() * beta_err + s.d_alpha.abs() * alpha_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> (Machine, SystemConfig, SystemConfig, HitRatio) {
+        (
+            Machine::new(4.0, 32.0, 8.0).unwrap(),
+            SystemConfig::full_stalling(0.5),
+            SystemConfig::full_stalling(0.5).with_bus_factor(2.0),
+            HitRatio::new(0.95).unwrap(),
+        )
+    }
+
+    #[test]
+    fn d_hr_is_exactly_one_minus_r() {
+        let (m, b, e, hr) = point();
+        let s = sensitivities(&m, &b, &e, hr).unwrap();
+        let r = miss_traffic_ratio(&m, &b, &e).unwrap();
+        assert!((s.d_hr + (r - 1.0)).abs() < 1e-12);
+        // Numeric cross-check.
+        let h = 1e-6;
+        let up = traded_hit_ratio(&m, &b, &e, HitRatio::new(0.95 + h).unwrap()).unwrap();
+        let dn = traded_hit_ratio(&m, &b, &e, HitRatio::new(0.95 - h).unwrap()).unwrap();
+        assert!(((up - dn) / (2.0 * h) - s.d_hr).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_slope_is_negative_for_bus_doubling() {
+        // Figure 2's falling curves: ∂ΔHR/∂β < 0.
+        let (m, b, e, hr) = point();
+        let s = sensitivities(&m, &b, &e, hr).unwrap();
+        assert!(s.d_beta < 0.0, "{s:?}");
+    }
+
+    #[test]
+    fn beta_slope_is_positive_for_pipelining_past_crossover() {
+        let m = Machine::new(4.0, 32.0, 8.0).unwrap(); // past β* ≈ 4.67
+        let b = SystemConfig::full_stalling(0.5);
+        let e = b.with_pipelined_memory(2.0);
+        let s = sensitivities(&m, &b, &e, HitRatio::new(0.95).unwrap()).unwrap();
+        assert!(s.d_beta > 0.0, "{s:?}");
+    }
+
+    #[test]
+    fn alpha_sensitivity_is_positive_for_write_buffers() {
+        // The dirtier the cache, the more the buffers are worth.
+        let (m, b, _, hr) = point();
+        let e = b.with_write_buffers();
+        let s = sensitivities(&m, &b, &e, hr).unwrap();
+        assert!(s.d_alpha > 0.0, "{s:?}");
+    }
+
+    #[test]
+    fn alpha_derivative_matches_coarse_differences() {
+        let (m, b, e, hr) = point();
+        let s = sensitivities(&m, &b, &e, hr).unwrap();
+        let coarse = (traded_hit_ratio(
+            &m,
+            &with_alpha(&b, 0.51).unwrap(),
+            &with_alpha(&e, 0.51).unwrap(),
+            hr,
+        )
+        .unwrap()
+            - traded_hit_ratio(
+                &m,
+                &with_alpha(&b, 0.49).unwrap(),
+                &with_alpha(&e, 0.49).unwrap(),
+                hr,
+            )
+            .unwrap())
+            / 0.02;
+        assert!((coarse - s.d_alpha).abs() < 1e-3, "coarse {coarse} vs {}", s.d_alpha);
+    }
+
+    #[test]
+    fn uncertainty_combines_linearly() {
+        let (m, b, e, hr) = point();
+        let s = sensitivities(&m, &b, &e, hr).unwrap();
+        let u = uncertainty(&s, 0.01, 1.0, 0.1);
+        assert!(u > 0.0);
+        assert!(
+            (u - (s.d_hr.abs() * 0.01 + s.d_beta.abs() + s.d_alpha.abs() * 0.1)).abs() < 1e-12
+        );
+        // A ±0.1 error in α moves the bus trade by well under a point of
+        // hit ratio — the paper's α = 0.5 convention is safe.
+        assert!(s.d_alpha.abs() * 0.1 < 0.01, "{s:?}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 2: stalling-factor bounds per processor stalling feature.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The stalling features of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallKind {
+    /// Full stalling.
+    Fs,
+    /// Bus-locked.
+    Bl,
+    /// Bus-not-locked, scenario 1 (stall to completion on any touch of
+    /// the in-flight line).
+    Bnl1,
+    /// Bus-not-locked, scenario 2 (stall to completion only when the
+    /// touched chunk has not arrived).
+    Bnl2,
+    /// Bus-not-locked, scenario 3 (stall only until the touched chunk
+    /// arrives).
+    Bnl3,
+    /// Non-blocking.
+    Nb,
+}
+
+impl StallKind {
+    /// All kinds, in Table 2 order.
+    pub const ALL: [StallKind; 6] =
+        [StallKind::Fs, StallKind::Bl, StallKind::Bnl1, StallKind::Bnl2, StallKind::Bnl3, StallKind::Nb];
+
+    /// Table 2's bounds on the stalling factor `φ` for a line/bus ratio
+    /// `chunks = L/D`: `(min, max)`.
+    pub fn phi_bounds(self, chunks: f64) -> (f64, f64) {
+        match self {
+            StallKind::Fs => (chunks, chunks),
+            StallKind::Bl | StallKind::Bnl1 | StallKind::Bnl2 | StallKind::Bnl3 => (1.0, chunks),
+            StallKind::Nb => (0.0, chunks),
+        }
+    }
+
+    /// Whether a measured `φ` is admissible for this feature.
+    pub fn admits_phi(self, phi: f64, chunks: f64) -> bool {
+        let (lo, hi) = self.phi_bounds(chunks);
+        phi.is_finite() && (lo - 1e-9..=hi + 1e-9).contains(&phi)
+    }
+
+    /// Whether the feature is partially stalling (PS) in the paper's
+    /// terminology (everything but FS).
+    pub fn is_partially_stalling(self) -> bool {
+        self != StallKind::Fs
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallKind::Fs => "FS",
+            StallKind::Bl => "BL",
+            StallKind::Bnl1 => "BNL1",
+            StallKind::Bnl2 => "BNL2",
+            StallKind::Bnl3 => "BNL3",
+            StallKind::Nb => "NB",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_bounds() {
+        let chunks = 8.0;
+        assert_eq!(StallKind::Fs.phi_bounds(chunks), (8.0, 8.0));
+        assert_eq!(StallKind::Bl.phi_bounds(chunks), (1.0, 8.0));
+        assert_eq!(StallKind::Bnl1.phi_bounds(chunks), (1.0, 8.0));
+        assert_eq!(StallKind::Bnl2.phi_bounds(chunks), (1.0, 8.0));
+        assert_eq!(StallKind::Bnl3.phi_bounds(chunks), (1.0, 8.0));
+        assert_eq!(StallKind::Nb.phi_bounds(chunks), (0.0, 8.0));
+    }
+
+    #[test]
+    fn admits_phi_respects_bounds() {
+        assert!(StallKind::Fs.admits_phi(8.0, 8.0));
+        assert!(!StallKind::Fs.admits_phi(7.0, 8.0));
+        assert!(StallKind::Bl.admits_phi(1.0, 8.0));
+        assert!(!StallKind::Bl.admits_phi(0.5, 8.0));
+        assert!(StallKind::Nb.admits_phi(0.0, 8.0));
+        assert!(!StallKind::Nb.admits_phi(8.5, 8.0));
+        assert!(!StallKind::Bl.admits_phi(f64::NAN, 8.0));
+    }
+
+    #[test]
+    fn partial_stalling_classification() {
+        assert!(!StallKind::Fs.is_partially_stalling());
+        for k in [StallKind::Bl, StallKind::Bnl1, StallKind::Bnl2, StallKind::Bnl3, StallKind::Nb] {
+            assert!(k.is_partially_stalling(), "{k}");
+        }
+    }
+
+    #[test]
+    fn all_lists_six() {
+        assert_eq!(StallKind::ALL.len(), 6);
+    }
+}

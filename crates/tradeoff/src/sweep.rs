@@ -1,0 +1,202 @@
+//! Parameter-sweep helpers for building figure series.
+//!
+//! The experiment harness plots `ΔHR` against memory cycle time, base
+//! hit ratio, flush ratio and line size; these helpers produce those
+//! series from the equivalence law so every figure shares one code path.
+
+use crate::equiv::traded_hit_ratio;
+use crate::error::TradeoffError;
+use crate::params::{HitRatio, Machine};
+use crate::system::SystemConfig;
+
+/// `(x, ΔHR)` series of the hit ratio traded by `enhanced` over `base`
+/// as the memory cycle time sweeps over `betas`.
+///
+/// # Errors
+///
+/// Propagates model-validation errors at any point of the sweep.
+pub fn beta_sweep(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    hr: HitRatio,
+    betas: &[f64],
+) -> Result<Vec<(f64, f64)>, TradeoffError> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let m = machine.with_beta_m(beta)?;
+            Ok((beta, traded_hit_ratio(&m, base, enhanced, hr)?))
+        })
+        .collect()
+}
+
+/// `(HR, ΔHR)` series as the base hit ratio sweeps over `hrs`.
+///
+/// # Errors
+///
+/// Propagates model-validation errors.
+pub fn hit_ratio_sweep(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    hrs: &[f64],
+) -> Result<Vec<(f64, f64)>, TradeoffError> {
+    hrs.iter()
+        .map(|&h| {
+            let hr = HitRatio::new(h)?;
+            Ok((h, traded_hit_ratio(machine, base, enhanced, hr)?))
+        })
+        .collect()
+}
+
+/// `(L, ΔHR)` series as the line size sweeps over `lines`.
+///
+/// # Errors
+///
+/// Propagates model-validation errors (e.g. a line narrower than the
+/// effective bus).
+pub fn line_sweep(
+    machine: &Machine,
+    base: &SystemConfig,
+    enhanced: &SystemConfig,
+    hr: HitRatio,
+    lines: &[f64],
+) -> Result<Vec<(f64, f64)>, TradeoffError> {
+    lines
+        .iter()
+        .map(|&l| {
+            let m = machine.with_line_bytes(l)?;
+            Ok((l, traded_hit_ratio(&m, base, enhanced, hr)?))
+        })
+        .collect()
+}
+
+/// The standard enhancement grid over a baseline: every combination of
+/// doubled bus, write buffers and pipelined memory (excluding the
+/// baseline itself), labelled for reports.
+pub fn enhancement_grid(base: &SystemConfig, q: f64) -> Vec<(String, SystemConfig)> {
+    let mut out = Vec::new();
+    for bus in [false, true] {
+        for wb in [false, true] {
+            for pipe in [false, true] {
+                if !(bus || wb || pipe) {
+                    continue;
+                }
+                let mut sys = *base;
+                let mut parts = Vec::new();
+                if bus {
+                    sys = sys.with_bus_factor(2.0);
+                    parts.push("2×bus");
+                }
+                if wb {
+                    sys = sys.with_write_buffers();
+                    parts.push("WB");
+                }
+                if pipe {
+                    sys = sys.with_pipelined_memory(q);
+                    parts.push("pipelined");
+                }
+                out.push((parts.join("+"), sys));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(4.0, 32.0, 8.0).unwrap()
+    }
+
+    fn base() -> SystemConfig {
+        SystemConfig::full_stalling(0.5)
+    }
+
+    #[test]
+    fn beta_sweep_is_monotone_for_bus_doubling() {
+        let series = beta_sweep(
+            &machine(),
+            &base(),
+            &base().with_bus_factor(2.0),
+            HitRatio::new(0.95).unwrap(),
+            &[2.0, 4.0, 8.0, 16.0, 32.0],
+        )
+        .unwrap();
+        assert_eq!(series.len(), 5);
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn hit_ratio_sweep_scales_with_miss_ratio() {
+        let series = hit_ratio_sweep(
+            &machine(),
+            &base(),
+            &base().with_bus_factor(2.0),
+            &[0.80, 0.90, 0.95],
+        )
+        .unwrap();
+        // ΔHR = (r−1)(1−HR): halving the miss ratio halves the trade.
+        assert!((series[0].1 / series[1].1 - 2.0).abs() < 1e-9);
+        assert!((series[1].1 / series[2].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_sweep_shrinks_with_line_size() {
+        let series = line_sweep(
+            &machine(),
+            &base(),
+            &base().with_bus_factor(2.0),
+            HitRatio::new(0.98).unwrap(),
+            &[8.0, 16.0, 32.0, 64.0],
+        )
+        .unwrap();
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1, "larger lines trade less");
+        }
+    }
+
+    #[test]
+    fn line_sweep_rejects_line_narrower_than_doubled_bus() {
+        let err = line_sweep(
+            &machine(),
+            &base(),
+            &base().with_bus_factor(2.0),
+            HitRatio::new(0.95).unwrap(),
+            &[4.0],
+        );
+        assert!(err.is_err(), "L=4 with an 8-byte effective bus is invalid");
+    }
+
+    #[test]
+    fn enhancement_grid_has_seven_combinations() {
+        let grid = enhancement_grid(&base(), 2.0);
+        assert_eq!(grid.len(), 7);
+        let labels: Vec<&str> = grid.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"2×bus"));
+        assert!(labels.contains(&"2×bus+WB+pipelined"));
+        // All combinations distinct.
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+    }
+
+    #[test]
+    fn combined_features_trade_more_than_parts() {
+        let hr = HitRatio::new(0.95).unwrap();
+        let m = machine();
+        let combo = base().with_bus_factor(2.0).with_write_buffers();
+        let both = traded_hit_ratio(&m, &base(), &combo, hr).unwrap();
+        let bus_only =
+            traded_hit_ratio(&m, &base(), &base().with_bus_factor(2.0), hr).unwrap();
+        let wb_only =
+            traded_hit_ratio(&m, &base(), &base().with_write_buffers(), hr).unwrap();
+        assert!(both > bus_only && both > wb_only);
+    }
+}

@@ -1,0 +1,322 @@
+//! System configurations and the delay-per-missed-line kernel `G`.
+//!
+//! Every feature combination the paper compares reduces to one number per
+//! system: the expected memory delay a single cache miss inflicts,
+//!
+//! ```text
+//! G = miss service + flush cost
+//! ```
+//!
+//! in CPU cycles (Table 3). The equivalence law in [`crate::equiv`] then
+//! needs nothing else. Because [`SystemConfig`] composes bus factor,
+//! stalling spec, write buffering and pipelining freely, the model also
+//! covers combinations the paper leaves implicit (e.g. doubled bus *plus*
+//! write buffers), which the ablation benches exercise.
+
+use crate::error::TradeoffError;
+use crate::params::{FlushRatio, Machine};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the processor stalls on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StallSpec {
+    /// Full stalling: the miss costs the whole line fill (`φ = L/D`).
+    Full,
+    /// A partially-stalling cache with a measured stalling factor `φ`
+    /// (from trace-driven simulation, in units of `β_m`).
+    Partial(f64),
+}
+
+impl StallSpec {
+    /// The effective stalling factor for a machine, in units of `β_m`.
+    pub fn phi(&self, chunks: f64) -> f64 {
+        match *self {
+            StallSpec::Full => chunks,
+            StallSpec::Partial(phi) => phi,
+        }
+    }
+}
+
+/// One side of a tradeoff comparison.
+///
+/// `bus_factor` scales the [`Machine`] bus width (2.0 models the doubled
+/// bus); `pipeline_q` switches the memory to pipelined mode with issue
+/// interval `q`; `write_buffered` removes the flush term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Multiplier on the machine's bus width (1.0 = baseline `D`).
+    pub bus_factor: f64,
+    /// Stalling behaviour.
+    pub stall: StallSpec,
+    /// Read-bypassing write buffers present (flushes hidden).
+    pub write_buffered: bool,
+    /// Pipelined memory issue interval `q`, if pipelined.
+    pub pipeline_q: Option<f64>,
+    /// Flush ratio `α` of this system.
+    pub alpha: FlushRatio,
+}
+
+impl SystemConfig {
+    /// The paper's baseline: full-stalling, non-pipelined, unbuffered, at
+    /// the machine's native bus width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`; use [`FlushRatio::new`] for
+    /// fallible construction.
+    pub fn full_stalling(alpha: f64) -> Self {
+        SystemConfig {
+            bus_factor: 1.0,
+            stall: StallSpec::Full,
+            write_buffered: false,
+            pipeline_q: None,
+            alpha: FlushRatio::new(alpha).expect("alpha in [0, 1]"),
+        }
+    }
+
+    /// Returns this system with its bus scaled by `factor`.
+    pub fn with_bus_factor(mut self, factor: f64) -> Self {
+        self.bus_factor = factor;
+        self
+    }
+
+    /// Returns this system with a measured partial-stalling factor.
+    pub fn with_partial_stall(mut self, phi: f64) -> Self {
+        self.stall = StallSpec::Partial(phi);
+        self
+    }
+
+    /// Returns this system with read-bypassing write buffers.
+    pub fn with_write_buffers(mut self) -> Self {
+        self.write_buffered = true;
+        self
+    }
+
+    /// Returns this system with a pipelined memory of issue interval `q`.
+    pub fn with_pipelined_memory(mut self, q: f64) -> Self {
+        self.pipeline_q = Some(q);
+        self
+    }
+
+    /// Returns this system with flush ratio `alpha`.
+    pub fn with_alpha(mut self, alpha: FlushRatio) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Effective chunks per line `L / (D · bus_factor)` on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scaled bus is wider than the line or the
+    /// factor is not positive.
+    pub fn chunks(&self, machine: &Machine) -> Result<f64, TradeoffError> {
+        if !(self.bus_factor.is_finite() && self.bus_factor > 0.0) {
+            return Err(TradeoffError::NotPositive { what: "bus factor", value: self.bus_factor });
+        }
+        let eff_bus = machine.bus_bytes() * self.bus_factor;
+        let chunks = machine.line_bytes() / eff_bus;
+        if chunks < 1.0 {
+            return Err(TradeoffError::LineNarrowerThanBus {
+                line_bytes: machine.line_bytes(),
+                bus_bytes: eff_bus,
+            });
+        }
+        Ok(chunks)
+    }
+
+    /// The time to move one full line over this system's bus: `(L/D)β_m`
+    /// non-pipelined, `β_p = β_m + q(L/D − 1)` pipelined (Eq. 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chunk-validation errors.
+    pub fn line_transfer_time(&self, machine: &Machine) -> Result<f64, TradeoffError> {
+        let chunks = self.chunks(machine)?;
+        let beta = machine.beta_m();
+        Ok(match self.pipeline_q {
+            None => chunks * beta,
+            Some(q) => {
+                if !(q.is_finite() && q > 0.0) {
+                    return Err(TradeoffError::NotPositive { what: "pipeline q", value: q });
+                }
+                beta + q * (chunks - 1.0)
+            }
+        })
+    }
+
+    /// The miss-service time the *processor* observes for one miss:
+    /// `φ·β_m`, or the full pipelined fill `β_p` under full stalling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors; rejects `φ` outside Table 2's
+    /// `[0, L/D]` bounds.
+    pub fn miss_service_time(&self, machine: &Machine) -> Result<f64, TradeoffError> {
+        let chunks = self.chunks(machine)?;
+        match self.stall {
+            StallSpec::Full => self.line_transfer_time(machine),
+            StallSpec::Partial(phi) => {
+                if !(phi.is_finite() && (0.0..=chunks).contains(&phi)) {
+                    return Err(TradeoffError::PhiOutOfRange { phi, min: 0.0, max: chunks });
+                }
+                Ok(phi * machine.beta_m())
+            }
+        }
+    }
+
+    /// The expected flush cost per miss: `α · (line transfer time)`, or
+    /// zero with write buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn flush_cost(&self, machine: &Machine) -> Result<f64, TradeoffError> {
+        if self.write_buffered {
+            Ok(0.0)
+        } else {
+            Ok(self.alpha.value() * self.line_transfer_time(machine)?)
+        }
+    }
+
+    /// The delay per missed line `G` (Table 3): miss service plus flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn delay_per_missed_line(&self, machine: &Machine) -> Result<f64, TradeoffError> {
+        Ok(self.miss_service_time(machine)? + self.flush_cost(machine)?)
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stall = match self.stall {
+            StallSpec::Full => "FS".to_string(),
+            StallSpec::Partial(phi) => format!("φ={phi:.2}"),
+        };
+        write!(f, "bus×{} {} {}", self.bus_factor, stall, self.alpha)?;
+        if self.write_buffered {
+            f.write_str(" +WB")?;
+        }
+        if let Some(q) = self.pipeline_q {
+            write!(f, " pipelined(q={q})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(4.0, 32.0, 8.0).unwrap()
+    }
+
+    #[test]
+    fn baseline_g_matches_table3() {
+        // FS baseline: G = (L/D)(1 + α)β = 8 · 1.5 · 8 = 96.
+        let g = SystemConfig::full_stalling(0.5).delay_per_missed_line(&machine()).unwrap();
+        assert!((g - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubled_bus_halves_both_terms() {
+        let g = SystemConfig::full_stalling(0.5)
+            .with_bus_factor(2.0)
+            .delay_per_missed_line(&machine())
+            .unwrap();
+        assert!((g - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_buffers_remove_flush_term() {
+        let g = SystemConfig::full_stalling(0.5)
+            .with_write_buffers()
+            .delay_per_missed_line(&machine())
+            .unwrap();
+        assert!((g - 64.0).abs() < 1e-12); // (L/D)β only
+    }
+
+    #[test]
+    fn pipelined_g_uses_beta_p() {
+        // β_p = 8 + 2·7 = 22; G = (1 + 0.5)·22 = 33.
+        let g = SystemConfig::full_stalling(0.5)
+            .with_pipelined_memory(2.0)
+            .delay_per_missed_line(&machine())
+            .unwrap();
+        assert!((g - 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_stall_uses_phi() {
+        // G = φβ + α(L/D)β = 2·8 + 0.5·64 = 48.
+        let g = SystemConfig::full_stalling(0.5)
+            .with_partial_stall(2.0)
+            .delay_per_missed_line(&machine())
+            .unwrap();
+        assert!((g - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_bounds_enforced() {
+        let sys = SystemConfig::full_stalling(0.5).with_partial_stall(9.0);
+        assert!(matches!(
+            sys.miss_service_time(&machine()),
+            Err(TradeoffError::PhiOutOfRange { .. })
+        ));
+        assert!(SystemConfig::full_stalling(0.5)
+            .with_partial_stall(-1.0)
+            .miss_service_time(&machine())
+            .is_err());
+    }
+
+    #[test]
+    fn bus_cannot_exceed_line() {
+        // 32-byte line on a 4-byte bus ×16 = 64-byte bus: invalid.
+        let sys = SystemConfig::full_stalling(0.5).with_bus_factor(16.0);
+        assert!(matches!(
+            sys.chunks(&machine()),
+            Err(TradeoffError::LineNarrowerThanBus { .. })
+        ));
+        // ×8 exactly matches the line: valid single chunk.
+        let sys8 = SystemConfig::full_stalling(0.5).with_bus_factor(8.0);
+        assert_eq!(sys8.chunks(&machine()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn invalid_scalars_rejected() {
+        let m = machine();
+        assert!(SystemConfig::full_stalling(0.5)
+            .with_bus_factor(0.0)
+            .chunks(&m)
+            .is_err());
+        assert!(SystemConfig::full_stalling(0.5)
+            .with_pipelined_memory(0.0)
+            .line_transfer_time(&m)
+            .is_err());
+    }
+
+    #[test]
+    fn q_equal_beta_reduces_to_non_pipelined() {
+        let m = machine();
+        let plain = SystemConfig::full_stalling(0.5);
+        let piped = plain.with_pipelined_memory(8.0);
+        assert!(
+            (plain.line_transfer_time(&m).unwrap() - piped.line_transfer_time(&m).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn display_mentions_features() {
+        let s = SystemConfig::full_stalling(0.5)
+            .with_bus_factor(2.0)
+            .with_write_buffers()
+            .with_pipelined_memory(2.0)
+            .to_string();
+        assert!(s.contains("bus×2") && s.contains("+WB") && s.contains("q=2"));
+    }
+}

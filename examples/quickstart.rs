@@ -1,0 +1,50 @@
+//! Quickstart: price architectural features in hit-ratio currency.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use unified_tradeoff::prelude::*;
+
+fn main() -> Result<(), TradeoffError> {
+    // A 1994-flavoured design point: 32-bit external bus, 32-byte lines,
+    // memory cycle of 8 CPU clocks, write-back cache flushing half its
+    // fills (the paper's α = 0.5), base hit ratio 95 %.
+    let machine = Machine::new(4.0, 32.0, 8.0)?;
+    let base = SystemConfig::full_stalling(0.5);
+    let hr = HitRatio::new(0.95)?;
+
+    println!("Baseline: {machine}, base hit ratio {hr}\n");
+
+    // Price each feature of the paper's unified comparison.
+    let features = [
+        ("doubling the data bus", base.with_bus_factor(2.0)),
+        ("read-bypassing write buffers", base.with_write_buffers()),
+        ("pipelined memory (q = 2)", base.with_pipelined_memory(2.0)),
+        ("BNL cache (measured φ = 6.8)", base.with_partial_stall(6.8)),
+    ];
+
+    let mut table = Table::new(["feature", "worth (hit ratio)", "equal-performance HR"]);
+    for (name, enhanced) in features {
+        let dhr = tradeoff::equiv::traded_hit_ratio(&machine, &base, &enhanced, hr)?;
+        let hr2 = tradeoff::equiv::equivalent_hit_ratio(&machine, &base, &enhanced, hr)?;
+        table.row([
+            name.to_string(),
+            format!("{:+.2} %", 100.0 * dhr),
+            format!("{hr2}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The headline law: doubling the bus lets a 95 % cache shrink until
+    // it hits somewhere between 2·HR − 1 and 2.5·HR − 1.5.
+    let hr2 = tradeoff::equiv::equivalent_hit_ratio(
+        &machine,
+        &base,
+        &base.with_bus_factor(2.0),
+        hr,
+    )?;
+    println!(
+        "A 64-bit-bus system with a {hr2} cache performs exactly like the \
+         32-bit baseline at {hr} — that is the cache area the wider bus buys back."
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! The `tradeoff` command-line tool: price features, locate crossovers,
+//! pick line sizes, simulate proxies and search memory-system designs.
+//!
+//! See `tradeoff-cli help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match unified_tradeoff::cli::run(&args) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

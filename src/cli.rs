@@ -1,0 +1,346 @@
+//! Implementation of the `tradeoff` command-line tool.
+//!
+//! The binary (`src/bin/tradeoff.rs`) is a thin wrapper; everything here
+//! is plain functions over parsed options so the behaviour is unit
+//! tested. Subcommands:
+//!
+//! * `price` — the hit ratio each feature is worth at a design point;
+//! * `crossover` — where pipelined memory starts to win;
+//! * `linesize` — optimal line size for a measured hit-ratio curve;
+//! * `simulate` — run a SPEC92 proxy through the cycle-accurate
+//!   simulator;
+//! * `design` — enumerate bus/buffer/pipeline configurations meeting a
+//!   mean-access-time target at minimum pin cost.
+
+use report::Table;
+use simcache::CacheConfig;
+use simcpu::{Cpu, CpuConfig, StallFeature};
+use simmem::{BusWidth, MemoryTiming};
+use simtrace::spec92::{spec92_trace, Spec92Program};
+use std::collections::BTreeMap;
+use tradeoff::cost::PinModel;
+use tradeoff::linesize::{optimal_line_eq19, optimal_line_smith, FillTiming, LineCandidate};
+use tradeoff::{mean_access_time, HitRatio, Machine, SystemConfig};
+
+/// A parsed `--key value` option map.
+pub type Options = BTreeMap<String, String>;
+
+/// Splits raw arguments into a subcommand and its `--key value` options.
+///
+/// # Errors
+///
+/// Returns a usage message when the subcommand is missing or an option
+/// has no value.
+pub fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?.clone();
+    let mut opts = Options::new();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--").ok_or(format!("expected --option, got {key:?}"))?;
+        let value = it.next().ok_or(format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), value.clone());
+    }
+    Ok((cmd, opts))
+}
+
+fn usage() -> String {
+    "usage: tradeoff <price|crossover|linesize|simulate|design> [--option value]...\n\
+     \n\
+     price     --bus 4 --line 32 --beta 8 --hr 0.95 [--alpha 0.5] [--q 2] [--width 1]\n\
+     crossover --chunks 8 --q 2 [--alpha 0.5]\n\
+     linesize  --c 7 --beta 1 --bus 4 --curve 8:0.90,16:0.94,32:0.96,64:0.97\n\
+     simulate  --program ear [--instructions 100000] [--stall fs|bl|bnl1|bnl2|bnl3|nb]\n\
+     \u{20}         [--cache 8192] [--line 32] [--bus 4] [--beta 8]\n\
+     design    --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]"
+        .to_string()
+}
+
+fn get_f64(opts: &Options, key: &str, default: Option<f64>) -> Result<f64, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+        None => default.ok_or(format!("missing required --{key}")),
+    }
+}
+
+fn get_u64(opts: &Options, key: &str, default: Option<u64>) -> Result<u64, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+        None => default.ok_or(format!("missing required --{key}")),
+    }
+}
+
+/// Runs one CLI invocation and returns its report.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let (cmd, opts) = parse_args(args)?;
+    match cmd.as_str() {
+        "price" => price(&opts),
+        "crossover" => crossover(&opts),
+        "linesize" => linesize(&opts),
+        "simulate" => simulate(&opts),
+        "design" => design(&opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn price(opts: &Options) -> Result<String, String> {
+    let bus = get_f64(opts, "bus", Some(4.0))?;
+    let line = get_f64(opts, "line", Some(32.0))?;
+    let beta = get_f64(opts, "beta", Some(8.0))?;
+    let hr = HitRatio::new(get_f64(opts, "hr", None)?).map_err(|e| e.to_string())?;
+    let alpha = get_f64(opts, "alpha", Some(0.5))?;
+    let q = get_f64(opts, "q", Some(2.0))?;
+    let width = get_u64(opts, "width", Some(1))? as u32;
+
+    let machine = Machine::new(bus, line, beta).map_err(|e| e.to_string())?;
+    let base = SystemConfig::full_stalling(alpha);
+    let features = [
+        ("doubling bus", base.with_bus_factor(2.0)),
+        ("write buffers", base.with_write_buffers()),
+        ("pipelined memory", base.with_pipelined_memory(q)),
+    ];
+    let mut t = Table::new(["feature", "worth (ΔHR)", "equal-performance HR"]);
+    for (name, enh) in features {
+        let dhr = tradeoff::multiissue::traded_hit_ratio_w(&machine, &base, &enh, hr, width)
+            .map_err(|e| e.to_string())?;
+        let hr2 = (hr.value() - dhr).max(0.0);
+        t.row([name.to_string(), format!("{:+.3}%", 100.0 * dhr), format!("{:.2}%", 100.0 * hr2)]);
+    }
+    Ok(format!(
+        "Design point: D={bus}B L={line}B β_m={beta} α={alpha} HR={hr} issue width {width}\n{}",
+        t.render()
+    ))
+}
+
+fn crossover(opts: &Options) -> Result<String, String> {
+    let chunks = get_f64(opts, "chunks", None)?;
+    let q = get_f64(opts, "q", Some(2.0))?;
+    let alpha = get_f64(opts, "alpha", Some(0.5))?;
+    let vs_bus = tradeoff::crossover::pipelined_vs_double_bus(chunks, q);
+    let vs_wb = tradeoff::crossover::pipelined_vs_write_buffers(chunks, q, alpha);
+    let fmt = |x: Option<f64>| x.map_or("never".to_string(), |b| format!("β_m > {b:.2}"));
+    Ok(format!(
+        "L/D = {chunks}, q = {q}, α = {alpha}:\n  pipelined beats doubling bus: {}\n  pipelined beats write buffers: {}\n",
+        fmt(vs_bus),
+        fmt(vs_wb)
+    ))
+}
+
+/// Parses a `8:0.90,16:0.94` hit-ratio curve.
+///
+/// # Errors
+///
+/// Returns a message for malformed pairs.
+pub fn parse_curve(spec: &str) -> Result<Vec<LineCandidate>, String> {
+    spec.split(',')
+        .map(|pair| {
+            let (l, h) = pair.split_once(':').ok_or(format!("bad curve entry {pair:?}"))?;
+            let line_bytes: f64 = l.trim().parse().map_err(|_| format!("bad line size {l:?}"))?;
+            let hr: f64 = h.trim().parse().map_err(|_| format!("bad hit ratio {h:?}"))?;
+            Ok(LineCandidate {
+                line_bytes,
+                hit_ratio: HitRatio::new(hr).map_err(|e| e.to_string())?,
+            })
+        })
+        .collect()
+}
+
+fn linesize(opts: &Options) -> Result<String, String> {
+    let c = get_f64(opts, "c", None)?;
+    let beta = get_f64(opts, "beta", None)?;
+    let bus = get_f64(opts, "bus", Some(4.0))?;
+    let curve = parse_curve(opts.get("curve").ok_or("missing required --curve")?)?;
+    let timing = FillTiming::new(c, beta).map_err(|e| e.to_string())?;
+    let smith = optimal_line_smith(&timing, bus, &curve).map_err(|e| e.to_string())?;
+    let ours = optimal_line_eq19(&timing, bus, &curve).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "fill time c={c} β={beta}, D={bus}B:\n  Smith (Eq. 16): {} B\n  paper (Eq. 19): {} B\n  agree: {}\n",
+        smith.line_bytes,
+        ours.line_bytes,
+        smith.line_bytes == ours.line_bytes
+    ))
+}
+
+fn parse_stall(name: &str) -> Result<StallFeature, String> {
+    Ok(match name {
+        "fs" => StallFeature::FullStall,
+        "bl" => StallFeature::BusLocked,
+        "bnl1" => StallFeature::BusNotLocked1,
+        "bnl2" => StallFeature::BusNotLocked2,
+        "bnl3" => StallFeature::BusNotLocked3,
+        "nb" => StallFeature::NonBlocking { mshrs: 4 },
+        other => return Err(format!("unknown stalling feature {other:?}")),
+    })
+}
+
+fn simulate(opts: &Options) -> Result<String, String> {
+    let program_name = opts.get("program").ok_or("missing required --program")?;
+    let program = Spec92Program::ALL
+        .into_iter()
+        .find(|p| p.name() == program_name)
+        .ok_or(format!("unknown program {program_name:?}"))?;
+    let n = get_u64(opts, "instructions", Some(100_000))? as usize;
+    let stall = parse_stall(opts.get("stall").map_or("fs", String::as_str))?;
+    let cache = get_u64(opts, "cache", Some(8 * 1024))?;
+    let line = get_u64(opts, "line", Some(32))?;
+    let bus = get_u64(opts, "bus", Some(4))?;
+    let beta = get_u64(opts, "beta", Some(8))?;
+
+    let cfg = CpuConfig::baseline(
+        CacheConfig::new(cache, line, 2).map_err(|e| e.to_string())?,
+        MemoryTiming::new(BusWidth::new(bus).map_err(|e| e.to_string())?, beta),
+    )
+    .with_stall(stall);
+    cfg.validate()?;
+    let r = Cpu::new(cfg).run(spec92_trace(program, 1).take(n));
+    Ok(format!(
+        "{program} × {n} instructions, {stall}, {cache}B cache, L={line}, D={bus}, β={beta}:\n  {r}\n",
+    ))
+}
+
+fn design(opts: &Options) -> Result<String, String> {
+    let hr = HitRatio::new(get_f64(opts, "hr", None)?).map_err(|e| e.to_string())?;
+    let target = get_f64(opts, "target", None)?;
+    let line = get_f64(opts, "line", Some(32.0))?;
+    let beta = get_f64(opts, "beta", Some(8.0))?;
+    let alpha = get_f64(opts, "alpha", Some(0.5))?;
+    let pins = PinModel::default();
+
+    let mut feasible = Vec::new();
+    for bus in [4.0, 8.0, 16.0] {
+        if line < bus {
+            continue;
+        }
+        let machine = Machine::new(bus, line, beta).map_err(|e| e.to_string())?;
+        for buffered in [false, true] {
+            for piped in [false, true] {
+                let mut sys = SystemConfig::full_stalling(alpha);
+                if buffered {
+                    sys = sys.with_write_buffers();
+                }
+                if piped {
+                    sys = sys.with_pipelined_memory(2.0);
+                }
+                let t = mean_access_time(&machine, &sys, hr).map_err(|e| e.to_string())?;
+                if t <= target {
+                    feasible.push((pins.pins(bus as u64), bus, buffered, piped, t));
+                }
+            }
+        }
+    }
+    if feasible.is_empty() {
+        return Ok(format!(
+            "No configuration reaches a mean access time of {target} at HR {hr} — \
+             raise the hit ratio or relax the target.\n"
+        ));
+    }
+    feasible.sort_by(|a, b| a.0.cmp(&b.0).then(a.4.total_cmp(&b.4)));
+    let mut t = Table::new(["pins", "bus", "write buffers", "pipelined", "mean access time"]);
+    for (p, bus, wb, piped, time) in &feasible {
+        t.row([
+            p.to_string(),
+            format!("{}-bit", *bus as u64 * 8),
+            wb.to_string(),
+            piped.to_string(),
+            format!("{time:.3}"),
+        ]);
+    }
+    Ok(format!(
+        "Configurations meeting mean access time ≤ {target} at HR {hr} (fewest pins first):\n{}",
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_args_splits_command_and_options() {
+        let (cmd, opts) = parse_args(&argv("price --hr 0.95 --beta 8")).unwrap();
+        assert_eq!(cmd, "price");
+        assert_eq!(opts.get("hr").unwrap(), "0.95");
+        assert_eq!(opts.get("beta").unwrap(), "8");
+    }
+
+    #[test]
+    fn parse_args_rejects_malformed() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("price hr 0.95")).is_err());
+        assert!(parse_args(&argv("price --hr")).is_err());
+    }
+
+    #[test]
+    fn price_reports_features() {
+        let out = run(&argv("price --hr 0.95")).unwrap();
+        assert!(out.contains("doubling bus"));
+        assert!(out.contains("write buffers"));
+        assert!(out.contains("pipelined memory"));
+    }
+
+    #[test]
+    fn price_requires_hr() {
+        let err = run(&argv("price")).unwrap_err();
+        assert!(err.contains("--hr"));
+    }
+
+    #[test]
+    fn crossover_matches_closed_form() {
+        let out = run(&argv("crossover --chunks 8 --q 2")).unwrap();
+        assert!(out.contains("β_m > 4.67"));
+        let never = run(&argv("crossover --chunks 2 --q 2")).unwrap();
+        assert!(never.contains("never"));
+    }
+
+    #[test]
+    fn linesize_selects_and_agrees() {
+        let out = run(&argv(
+            "linesize --c 7 --beta 1 --curve 8:0.90,16:0.94,32:0.962,64:0.97,128:0.972",
+        ))
+        .unwrap();
+        assert!(out.contains("agree: true"));
+    }
+
+    #[test]
+    fn curve_parsing_errors() {
+        assert!(parse_curve("8:0.9,16").is_err());
+        assert!(parse_curve("x:0.9").is_err());
+        assert!(parse_curve("8:1.5").is_err());
+        assert_eq!(parse_curve("8:0.9,16:0.95").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn simulate_runs_a_proxy() {
+        let out = run(&argv("simulate --program ear --instructions 5000 --stall bnl3")).unwrap();
+        assert!(out.contains("ear"));
+        assert!(out.contains("CPI"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknowns() {
+        assert!(run(&argv("simulate --program quake")).is_err());
+        assert!(run(&argv("simulate --program ear --stall warp")).is_err());
+    }
+
+    #[test]
+    fn design_finds_configurations_or_says_why_not() {
+        let ok = run(&argv("design --hr 0.95 --target 5.0")).unwrap();
+        assert!(ok.contains("pins"), "{ok}");
+        let nope = run(&argv("design --hr 0.5 --target 1.1")).unwrap();
+        assert!(nope.contains("No configuration"), "{nope}");
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&argv("help")).unwrap().contains("usage"));
+        assert!(run(&argv("frobnicate")).is_err());
+    }
+}

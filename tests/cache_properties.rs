@@ -1,0 +1,115 @@
+//! Property-based tests of cache-simulator invariants.
+
+use proptest::prelude::*;
+use simcache::{Cache, CacheConfig, Replacement, WriteMiss};
+use simtrace::{Addr, MemOp};
+
+/// A random reference stream over a bounded address space, so conflict
+/// behaviour is actually exercised.
+fn streams() -> impl Strategy<Value = Vec<(bool, u64)>> {
+    proptest::collection::vec((any::<bool>(), 0u64..16 * 1024), 1..600)
+}
+
+fn drive(cache: &mut Cache, stream: &[(bool, u64)]) {
+    for &(is_store, addr) in stream {
+        let op = if is_store { MemOp::Store } else { MemOp::Load };
+        cache.access(op, Addr::new(addr & !3)); // 4-byte aligned
+    }
+}
+
+proptest! {
+    /// Accounting: hits + misses = accesses, fills ≤ misses,
+    /// writebacks ≤ fills (write-allocate), resident lines ≤ capacity.
+    #[test]
+    fn accounting_invariants(stream in streams()) {
+        let cfg = CacheConfig::new(2 * 1024, 32, 2).expect("valid");
+        let mut cache = Cache::new(cfg);
+        drive(&mut cache, &stream);
+        let s = cache.stats();
+        prop_assert_eq!(s.hits() + s.misses(), s.accesses());
+        prop_assert_eq!(s.accesses(), stream.len() as u64);
+        prop_assert!(s.fills <= s.misses());
+        prop_assert!(s.writebacks <= s.fills);
+        prop_assert!(cache.resident_lines() <= cfg.num_lines());
+    }
+
+    /// The LRU stack property: a larger fully-associative LRU cache never
+    /// misses more than a smaller one on the same trace.
+    #[test]
+    fn lru_stack_property(stream in streams()) {
+        let small = CacheConfig::new(1024, 32, 32).expect("fully associative");
+        let big = CacheConfig::new(4096, 32, 128).expect("fully associative");
+        let mut c_small = Cache::new(small);
+        let mut c_big = Cache::new(big);
+        drive(&mut c_small, &stream);
+        drive(&mut c_big, &stream);
+        prop_assert!(
+            c_big.stats().hits() >= c_small.stats().hits(),
+            "inclusion violated: big {} < small {}",
+            c_big.stats().hits(),
+            c_small.stats().hits()
+        );
+    }
+
+    /// Write-around caches never allocate on store misses: every fill is
+    /// load-initiated, and write_arounds counts exactly the store misses.
+    #[test]
+    fn write_around_counts(stream in streams()) {
+        let cfg = CacheConfig::new(2 * 1024, 32, 2)
+            .expect("valid")
+            .with_write_miss(WriteMiss::Around);
+        let mut cache = Cache::new(cfg);
+        drive(&mut cache, &stream);
+        let s = cache.stats();
+        prop_assert_eq!(s.write_arounds, s.store_misses);
+        prop_assert_eq!(s.fills, s.load_misses);
+    }
+
+    /// Replacement policies only change *which* line is evicted, never
+    /// the bookkeeping identities; and random replacement is
+    /// seed-deterministic.
+    #[test]
+    fn policies_keep_invariants(stream in streams()) {
+        for repl in [Replacement::Lru, Replacement::Fifo, Replacement::Random, Replacement::TreePlru] {
+            let cfg = CacheConfig::new(2 * 1024, 32, 4).expect("valid").with_replacement(repl);
+            let mut a = Cache::new(cfg);
+            let mut b = Cache::new(cfg);
+            drive(&mut a, &stream);
+            drive(&mut b, &stream);
+            prop_assert_eq!(a.stats(), b.stats(), "{} not deterministic", repl);
+            prop_assert_eq!(a.stats().hits() + a.stats().misses(), stream.len() as u64);
+        }
+    }
+
+    /// After flushing, no line is dirty and a second flush is empty.
+    #[test]
+    fn flush_leaves_nothing_dirty(stream in streams()) {
+        let cfg = CacheConfig::new(2 * 1024, 32, 2).expect("valid");
+        let mut cache = Cache::new(cfg);
+        drive(&mut cache, &stream);
+        cache.flush_all();
+        prop_assert!(cache.flush_all().is_empty());
+    }
+
+    /// Trace encode/decode is lossless for arbitrary aligned streams.
+    #[test]
+    fn trace_encoding_round_trips(stream in streams()) {
+        use simtrace::encode::TraceBuffer;
+        use simtrace::{Instr, MemRef};
+        let trace: Vec<Instr> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &(is_store, addr))| {
+                let mref = if is_store {
+                    MemRef::store(addr & !3, 4)
+                } else {
+                    MemRef::load(addr & !3, 4)
+                };
+                Instr::mem((i as u64) * 4, mref)
+            })
+            .collect();
+        let buf = TraceBuffer::encode(trace.iter().copied());
+        let decoded: Vec<Instr> = buf.iter().collect::<Result<_, _>>().expect("decodes");
+        prop_assert_eq!(decoded, trace);
+    }
+}

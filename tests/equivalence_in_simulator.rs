@@ -1,0 +1,192 @@
+//! The paper's central claim, verified end to end *in the simulator*:
+//! two systems the analytic model declares equivalent must produce equal
+//! cycle counts when actually simulated.
+//!
+//! Method: build traces with *exactly* controlled hit ratios — hits
+//! re-reference a resident line, misses touch fresh lines that never
+//! recur. Measure `HR₁` on the bus-`D` system, ask Eq. 6 for the hit
+//! ratio `HR₂` the doubled-bus system may drop to, build a second trace
+//! at `HR₂`, simulate both, and compare cycles.
+
+use unified_tradeoff::prelude::*;
+
+const LINE: u64 = 32;
+const REFS: u64 = 20_000;
+const PLAIN_PER_REF: u64 = 2;
+
+/// A trace with exactly `misses` cold misses among `REFS` data loads
+/// (no stores, so `α = 0` on both systems).
+fn controlled_trace(misses: u64) -> Vec<Instr> {
+    assert!(misses <= REFS);
+    let mut out = Vec::new();
+    let mut fresh = 0x100_0000u64; // never-revisited region
+    let hot = 0x1000u64; // single resident line
+    let mut pc = 0u64;
+    for i in 0..REFS {
+        // Spread misses evenly through the trace (Bresenham-style).
+        let is_miss = (i as u128 * misses as u128 / REFS as u128)
+            != ((i + 1) as u128 * misses as u128 / REFS as u128);
+        let addr = if is_miss {
+            fresh += 64 * LINE; // far from everything, unique set streams
+            fresh
+        } else {
+            hot
+        };
+        out.push(Instr::mem(pc, MemRef::load(addr, 4)));
+        pc += 4;
+        for _ in 0..PLAIN_PER_REF {
+            out.push(Instr::plain(pc));
+            pc += 4;
+        }
+    }
+    // Warm the hot line first so hits are exact.
+    let mut trace = vec![Instr::mem(0u64, MemRef::load(hot, 4))];
+    trace.extend(out);
+    trace
+}
+
+fn simulate(trace: &[Instr], bus_bytes: u64, beta: u64) -> SimResult {
+    let cfg = CpuConfig::baseline(
+        CacheConfig::new(64 * 1024, LINE, 2).expect("valid cache"),
+        MemoryTiming::new(BusWidth::new(bus_bytes).expect("valid bus"), beta),
+    );
+    Cpu::new(cfg).run(trace.iter().copied())
+}
+
+#[test]
+fn doubled_bus_equivalence_law_holds_in_simulation() {
+    for (hr1_target, beta) in [(0.95, 8u64), (0.90, 4), (0.98, 16)] {
+        let misses1 = ((1.0 - hr1_target) * REFS as f64).round() as u64;
+        let trace1 = controlled_trace(misses1);
+        let base = simulate(&trace1, 4, beta);
+        let hr1 = HitRatio::new(base.dcache.hit_ratio()).expect("valid");
+
+        // Model: the equal-performance hit ratio on the doubled bus
+        // (α = 0 — the controlled trace never dirties a line).
+        let machine = Machine::new(4.0, LINE as f64, beta as f64).expect("valid");
+        let sys = SystemConfig::full_stalling(0.0);
+        let hr2 = tradeoff::equiv::equivalent_hit_ratio(
+            &machine,
+            &sys,
+            &sys.with_bus_factor(2.0),
+            hr1,
+        )
+        .expect("physical trade");
+
+        // Build the second trace at HR₂ and run it on the 64-bit system.
+        let misses2 = ((1.0 - hr2.value()) * REFS as f64).round() as u64;
+        let trace2 = controlled_trace(misses2);
+        let enhanced = simulate(&trace2, 8, beta);
+
+        let rel = (enhanced.cycles as f64 - base.cycles as f64).abs() / base.cycles as f64;
+        assert!(
+            rel < 0.003,
+            "HR₁={hr1}, HR₂={hr2}, β={beta}: cycles diverge by {:.3}% ({} vs {})",
+            100.0 * rel,
+            base.cycles,
+            enhanced.cycles
+        );
+    }
+}
+
+#[test]
+fn write_buffer_equivalence_law_holds_in_simulation() {
+    // Same construction, but with stores so flushes exist: compare an
+    // unbuffered system at HR₁ with a buffered one at HR₂ (Eq. 6 with
+    // the write-buffer delay kernel), α measured from the baseline run.
+    let beta = 8u64;
+    let misses1 = 1_000;
+    let mut trace1 = controlled_trace(misses1);
+    // Turn every other miss into a store (dirty fills → flushes later).
+    let mut flip = false;
+    for instr in &mut trace1 {
+        if let Some(m) = &mut instr.mem {
+            if m.addr.raw() >= 0x100_0000 {
+                if flip {
+                    m.op = MemOp::Store;
+                }
+                flip = !flip;
+            }
+        }
+    }
+    let run = |trace: &[Instr], buffered: bool| {
+        let mut cfg = CpuConfig::baseline(
+            CacheConfig::new(64 * 1024, LINE, 2).expect("valid cache"),
+            MemoryTiming::new(BusWidth::new(4).expect("valid bus"), beta),
+        );
+        if buffered {
+            cfg = cfg.with_write_buffer(WriteBufferConfig::default());
+        }
+        Cpu::new(cfg).run(trace.iter().copied())
+    };
+    let base = run(&trace1, false);
+    let alpha = base.alpha();
+    assert!(alpha > 0.0, "the construction must generate flushes");
+
+    let machine = Machine::new(4.0, LINE as f64, beta as f64).expect("valid");
+    let sys = SystemConfig::full_stalling(alpha.clamp(0.0, 1.0));
+    let hr1 = HitRatio::new(base.dcache.hit_ratio()).expect("valid");
+    let hr2 = tradeoff::equiv::equivalent_hit_ratio(
+        &machine,
+        &sys,
+        &sys.with_write_buffers(),
+        hr1,
+    )
+    .expect("physical");
+
+    // Second trace at HR₂ with the same store pattern on misses.
+    let misses2 = ((1.0 - hr2.value()) * REFS as f64).round() as u64;
+    let mut trace2 = controlled_trace(misses2);
+    let mut flip = false;
+    for instr in &mut trace2 {
+        if let Some(m) = &mut instr.mem {
+            if m.addr.raw() >= 0x100_0000 {
+                if flip {
+                    m.op = MemOp::Store;
+                }
+                flip = !flip;
+            }
+        }
+    }
+    let enhanced = run(&trace2, true);
+    let rel = (enhanced.cycles as f64 - base.cycles as f64).abs() / base.cycles as f64;
+    assert!(
+        rel < 0.02,
+        "write-buffer equivalence diverges by {:.2}% (α={alpha:.3}, HR₁={hr1}, HR₂={hr2})",
+        100.0 * rel
+    );
+}
+
+#[test]
+fn wider_bus_strictly_helps_at_equal_cache_size() {
+    let trace = controlled_trace(1_000);
+    let narrow = simulate(&trace, 4, 8);
+    let wide = simulate(&trace, 8, 8);
+    assert!(
+        wide.cycles < narrow.cycles,
+        "doubling the bus must help: {} vs {}",
+        wide.cycles,
+        narrow.cycles
+    );
+}
+
+#[test]
+fn longer_memory_cycle_amplifies_the_gap() {
+    let trace = controlled_trace(1_000);
+    let gap = |beta: u64| {
+        let n = simulate(&trace, 4, beta);
+        let w = simulate(&trace, 8, beta);
+        n.cycles - w.cycles
+    };
+    assert!(gap(16) > gap(4));
+}
+
+#[test]
+fn controlled_trace_hits_its_target_exactly() {
+    for misses in [0u64, 100, 5_000, REFS] {
+        let r = simulate(&controlled_trace(misses), 4, 8);
+        // +1 warm-up load, always a miss on the hot line's first touch.
+        assert_eq!(r.dcache.load_misses, misses + 1, "target {misses}");
+        assert_eq!(r.dcache.accesses(), REFS + 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-validation oracle: Mattson's stack algorithm (reuse-distance
+//! profile in `simtrace`) must predict the fully-associative LRU cache
+//! simulator (`simcache`) *exactly*, reference for reference.
+
+use simtrace::gen::{PatternTrace, StridedSweep, TraceShape, ZipfWorkingSet};
+use simtrace::reuse::ReuseProfile;
+use simtrace::spec92::{spec92_trace, Spec92Program};
+use unified_tradeoff::prelude::*;
+
+fn fa_lru(lines: u64) -> Cache {
+    Cache::new(CacheConfig::new(lines * 32, 32, lines as u32).expect("fully associative"))
+}
+
+fn check_exact(trace: &[Instr], capacities: &[usize]) {
+    let profile = ReuseProfile::from_trace(trace.iter().copied(), 32, 512);
+    for &lines in capacities {
+        let mut cache = fa_lru(lines as u64);
+        let (mut hits, mut refs) = (0u64, 0u64);
+        for i in trace {
+            if let Some(m) = i.mem {
+                refs += 1;
+                if cache.access(m.op, m.addr).hit {
+                    hits += 1;
+                }
+            }
+        }
+        let simulated = hits as f64 / refs as f64;
+        let predicted = profile.lru_hit_ratio(lines);
+        assert!(
+            (simulated - predicted).abs() < 1e-12,
+            "k={lines}: simulator {simulated} vs Mattson {predicted}"
+        );
+    }
+}
+
+#[test]
+fn mattson_predicts_the_simulator_on_zipf_reuse() {
+    let trace: Vec<Instr> = PatternTrace::new(
+        ZipfWorkingSet::new(0, 4 * 1024, 8, 1.0, 0.2),
+        TraceShape::default(),
+        3,
+    )
+    .take(20_000)
+    .collect();
+    check_exact(&trace, &[4, 8, 16, 32, 64]);
+}
+
+#[test]
+fn mattson_predicts_the_simulator_on_strided_sweeps() {
+    let trace: Vec<Instr> = PatternTrace::new(
+        StridedSweep::new(0, 8 * 1024, 8, 8, 3),
+        TraceShape::default(),
+        5,
+    )
+    .take(15_000)
+    .collect();
+    check_exact(&trace, &[2, 16, 128, 256, 512]);
+}
+
+#[test]
+fn mattson_predicts_the_simulator_on_a_spec_proxy() {
+    let trace: Vec<Instr> = spec92_trace(Spec92Program::Ear, 11).take(15_000).collect();
+    check_exact(&trace, &[8, 64, 256]);
+}
+
+#[test]
+fn set_associativity_only_loses_against_full_associativity() {
+    // A set-associative cache of the same capacity can only do worse
+    // than the Mattson bound (conflict misses), never better.
+    let trace: Vec<Instr> = spec92_trace(Spec92Program::Doduc, 13).take(20_000).collect();
+    let profile = ReuseProfile::from_trace(trace.iter().copied(), 32, 512);
+    for (lines, assoc) in [(64u64, 2u32), (256, 2), (256, 4)] {
+        let mut cache = Cache::new(CacheConfig::new(lines * 32, 32, assoc).expect("valid"));
+        let (mut hits, mut refs) = (0u64, 0u64);
+        for i in &trace {
+            if let Some(m) = i.mem {
+                refs += 1;
+                if cache.access(m.op, m.addr).hit {
+                    hits += 1;
+                }
+            }
+        }
+        let simulated = hits as f64 / refs as f64;
+        let bound = profile.lru_hit_ratio(lines as usize);
+        assert!(
+            simulated <= bound + 1e-12,
+            "{lines} lines {assoc}-way: {simulated} beat the FA bound {bound}"
+        );
+    }
+}

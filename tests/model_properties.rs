@@ -1,0 +1,130 @@
+//! Property-based tests of the analytic model's invariants.
+
+use proptest::prelude::*;
+use tradeoff::equiv::{
+    equivalent_hit_ratio, hit_gain_equivalent, miss_traffic_ratio, traded_hit_ratio,
+};
+use tradeoff::linesize::{optimal_line_eq19, optimal_line_smith, FillTiming, LineCandidate};
+use tradeoff::{HitRatio, Machine, SystemConfig};
+
+fn machines() -> impl Strategy<Value = Machine> {
+    // D ∈ {4, 8}, L/D ∈ {2, 4, 8, 16}, β_m ∈ [2, 100].
+    (prop_oneof![Just(4.0), Just(8.0)], prop_oneof![Just(2u32), Just(4), Just(8), Just(16)], 2.0..100.0f64)
+        .prop_map(|(d, chunks, beta)| {
+            Machine::new(d, d * f64::from(chunks), beta).expect("valid machine")
+        })
+}
+
+fn alphas() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+fn hit_ratios() -> impl Strategy<Value = HitRatio> {
+    (0.80..0.999f64).prop_map(|v| HitRatio::new(v).expect("in range"))
+}
+
+proptest! {
+    /// Genuinely stronger systems always have r ≥ 1 and hence trade a
+    /// non-negative hit ratio.
+    #[test]
+    fn enhancements_never_trade_negative(machine in machines(), alpha in alphas(), hr in hit_ratios()) {
+        let base = SystemConfig::full_stalling(alpha);
+        for enhanced in [
+            base.with_bus_factor(2.0),
+            base.with_write_buffers(),
+            base.with_pipelined_memory(2.0),
+        ] {
+            if let Ok(r) = miss_traffic_ratio(&machine, &base, &enhanced) {
+                prop_assert!(r >= 1.0 - 1e-12, "r = {r} for {enhanced}");
+                let dhr = traded_hit_ratio(&machine, &base, &enhanced, hr).expect("same domain");
+                prop_assert!(dhr >= -1e-12);
+            }
+        }
+    }
+
+    /// Eq. 6 and Eq. 7 are two views of one law: the Eq.-7 gain evaluated
+    /// at the traded-down hit ratio recovers exactly the Eq.-6 delta.
+    #[test]
+    fn eq6_and_eq7_are_inverses(machine in machines(), alpha in alphas(), hr in hit_ratios()) {
+        let base = SystemConfig::full_stalling(alpha);
+        let enhanced = base.with_bus_factor(2.0);
+        let (Ok(dhr), Ok(hr2)) = (
+            traded_hit_ratio(&machine, &base, &enhanced, hr),
+            equivalent_hit_ratio(&machine, &base, &enhanced, hr),
+        ) else {
+            return Ok(()); // non-physical corner (HR underflow)
+        };
+        let gain = hit_gain_equivalent(&machine, &base, &enhanced, hr2).expect("same domain");
+        prop_assert!((gain - dhr).abs() < 1e-9, "gain {gain} vs ΔHR {dhr}");
+    }
+
+    /// The bus-doubling trade lies in the paper's band
+    /// `(1 − HR) ≤ ΔHR ≤ 1.5(1 − HR)` for α = 0.5 and β_m ≥ 2
+    /// (r between 2 and 2.5).
+    #[test]
+    fn bus_doubling_band(machine in machines(), hr in hit_ratios()) {
+        let base = SystemConfig::full_stalling(0.5);
+        let enhanced = base.with_bus_factor(2.0);
+        let dhr = traded_hit_ratio(&machine, &base, &enhanced, hr).expect("physical");
+        let miss = hr.miss_ratio();
+        prop_assert!(dhr >= miss - 1e-9, "below 2×: {dhr} vs miss {miss}");
+        prop_assert!(dhr <= 1.5 * miss + 1e-9, "above 2.5×: {dhr} vs miss {miss}");
+    }
+
+    /// ΔHR for bus doubling decreases monotonically in β_m (Figure 2).
+    #[test]
+    fn bus_trade_monotone_in_beta(d in prop_oneof![Just(4.0), Just(8.0)],
+                                  chunks in prop_oneof![Just(2u32), Just(4), Just(8)],
+                                  hr in hit_ratios()) {
+        let base = SystemConfig::full_stalling(0.5);
+        let enhanced = base.with_bus_factor(2.0);
+        let mut prev = f64::INFINITY;
+        for beta in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let m = Machine::new(d, d * f64::from(chunks), beta).expect("valid");
+            let dhr = traded_hit_ratio(&m, &base, &enhanced, hr).expect("physical");
+            prop_assert!(dhr <= prev + 1e-12);
+            prev = dhr;
+        }
+    }
+
+    /// The paper's Figure 6 validation, generalised: for *any* hit-ratio
+    /// curve over line sizes, the Eq. 19 selector agrees with Smith's
+    /// Eq. 16 selector.
+    #[test]
+    fn smith_and_eq19_agree_on_random_curves(
+        hrs in proptest::collection::vec(0.5..0.999f64, 5),
+        c in 1.0..40.0f64,
+        beta in 0.1..10.0f64,
+    ) {
+        let lines = [8.0, 16.0, 32.0, 64.0, 128.0];
+        let candidates: Vec<LineCandidate> = lines
+            .iter()
+            .zip(&hrs)
+            .map(|(&l, &h)| LineCandidate { line_bytes: l, hit_ratio: HitRatio::new(h).expect("in range") })
+            .collect();
+        let timing = FillTiming::new(c, beta).expect("valid");
+        let smith = optimal_line_smith(&timing, 4.0, &candidates).expect("non-empty");
+        let ours = optimal_line_eq19(&timing, 4.0, &candidates).expect("non-empty");
+        // Both selectors minimise the same functional; ties can resolve
+        // to different lines only with exactly equal weighted delays.
+        let weight = |cand: &LineCandidate| {
+            cand.hit_ratio.miss_ratio() * timing.miss_weight(cand.line_bytes, 4.0)
+        };
+        let ws = candidates.iter().find(|x| x.line_bytes == smith.line_bytes).map(weight).expect("present");
+        let wo = candidates.iter().find(|x| x.line_bytes == ours.line_bytes).map(weight).expect("present");
+        prop_assert!((ws - wo).abs() < 1e-9, "Smith {} vs Eq.19 {}", smith.line_bytes, ours.line_bytes);
+    }
+
+    /// Mean access time is monotone in hit ratio and bounded by the
+    /// hit/miss extremes.
+    #[test]
+    fn mean_access_time_bounds(machine in machines(), alpha in alphas(), hr in hit_ratios()) {
+        let sys = SystemConfig::full_stalling(alpha);
+        let t = tradeoff::mean_access_time(&machine, &sys, hr).expect("valid");
+        let g = sys.delay_per_missed_line(&machine).expect("valid");
+        prop_assert!(t >= 1.0 - 1e-12 && t <= g + 1e-12);
+        let better = HitRatio::new((hr.value() + 1.0) / 2.0).expect("valid");
+        let t2 = tradeoff::mean_access_time(&machine, &sys, better).expect("valid");
+        prop_assert!(t2 <= t + 1e-12);
+    }
+}

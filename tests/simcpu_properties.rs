@@ -1,0 +1,128 @@
+//! Property-based tests of the CPU timing simulator: for *arbitrary*
+//! traces and configurations the Eq. 2 identity and the Table 2 bounds
+//! must hold.
+
+use proptest::prelude::*;
+use unified_tradeoff::prelude::*;
+use unified_tradeoff::simcpu::{validation_error, L2Config};
+
+fn traces() -> impl Strategy<Value = Vec<Instr>> {
+    // Mixed loads/stores/plains over a bounded region, word-aligned.
+    proptest::collection::vec((0u8..3, 0u64..64 * 1024), 1..400).prop_map(|ops| {
+        ops.into_iter()
+            .enumerate()
+            .map(|(i, (kind, addr))| {
+                let pc = (i as u64) * 4;
+                match kind {
+                    0 => Instr::plain(pc),
+                    1 => Instr::mem(pc, MemRef::load(addr & !3, 4)),
+                    _ => Instr::mem(pc, MemRef::store(addr & !3, 4)),
+                }
+            })
+            .collect()
+    })
+}
+
+fn stalls() -> impl Strategy<Value = StallFeature> {
+    prop_oneof![
+        Just(StallFeature::FullStall),
+        Just(StallFeature::BusLocked),
+        Just(StallFeature::BusNotLocked1),
+        Just(StallFeature::BusNotLocked2),
+        Just(StallFeature::BusNotLocked3),
+        (1u32..4).prop_map(|m| StallFeature::NonBlocking { mshrs: m }),
+    ]
+}
+
+fn configs() -> impl Strategy<Value = CpuConfig> {
+    (
+        stalls(),
+        prop_oneof![Just(4u64), Just(8)],           // bus
+        prop_oneof![Just(16u64), Just(32), Just(64)], // line
+        2u64..30,                                   // beta
+        any::<bool>(),                              // write buffer
+        any::<bool>(),                              // write-around
+        prop_oneof![Just(1u32), Just(2), Just(4)],  // issue width
+        any::<bool>(),                              // prefetch
+        any::<bool>(),                              // l2
+    )
+        .prop_map(|(stall, bus, line, beta, wbuf, around, width, pf, l2)| {
+            let line = line.max(bus);
+            let mut dcache = CacheConfig::new(2 * 1024, line, 2).expect("valid");
+            if around {
+                dcache = dcache.with_write_miss(WriteMiss::Around);
+            }
+            let mut cfg = CpuConfig::baseline(
+                dcache,
+                MemoryTiming::new(BusWidth::new(bus).expect("valid"), beta),
+            )
+            .with_stall(stall)
+            .with_issue_width(width);
+            if wbuf {
+                cfg = cfg.with_write_buffer(WriteBufferConfig::default());
+            }
+            if pf {
+                cfg = cfg.with_prefetch(Prefetch::NextLine);
+            }
+            if l2 {
+                cfg = cfg
+                    .with_l2(L2Config::new(CacheConfig::new(16 * 1024, line, 4).expect("valid"), 2));
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Eq. 2 identity holds for every random trace × configuration.
+    #[test]
+    fn identity_holds_universally(trace in traces(), cfg in configs()) {
+        let r = Cpu::new(cfg).run(trace.iter().copied());
+        prop_assert!(validation_error(&r) < 1e-9, "cfg {cfg:?}: err {}", validation_error(&r));
+        prop_assert_eq!(r.instructions, trace.len() as u64);
+    }
+
+    /// The measured φ stays within Table 2's feature band.
+    #[test]
+    fn phi_respects_table2(trace in traces(), cfg in configs()) {
+        // Prefetch wait-stalls are charged to the miss account and can
+        // push the effective φ past L/D; restrict to the paper's setup.
+        let mut cfg = cfg;
+        cfg.prefetch = Prefetch::None;
+        let chunks = (cfg.dcache.line_bytes() / cfg.timing.bus().bytes()) as f64;
+        let r = Cpu::new(cfg).run(trace.iter().copied());
+        if r.dcache.fills > 0 {
+            let phi = r.phi();
+            prop_assert!(phi >= 0.0, "{phi}");
+            // Queueing behind flushes can exceed the ideal L/D bound by
+            // the flush service share; allow the documented slack of one
+            // full line transfer per miss.
+            prop_assert!(phi <= 2.0 * chunks + 1.0, "φ = {phi}, L/D = {chunks}");
+        }
+    }
+
+    /// Cycles are monotone in β_m: slower memory can never speed a run up.
+    #[test]
+    fn cycles_monotone_in_beta(trace in traces(), stall in stalls()) {
+        let run = |beta: u64| {
+            let cfg = CpuConfig::baseline(
+                CacheConfig::new(2 * 1024, 32, 2).expect("valid"),
+                MemoryTiming::new(BusWidth::new(4).expect("valid"), beta),
+            )
+            .with_stall(stall);
+            Cpu::new(cfg).run(trace.iter().copied()).cycles
+        };
+        prop_assert!(run(4) <= run(8));
+        prop_assert!(run(8) <= run(16));
+    }
+
+    /// Determinism: the same trace and configuration always produce the
+    /// same result.
+    #[test]
+    fn simulation_is_deterministic(trace in traces(), cfg in configs()) {
+        let a = Cpu::new(cfg).run(trace.iter().copied());
+        let b = Cpu::new(cfg).run(trace.iter().copied());
+        prop_assert_eq!(a, b);
+    }
+}
