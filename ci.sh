@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification plus lint, exactly what a PR must pass.
+#
+#   ./ci.sh          tier-1 (release build + full test suite) + clippy
+#   ./ci.sh bench    additionally regenerate BENCH_sweep.json from the
+#                    figure-6 grid benchmark (slow; perf-sensitive PRs)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> lint: cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "${1:-}" == "bench" ]]; then
+    echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"
+    cargo bench -p bench --bench sweep
+    cat BENCH_sweep.json
+fi
+
+echo "CI green."

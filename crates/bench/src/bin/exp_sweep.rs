@@ -1,0 +1,4 @@
+//! Regenerates the single-pass design-space sweep (EXP-SW).
+fn main() {
+    println!("{}", bench::sweep::main_report());
+}

@@ -29,6 +29,7 @@ fn main() {
         ("Assumption audit", Box::new(bench::assumptions::main_report)),
         ("Non-blocking cache", Box::new(bench::nb::main_report)),
         ("Reuse-distance fingerprints", Box::new(bench::reuse::main_report)),
+        ("Design-space sweep", Box::new(bench::sweep::main_report)),
     ];
     for (name, f) in sections {
         println!("================ {name} ================");

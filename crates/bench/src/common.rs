@@ -47,7 +47,7 @@ pub fn run_spec(
 /// Measures the SPEC92-average stalling factor `φ` for a feature, the
 /// quantity Figure 1 plots (as a percentage of `L/D`).
 ///
-/// Runs the six programs in parallel.
+/// Runs the six programs on the [`crate::exec`] pool.
 pub fn average_phi(
     stall: StallFeature,
     line_bytes: u64,
@@ -55,29 +55,19 @@ pub fn average_phi(
     beta_m: u64,
     instructions: usize,
 ) -> f64 {
-    let phis: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = Spec92Program::ALL
-            .iter()
-            .map(|&p| {
-                scope.spawn(move || {
-                    run_spec(p, stall, line_bytes, bus_bytes, beta_m, instructions).phi()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread")).collect()
+    let phis = crate::exec::parallel_map(&Spec92Program::ALL, |&p| {
+        run_spec(p, stall, line_bytes, bus_bytes, beta_m, instructions).phi()
     });
     phis.iter().sum::<f64>() / phis.len() as f64
 }
 
 /// Measures the SPEC92-average flush ratio `α` at the Figure 1 cache.
+///
+/// Runs the six programs on the [`crate::exec`] pool.
 pub fn average_alpha(line_bytes: u64, bus_bytes: u64, beta_m: u64, instructions: usize) -> f64 {
-    let alphas: Vec<f64> = Spec92Program::ALL
-        .iter()
-        .map(|&p| {
-            run_spec(p, StallFeature::FullStall, line_bytes, bus_bytes, beta_m, instructions)
-                .alpha()
-        })
-        .collect();
+    let alphas = crate::exec::parallel_map(&Spec92Program::ALL, |&p| {
+        run_spec(p, StallFeature::FullStall, line_bytes, bus_bytes, beta_m, instructions).alpha()
+    });
     alphas.iter().sum::<f64>() / alphas.len() as f64
 }
 

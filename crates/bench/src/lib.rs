@@ -16,6 +16,7 @@ pub mod common;
 pub mod context;
 pub mod cost;
 pub mod example1;
+pub mod exec;
 pub mod fig1;
 pub mod fig2;
 pub mod fig6;
@@ -28,6 +29,7 @@ pub mod phases;
 pub mod prefetch;
 pub mod reuse;
 pub mod sector;
+pub mod sweep;
 pub mod table23;
 pub mod unified;
 pub mod validate;

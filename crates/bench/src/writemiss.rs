@@ -110,8 +110,9 @@ mod tests {
     #[test]
     fn allocation_wins_on_store_reuse_workloads() {
         // The stencil codes re-read what they wrote: write-allocate must
-        // win there.
-        let rows = run(8, 40_000);
+        // win there. Hydro2d's margin is thin (~0.05%), so give the
+        // comparison enough instructions to converge.
+        let rows = run(8, 80_000);
         let by = |p: Spec92Program| rows.iter().find(|r| r.program == p).unwrap();
         assert_eq!(by(Spec92Program::Swm256).winner(), "allocate");
         assert_eq!(by(Spec92Program::Hydro2d).winner(), "allocate");

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! implements the small slice-of-a-shared-buffer surface the workspace
+//! uses: [`BytesMut`] as an append-only builder, [`Bytes`] as a cheaply
+//! cloneable view that the [`Buf`] cursor methods consume from the
+//! front, and the [`BufMut`] writer trait. Semantics match upstream for
+//! this subset (`len()` is the *remaining* length, `get_u8` advances).
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+///
+/// Clones share the underlying allocation; consuming via [`Buf`]
+/// advances a per-handle cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(Vec::new()), start: 0 }
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v), start: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v), start: 0 }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// An appendable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty builder with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read-cursor over a byte buffer.
+pub trait Buf {
+    /// Number of bytes left.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes and returns the next byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+}
+
+/// Write-cursor over a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_slice(&[2, 3]);
+        assert_eq!(b.len(), 3);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(frozen.to_vec(), vec![1, 2, 3]);
+        let copy = frozen.clone();
+        assert_eq!(frozen.get_u8(), 1);
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(&frozen[..], &[2, 3]);
+        // Clones have independent cursors.
+        assert_eq!(copy.len(), 3);
+        assert_ne!(frozen, copy);
+        assert_eq!(Bytes::from(vec![2u8, 3]), frozen);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn overrun_panics() {
+        let mut b = Bytes::default();
+        assert!(!b.has_remaining());
+        b.get_u8();
+    }
+}

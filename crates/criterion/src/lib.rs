@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! implements the benchmark-harness subset the workspace uses:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with element throughput, and `Bencher::iter` /
+//! `iter_batched`. Timing is adaptive wall-clock sampling (no
+//! statistics beyond the mean, no HTML reports); results print as
+//! `name  time: <t>/iter  thrpt: <n> elem/s`.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much work `iter_batched` amortises per setup call. The stub
+/// times every routine call individually, so the variants only bound
+/// iteration counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations are fine.
+    SmallInput,
+    /// Large inputs: cap iterations to keep memory bounded.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Collects one benchmark's timing.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by `iter`/`iter_batched`.
+    mean_secs: f64,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher { mean_secs: 0.0, target }
+    }
+
+    /// Times `f` in an adaptive loop until the sampling target is met.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= self.target || n >= 1 << 28 {
+                self.mean_secs = dt.as_secs_f64() / n as f64;
+                return;
+            }
+            let scale = if dt.is_zero() {
+                100.0
+            } else {
+                (self.target.as_secs_f64() / dt.as_secs_f64()).clamp(2.0, 100.0)
+            };
+            n = ((n as f64 * scale) as u64).max(n + 1);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while (total < self.target || iters < 3) && iters < 100_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_secs = total.as_secs_f64() / iters as f64;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<50} time: {:>12}/iter", format_time(mean_secs));
+    if let Some(tp) = throughput {
+        let (units, label) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if mean_secs > 0.0 {
+            let rate = units as f64 / mean_secs;
+            line.push_str(&format!("  thrpt: {:>10.3e} {label}/s", rate));
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_TARGET_MS trades precision for wall-clock time.
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion { target: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        report(&id, b.mean_secs, None);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::new(self.criterion.target);
+        f(&mut b);
+        report(&id, b.mean_secs, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo bench forwards (--bench, ...).
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_secs > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_measures_routine_only() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::LargeInput);
+        assert!(b.mean_secs > 0.0);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion { target: Duration::from_millis(1) };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| {
+                b.iter(|| 1 + 1);
+            });
+            g.finish();
+            ran += 1;
+        }
+        c.bench_function("plain", |b| b.iter(|| 2 * 2));
+        ran += 1;
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking:
+/// a strategy is simply a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// Object-safe sampling, for boxed strategies.
+trait DynStrategy<T> {
+    fn dyn_sample(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives (the `prop_oneof!` backend).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A strategy choosing uniformly among `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_tuples_and_map_stay_in_domain() {
+        let mut rng = rng_for("strategy::smoke");
+        let s = (0u64..10, 0.0..=1.0f64).prop_map(|(a, b)| (a * 2, b));
+        for _ in 0..200 {
+            let (a, b) = s.sample(&mut rng);
+            assert!(a < 20 && a % 2 == 0);
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = rng_for("strategy::oneof");
+        let s = crate::prop_oneof![Just(1u32), Just(2), (10u32..12).prop_map(|v| v)];
+        let mut seen = [0u32; 3];
+        for _ in 0..300 {
+            match s.sample(&mut rng) {
+                1 => seen[0] += 1,
+                2 => seen[1] += 1,
+                10 | 11 => seen[2] += 1,
+                other => panic!("impossible value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&c| c > 50), "balanced arms: {seen:?}");
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = rng_for("strategy::vec");
+        let s = crate::collection::vec(0u8..5, 2..7);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = crate::collection::vec(0u8..5, 4);
+        assert_eq!(fixed.sample(&mut rng).len(), 4);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the two trait names the workspace derives everywhere, as pure
+//! markers, together with no-op derive macros re-exported from
+//! [`serde_derive`]. Nothing in the workspace performs actual
+//! serialization (there is no serde_json/bincode), so marker traits are
+//! a faithful substitute: `#[derive(Serialize, Deserialize)]` compiles
+//! and the bound `T: Serialize` is satisfiable, which is all the code
+//! relies on.
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker replacement for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker replacement for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker replacement for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

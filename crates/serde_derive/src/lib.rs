@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal replacement: the derives accept the same syntax as
+//! the real macros (including `#[serde(...)]` attributes) and expand to
+//! nothing. That is sufficient here because the workspace only uses
+//! `Serialize`/`Deserialize` as marker bounds — no serialization
+//! backend (serde_json, bincode, ...) is linked.
+
+use proc_macro::TokenStream;
+
+/// Derives the (marker) `Serialize` trait. Expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (marker) `Deserialize` trait. Expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -55,6 +55,11 @@ pub struct Cache {
     stats: CacheStats,
     stamp: u64,
     rng: SmallRng,
+    // Geometry is all powers of two; the hot path indexes with shifts
+    // and masks instead of division.
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
 }
 
 impl Cache {
@@ -72,7 +77,16 @@ impl Cache {
         let sets = (0..cfg.num_sets())
             .map(|_| Set { ways: vec![None; cfg.assoc() as usize], plru: 0 })
             .collect();
-        Cache { cfg, sets, stats: CacheStats::new(), stamp: 0, rng: SmallRng::seed_from_u64(cfg.seed) }
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::new(),
+            stamp: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            line_shift: cfg.line_bytes().trailing_zeros(),
+            set_shift: cfg.num_sets().trailing_zeros(),
+            set_mask: cfg.num_sets() - 1,
+        }
     }
 
     /// The configuration this cache was built with.
@@ -91,26 +105,36 @@ impl Cache {
         self.stats = CacheStats::new();
     }
 
-    fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
-        let sets = self.cfg.num_sets();
-        ((line.raw() % sets) as usize, line.raw() / sets)
+    #[inline]
+    fn line_addr(&self, addr: Addr) -> LineAddr {
+        LineAddr::new(addr.raw() >> self.line_shift)
     }
 
+    #[inline]
+    fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
+        ((line.raw() & self.set_mask) as usize, line.raw() >> self.set_shift)
+    }
+
+    #[inline]
     fn line_of(&self, set_idx: usize, tag: u64) -> LineAddr {
-        LineAddr::new(tag * self.cfg.num_sets() + set_idx as u64)
+        LineAddr::new((tag << self.set_shift) | set_idx as u64)
+    }
+
+    /// Index of the valid way holding `tag`, if any.
+    #[inline]
+    fn find_way(ways: &[Option<Way>], tag: u64) -> Option<usize> {
+        ways.iter().position(|w| matches!(w, Some(w) if w.tag == tag))
     }
 
     /// Returns `true` if the line holding `addr` is resident.
     pub fn contains(&self, addr: Addr) -> bool {
-        let line = addr.line(self.cfg.line_bytes());
-        let (set_idx, tag) = self.set_and_tag(line);
+        let (set_idx, tag) = self.set_and_tag(self.line_addr(addr));
         self.sets[set_idx].ways.iter().flatten().any(|w| w.tag == tag)
     }
 
     /// Returns `true` if the line holding `addr` is resident and dirty.
     pub fn is_dirty(&self, addr: Addr) -> bool {
-        let line = addr.line(self.cfg.line_bytes());
-        let (set_idx, tag) = self.set_and_tag(line);
+        let (set_idx, tag) = self.set_and_tag(self.line_addr(addr));
         self.sets[set_idx].ways.iter().flatten().any(|w| w.tag == tag && w.dirty)
     }
 
@@ -141,12 +165,12 @@ impl Cache {
     /// written-back line addresses.
     pub fn flush_all(&mut self) -> Vec<LineAddr> {
         let mut flushed = Vec::new();
-        let sets = self.cfg.num_sets();
+        let set_shift = self.set_shift;
         for (set_idx, set) in self.sets.iter_mut().enumerate() {
             for way in set.ways.iter_mut().flatten() {
                 if way.dirty {
                     way.dirty = false;
-                    flushed.push(LineAddr::new(way.tag * sets + set_idx as u64));
+                    flushed.push(LineAddr::new((way.tag << set_shift) | set_idx as u64));
                 }
             }
         }
@@ -158,16 +182,15 @@ impl Cache {
     ///
     /// Operand size is assumed not to straddle a line (the trace
     /// generators align operands), so a single line is touched.
+    #[inline]
     pub fn access(&mut self, op: MemOp, addr: Addr) -> AccessOutcome {
         self.stamp += 1;
-        let line = addr.line(self.cfg.line_bytes());
+        let line = self.line_addr(addr);
         let (set_idx, tag) = self.set_and_tag(line);
         let assoc = self.cfg.assoc() as usize;
 
         // Hit path.
-        if let Some(way_idx) =
-            self.sets[set_idx].ways.iter().position(|w| matches!(w, Some(w) if w.tag == tag))
-        {
+        if let Some(way_idx) = Self::find_way(&self.sets[set_idx].ways, tag) {
             let stamp = self.stamp;
             let write_through;
             {
@@ -225,12 +248,12 @@ impl Cache {
 
         // Allocate a way (read miss, or write miss under write-allocate).
         let victim_idx = self.pick_victim(set_idx);
-        let sets_count = self.cfg.num_sets();
+        let set_shift = self.set_shift;
         let stamp = self.stamp;
         let set = &mut self.sets[set_idx];
         let writeback = set.ways[victim_idx]
             .filter(|w| w.dirty)
-            .map(|w| LineAddr::new(w.tag * sets_count + set_idx as u64));
+            .map(|w| LineAddr::new((w.tag << set_shift) | set_idx as u64));
         let dirty_after_fill = op.is_store() && self.cfg.write_policy == WritePolicy::WriteBack;
         set.ways[victim_idx] =
             Some(Way { tag, dirty: dirty_after_fill, use_stamp: stamp, fill_stamp: stamp });
@@ -319,20 +342,20 @@ impl Cache {
     /// [`CacheStats::prefetch_fills`], not in `fills`, so demand-miss
     /// accounting (and the measured `φ`) stays untouched.
     pub fn prefetch(&mut self, addr: Addr) -> Option<Option<LineAddr>> {
-        let line = addr.line(self.cfg.line_bytes());
+        let line = self.line_addr(addr);
         let (set_idx, tag) = self.set_and_tag(line);
-        if self.sets[set_idx].ways.iter().flatten().any(|w| w.tag == tag) {
+        if Self::find_way(&self.sets[set_idx].ways, tag).is_some() {
             return None;
         }
         self.stamp += 1;
         let assoc = self.cfg.assoc() as usize;
         let victim_idx = self.pick_victim(set_idx);
-        let sets_count = self.cfg.num_sets();
+        let set_shift = self.set_shift;
         let stamp = self.stamp;
         let set = &mut self.sets[set_idx];
         let writeback = set.ways[victim_idx]
             .filter(|w| w.dirty)
-            .map(|w| LineAddr::new(w.tag * sets_count + set_idx as u64));
+            .map(|w| LineAddr::new((w.tag << set_shift) | set_idx as u64));
         set.ways[victim_idx] = Some(Way { tag, dirty: false, use_stamp: stamp, fill_stamp: stamp });
         if self.cfg.replacement == Replacement::TreePlru {
             Self::plru_touch(&mut set.plru, victim_idx, assoc);

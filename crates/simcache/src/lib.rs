@@ -36,6 +36,7 @@ pub mod config;
 pub mod explore;
 pub mod sector;
 pub mod split;
+pub mod stackdist;
 pub mod victim;
 pub mod stats;
 
@@ -43,5 +44,6 @@ pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError, Replacement, WriteMiss, WritePolicy};
 pub use sector::{SectorCache, SectorConfig, SectorOutcome};
 pub use split::SplitCache;
+pub use stackdist::{StackDistSweep, SweepQueryError};
 pub use victim::{VictimCache, VictimOutcome, VictimStats};
 pub use stats::CacheStats;

@@ -1,7 +1,10 @@
 //! Cross-validation oracle: Mattson's stack algorithm (reuse-distance
 //! profile in `simtrace`) must predict the fully-associative LRU cache
-//! simulator (`simcache`) *exactly*, reference for reference.
+//! simulator (`simcache`) *exactly*, reference for reference — and the
+//! single-pass [`StackDistSweep`] must reproduce per-configuration
+//! `Cache` replays bit for bit across whole geometry grids.
 
+use simcache::explore::measure_dcache;
 use simtrace::gen::{PatternTrace, StridedSweep, TraceShape, ZipfWorkingSet};
 use simtrace::reuse::ReuseProfile;
 use simtrace::spec92::{spec92_trace, Spec92Program};
@@ -61,6 +64,62 @@ fn mattson_predicts_the_simulator_on_strided_sweeps() {
 fn mattson_predicts_the_simulator_on_a_spec_proxy() {
     let trace: Vec<Instr> = spec92_trace(Spec92Program::Ear, 11).take(15_000).collect();
     check_exact(&trace, &[8, 64, 256]);
+}
+
+/// Replays every `(2^k sets, assoc)` geometry of the grid through a
+/// live `Cache` and demands the one-pass sweep agrees on the *complete*
+/// statistics — same integer counters, and hit/flush ratios within
+/// 1e-12 (they are the same division, so in practice identical bits).
+fn check_sweep_exact(trace: &[Instr], line_bytes: u64, warmup: u64) {
+    let max_assoc = 4;
+    let sweep = StackDistSweep::run(line_bytes, 7, max_assoc, warmup, trace.iter().copied())
+        .expect("valid sweep geometry");
+    for k in [0u32, 2, 5, 7] {
+        for assoc in [1u32, 2, 4] {
+            let cache_bytes = (1u64 << k) * line_bytes * u64::from(assoc);
+            let cfg = CacheConfig::new(cache_bytes, line_bytes, assoc).expect("valid config");
+            let replay = measure_dcache(cfg, trace.iter().copied(), warmup);
+            let swept = sweep.stats_for(&cfg).expect("geometry covered");
+            assert_eq!(swept, replay, "L={line_bytes} sets=2^{k} assoc={assoc}");
+            assert!((swept.hit_ratio() - replay.hit_ratio()).abs() < 1e-12);
+            assert!((swept.flush_ratio() - replay.flush_ratio()).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn sweep_matches_replay_on_zipf_reuse() {
+    let trace: Vec<Instr> = PatternTrace::new(
+        ZipfWorkingSet::new(0, 16 * 1024, 8, 1.0, 0.25),
+        TraceShape::default(),
+        17,
+    )
+    .take(20_000)
+    .collect();
+    check_sweep_exact(&trace, 16, 4_000);
+    check_sweep_exact(&trace, 32, 4_000);
+}
+
+#[test]
+fn sweep_matches_replay_on_strided_sweeps() {
+    let trace: Vec<Instr> = PatternTrace::new(
+        StridedSweep::new(0, 32 * 1024, 8, 12, 9),
+        TraceShape::default(),
+        23,
+    )
+    .take(15_000)
+    .collect();
+    check_sweep_exact(&trace, 32, 2_500);
+}
+
+#[test]
+fn sweep_matches_replay_on_spec_proxies() {
+    for (program, seed) in [(Spec92Program::Ear, 29), (Spec92Program::Hydro2d, 31)] {
+        let trace: Vec<Instr> = spec92_trace(program, seed).take(15_000).collect();
+        // Both with and without a warm-up window.
+        check_sweep_exact(&trace, 32, 3_000);
+        check_sweep_exact(&trace, 32, 0);
+    }
 }
 
 #[test]
