@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verification plus lint, exactly what a PR must pass.
 #
-#   ./ci.sh          tier-1 (release build + full test suite) + clippy
-#   ./ci.sh bench    additionally regenerate BENCH_sweep.json from the
-#                    figure-6 grid benchmark (slow; perf-sensitive PRs)
+#   ./ci.sh          tier-1 (release build + full test suite) + fmt + clippy
+#   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
+#                    grid) and BENCH_phi.json (figure-1 timeline engine)
+#                    from the criterion benches (slow; perf-sensitive PRs)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,6 +14,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> lint: cargo fmt --check"
+cargo fmt --check
+
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -20,6 +24,9 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"
     cargo bench -p bench --bench sweep
     cat BENCH_sweep.json
+    echo "==> perf: figure-1 timeline-engine benchmark (writes BENCH_phi.json)"
+    cargo bench -p bench --bench phi
+    cat BENCH_phi.json
 fi
 
 echo "CI green."

@@ -170,9 +170,13 @@ fn trace_encoding(c: &mut Criterion) {
     let trace: Vec<Instr> = spec92_trace(Spec92Program::Ear, 6).take(N).collect();
     let mut g = c.benchmark_group("trace_encoding");
     g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("encode", |b| b.iter(|| TraceBuffer::encode(trace.iter().copied()).len()));
+    g.bench_function("encode", |b| {
+        b.iter(|| TraceBuffer::encode(trace.iter().copied()).len())
+    });
     let buf = TraceBuffer::encode(trace.iter().copied());
-    g.bench_function("decode", |b| b.iter(|| buf.iter().filter_map(Result::ok).count()));
+    g.bench_function("decode", |b| {
+        b.iter(|| buf.iter().filter_map(Result::ok).count())
+    });
     g.finish();
 }
 

@@ -76,22 +76,42 @@ pub fn report() -> Result<String, TradeoffError> {
         50,
         12,
     );
-    chart.series("doubling bus", points.iter().map(|p| (p.alpha, 100.0 * p.bus)).collect());
+    chart.series(
+        "doubling bus",
+        points.iter().map(|p| (p.alpha, 100.0 * p.bus)).collect(),
+    );
     chart.series(
         "write buffers",
-        points.iter().map(|p| (p.alpha, 100.0 * p.write_buffers)).collect(),
+        points
+            .iter()
+            .map(|p| (p.alpha, 100.0 * p.write_buffers))
+            .collect(),
     );
-    chart.series("pipelined", points.iter().map(|p| (p.alpha, 100.0 * p.pipelined)).collect());
+    chart.series(
+        "pipelined",
+        points
+            .iter()
+            .map(|p| (p.alpha, 100.0 * p.pipelined))
+            .collect(),
+    );
 
-    let mut t = Table::new(["alpha", "β* pipelined vs bus", "β* pipelined vs write buffers"]);
+    let mut t = Table::new([
+        "alpha",
+        "β* pipelined vs bus",
+        "β* pipelined vs write buffers",
+    ]);
     for &alpha in &ALPHAS {
-        let vs_bus = pipelined_vs_double_bus(8.0, 2.0)
-            .map_or("never".to_string(), |b| format!("{b:.2}"));
+        let vs_bus =
+            pipelined_vs_double_bus(8.0, 2.0).map_or("never".to_string(), |b| format!("{b:.2}"));
         let vs_wb = pipelined_vs_write_buffers(8.0, 2.0, alpha)
             .map_or("never".to_string(), |b| format!("{b:.2}"));
         t.row([format!("{alpha}"), vs_bus, vs_wb]);
     }
-    Ok(format!("{}\nCrossover shifts with α:\n{}", chart.render(), t.render()))
+    Ok(format!(
+        "{}\nCrossover shifts with α:\n{}",
+        chart.render(),
+        t.render()
+    ))
 }
 
 /// Entry point shared by the binary and the `run_all` driver.
@@ -108,14 +128,21 @@ mod tests {
     use super::*;
 
     fn points() -> Vec<AlphaPoint> {
-        run(&Machine::new(4.0, 32.0, 8.0).unwrap(), HitRatio::new(0.95).unwrap()).unwrap()
+        run(
+            &Machine::new(4.0, 32.0, 8.0).unwrap(),
+            HitRatio::new(0.95).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn write_buffers_worth_nothing_without_flushes() {
         let p0 = &points()[0];
         assert_eq!(p0.alpha, 0.0);
-        assert!(p0.write_buffers.abs() < 1e-12, "no flushes → nothing to hide");
+        assert!(
+            p0.write_buffers.abs() < 1e-12,
+            "no flushes → nothing to hide"
+        );
     }
 
     #[test]

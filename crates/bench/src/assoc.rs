@@ -47,12 +47,19 @@ pub fn assoc_ladder(instructions: usize) -> Vec<(Spec92Program, Vec<f64>)> {
 
 /// The replacement-policy spread at 2-way, per workload.
 pub fn policy_spread(instructions: usize) -> Vec<(Spec92Program, Vec<(Replacement, f64)>)> {
-    let policies =
-        [Replacement::Lru, Replacement::Fifo, Replacement::Random, Replacement::TreePlru];
+    let policies = [
+        Replacement::Lru,
+        Replacement::Fifo,
+        Replacement::Random,
+        Replacement::TreePlru,
+    ];
     Spec92Program::ALL
         .iter()
         .map(|&p| {
-            let hrs = policies.iter().map(|&r| (r, hit_ratio(p, 2, r, instructions))).collect();
+            let hrs = policies
+                .iter()
+                .map(|&r| (r, hit_ratio(p, 2, r, instructions)))
+                .collect();
             (p, hrs)
         })
         .collect()
@@ -109,7 +116,10 @@ mod tests {
         // bounded 3 % while requiring the direct-mapped → 2-way step to
         // help or be neutral everywhere.
         for (p, hrs) in assoc_ladder(30_000) {
-            assert!(hrs[1] >= hrs[0] - 0.005, "{p}: 2-way must not lose to 1-way: {hrs:?}");
+            assert!(
+                hrs[1] >= hrs[0] - 0.005,
+                "{p}: 2-way must not lose to 1-way: {hrs:?}"
+            );
             for w in hrs.windows(2) {
                 assert!(w[1] >= w[0] - 0.03, "{p}: {hrs:?}");
             }

@@ -1,4 +1,7 @@
 //! Regenerates Table 3 (per-feature miss-traffic ratios, write allocate).
 fn main() {
-    println!("{}", bench::table23::table3().expect("canonical parameters valid"));
+    println!(
+        "{}",
+        bench::table23::table3().expect("canonical parameters valid")
+    );
 }

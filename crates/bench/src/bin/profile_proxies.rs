@@ -18,9 +18,13 @@ fn measure(program: Spec92Program, cache_bytes: u64, instructions: usize) -> sim
 }
 
 fn main() {
-    let n: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150_000);
-    let mut t = Table::new(["program", "HR @8K", "HR @32K", "HR @128K", "α @8K", "mem frac"]);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000);
+    let mut t = Table::new([
+        "program", "HR @8K", "HR @32K", "HR @128K", "α @8K", "mem frac",
+    ]);
     for p in Spec92Program::ALL {
         let r8 = measure(p, 8 * 1024, n);
         let r32 = measure(p, 32 * 1024, n);
@@ -31,7 +35,10 @@ fn main() {
             format!("{:.2}%", 100.0 * r32.dcache.hit_ratio()),
             format!("{:.2}%", 100.0 * r128.dcache.hit_ratio()),
             format!("{:.3}", r8.alpha()),
-            format!("{:.3}", r8.dcache.accesses() as f64 / r8.instructions as f64),
+            format!(
+                "{:.3}",
+                r8.dcache.accesses() as f64 / r8.instructions as f64
+            ),
         ]);
     }
     println!("{}", t.render());

@@ -89,7 +89,11 @@ pub fn report(instructions: usize) -> Result<String, TradeoffError> {
         let lost = r.base_hr - r.switched_hr.last().expect("intervals non-empty").1;
         worst_loss = worst_loss.max(lost);
         let mut row = vec![r.program.to_string(), format!("{:.2}%", 100.0 * r.base_hr)];
-        row.extend(r.switched_hr.iter().map(|(_, h)| format!("{:.2}%", 100.0 * h)));
+        row.extend(
+            r.switched_hr
+                .iter()
+                .map(|(_, h)| format!("{:.2}%", 100.0 * h)),
+        );
         row.push(format!("{:.2}%", 100.0 * lost));
         t.row(row);
     }
@@ -132,7 +136,11 @@ mod tests {
         for r in run(40_000) {
             let mut prev = r.base_hr + 1e-9;
             for &(interval, hr) in &r.switched_hr {
-                assert!(hr <= prev + 0.005, "{}: interval {interval} raised HR", r.program);
+                assert!(
+                    hr <= prev + 0.005,
+                    "{}: interval {interval} raised HR",
+                    r.program
+                );
                 prev = hr;
             }
         }
@@ -146,7 +154,10 @@ mod tests {
             r.base_hr - r.switched_hr.last().unwrap().1
         };
         // ear lives on temporal reuse; the streaming sweeps barely care.
-        assert!(loss(Spec92Program::Ear) > loss(Spec92Program::Swm256), "{rows:?}");
+        assert!(
+            loss(Spec92Program::Ear) > loss(Spec92Program::Swm256),
+            "{rows:?}"
+        );
     }
 
     #[test]

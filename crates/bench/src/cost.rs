@@ -88,9 +88,11 @@ pub fn render(rows: &[CostRow]) -> String {
         t.row([
             format!("{}K + 64-bit", r.small_cache / 1024),
             format!("{:.2}%", 100.0 * r.small_hr),
-            r.equivalent_cache.map_or("beyond 16M".to_string(), |c| format!("{}K", c / 1024)),
+            r.equivalent_cache
+                .map_or("beyond 16M".to_string(), |c| format!("{}K", c / 1024)),
             format!("+{}", r.extra_pins),
-            r.extra_kbits.map_or("—".to_string(), |k| format!("+{k:.0} Kbit")),
+            r.extra_kbits
+                .map_or("—".to_string(), |k| format!("+{k:.0} Kbit")),
         ]);
     }
     format!(
@@ -141,7 +143,10 @@ mod tests {
         let rows = run(8.0, 32).unwrap();
         let kbits: Vec<f64> = rows.iter().filter_map(|r| r.extra_kbits).collect();
         for w in kbits.windows(2) {
-            assert!(w[1] >= w[0], "SRAM increments grow with base size: {kbits:?}");
+            assert!(
+                w[1] >= w[0],
+                "SRAM increments grow with base size: {kbits:?}"
+            );
         }
         for r in &rows {
             assert_eq!(r.extra_pins, 32);

@@ -69,7 +69,14 @@ pub fn run(betas: &[f64]) -> Result<Vec<(f64, Vec<CaseResult>)>, TradeoffError> 
 
 /// Renders the case-study table.
 pub fn render(results: &[(f64, Vec<CaseResult>)]) -> String {
-    let mut t = Table::new(["beta_m", "case", "HR small cache", "HR needed (32-bit)", "HR bigger cache", "holds (±1%)"]);
+    let mut t = Table::new([
+        "beta_m",
+        "case",
+        "HR small cache",
+        "HR needed (32-bit)",
+        "HR bigger cache",
+        "holds (±1%)",
+    ]);
     for (beta, cases) in results {
         for c in cases {
             t.row([

@@ -21,7 +21,9 @@ pub fn worker_count(jobs: usize) -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
         });
     cores.min(jobs).max(1)
 }
@@ -63,14 +65,20 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect()
     });
     let mut slots: Vec<Option<O>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     for (i, out) in parts.into_iter().flatten() {
         slots[i] = Some(out);
     }
-    slots.into_iter().map(|o| o.expect("every job was claimed exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|o| o.expect("every job was claimed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]

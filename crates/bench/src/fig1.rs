@@ -4,7 +4,7 @@
 //! Paper setting: 8 KB two-way write-allocate data cache, L = 32 B,
 //! D = 4 B, stalling factor reported as a percentage of `L/D`.
 
-use crate::common::{average_phi, instructions_per_run};
+use crate::common::{instructions_per_run, phi_matrix, PhiPoint};
 use report::{write_csv, Chart};
 use simcpu::StallFeature;
 
@@ -21,15 +21,27 @@ pub struct PhiCurve {
 }
 
 /// Runs the sweep for the four measured features.
+///
+/// All `features × β_m` points are batched through one
+/// [`phi_matrix`] call: the per-program trace and cache work is shared
+/// by every curve (the timelines are extracted once) and the per-point
+/// replays fan out over the worker pool together.
 pub fn run(line_bytes: u64, bus_bytes: u64, instructions: usize) -> Vec<PhiCurve> {
     let chunks = (line_bytes / bus_bytes) as f64;
+    let points: Vec<PhiPoint> = StallFeature::MEASURED
+        .iter()
+        .flat_map(|&feature| BETAS.iter().map(move |&beta| (feature, beta)))
+        .collect();
+    let phis = phi_matrix(&points, line_bytes, bus_bytes, instructions);
     StallFeature::MEASURED
         .iter()
-        .map(|&feature| {
+        .enumerate()
+        .map(|(f, &feature)| {
             let points = BETAS
                 .iter()
-                .map(|&beta| {
-                    let phi = average_phi(feature, line_bytes, bus_bytes, beta, instructions);
+                .enumerate()
+                .map(|(b, &beta)| {
+                    let phi = phis[f * BETAS.len() + b];
                     (beta as f64, 100.0 * phi / chunks)
                 })
                 .collect();
@@ -51,7 +63,11 @@ pub fn render(curves: &[PhiCurve], results_dir: &std::path::Path) -> String {
     for c in curves {
         chart.series(c.feature.to_string(), c.points.clone());
         for &(beta, pct) in &c.points {
-            rows.push(vec![c.feature.to_string(), format!("{beta}"), format!("{pct:.2}")]);
+            rows.push(vec![
+                c.feature.to_string(),
+                format!("{beta}"),
+                format!("{pct:.2}"),
+            ]);
         }
     }
     let csv_path = results_dir.join("fig1.csv");
@@ -65,6 +81,55 @@ pub fn render(curves: &[PhiCurve], results_dir: &std::path::Path) -> String {
 pub fn main_report() -> String {
     let curves = run(32, 4, instructions_per_run());
     render(&curves, &crate::common::results_dir())
+}
+
+/// Wall-clock record of the Figure-1 sweep through the miss-event
+/// timeline engine versus per-point full simulation, written to
+/// `BENCH_phi.json` by `cargo bench -p bench --bench phi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiBenchResult {
+    /// (feature × β_m × program) points measured.
+    pub points: usize,
+    /// Trace length in instructions.
+    pub instructions: usize,
+    /// Wall-clock seconds for per-point full simulation.
+    pub full_secs: f64,
+    /// Wall-clock seconds for extract-once + replay-per-point.
+    pub timeline_secs: f64,
+}
+
+impl PhiBenchResult {
+    /// Full-simulation time over timeline time.
+    pub fn speedup(&self) -> f64 {
+        self.full_secs / self.timeline_secs
+    }
+
+    /// Timing points per second through the timeline engine.
+    pub fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.timeline_secs
+    }
+
+    /// Serialises the record as a small JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"figure1_phi\",\n  \"points\": {},\n  \"instructions\": {},\n  \"full_secs\": {:.6},\n  \"timeline_secs\": {:.6},\n  \"speedup\": {:.2},\n  \"points_per_sec\": {:.1}\n}}\n",
+            self.points,
+            self.instructions,
+            self.full_secs,
+            self.timeline_secs,
+            self.speedup(),
+            self.points_per_sec(),
+        )
+    }
+
+    /// Writes the JSON record to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error on failure.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +162,11 @@ mod tests {
         // All percentages in [12.5, 100] (φ ∈ [1, L/D]).
         for c in &curves {
             for &(_, pct) in &c.points {
-                assert!((12.5 - 1e-6..=100.0 + 1e-6).contains(&pct), "{}: {pct}", c.feature);
+                assert!(
+                    (12.5 - 1e-6..=100.0 + 1e-6).contains(&pct),
+                    "{}: {pct}",
+                    c.feature
+                );
             }
         }
     }

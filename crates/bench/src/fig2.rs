@@ -38,7 +38,11 @@ pub fn run(base_hrs: &[f64], betas: &[f64]) -> Result<Vec<TradeCurve>, TradeoffE
                 let dhr = traded_hit_ratio(&machine, &base, &doubled, hr_t)?;
                 points.push((beta, 100.0 * dhr));
             }
-            out.push(TradeCurve { base_hr: hr, line_bytes: l, points });
+            out.push(TradeCurve {
+                base_hr: hr,
+                line_bytes: l,
+                points,
+            });
         }
     }
     Ok(out)
@@ -57,7 +61,10 @@ pub fn render(curves: &[TradeCurve], results_dir: &std::path::Path) -> String {
     hrs.dedup();
     for hr in hrs {
         let mut chart = Chart::new(
-            format!("Figure 2 — hit ratio traded by doubling the bus (base HR {:.0}%)", hr * 100.0),
+            format!(
+                "Figure 2 — hit ratio traded by doubling the bus (base HR {:.0}%)",
+                hr * 100.0
+            ),
             "beta_m (cycles per 4 bytes)",
             "traded HR %",
             60,
@@ -80,8 +87,11 @@ pub fn render(curves: &[TradeCurve], results_dir: &std::path::Path) -> String {
         }
     }
     let csv_path = results_dir.join("fig2.csv");
-    if let Err(e) = write_csv(&csv_path, &["base_hr", "line_bytes", "beta_m", "traded_hr_pct"], &rows)
-    {
+    if let Err(e) = write_csv(
+        &csv_path,
+        &["base_hr", "line_bytes", "beta_m", "traded_hr_pct"],
+        &rows,
+    ) {
         eprintln!("warning: could not write {}: {e}", csv_path.display());
     }
     out
@@ -119,7 +129,11 @@ mod tests {
         let curves = run(&[0.90], &default_betas()).unwrap();
         for c in &curves {
             for w in c.points.windows(2) {
-                assert!(w[1].1 <= w[0].1 + 1e-12, "not decreasing for L={}", c.line_bytes);
+                assert!(
+                    w[1].1 <= w[0].1 + 1e-12,
+                    "not decreasing for L={}",
+                    c.line_bytes
+                );
             }
         }
         // Smaller lines trade more at every β.
@@ -134,7 +148,12 @@ mod tests {
     fn lower_base_hr_trades_proportionally_more() {
         let curves = run(&[0.98, 0.90], &default_betas()).unwrap();
         let at = |hr: f64, l: f64| {
-            curves.iter().find(|c| c.base_hr == hr && c.line_bytes == l).unwrap().points[0].1
+            curves
+                .iter()
+                .find(|c| c.base_hr == hr && c.line_bytes == l)
+                .unwrap()
+                .points[0]
+                .1
         };
         // ΔHR ∝ (1 − HR): ratio 5×.
         assert!((at(0.90, 8.0) / at(0.98, 8.0) - 5.0).abs() < 1e-9);

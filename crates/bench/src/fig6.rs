@@ -50,7 +50,11 @@ pub fn report(model: &dyn MissRatioModel, dir: &std::path::Path) -> Result<Strin
     out.push_str(&validation_table(&validations));
 
     let csv = dir.join("fig6.csv");
-    if let Err(e) = write_csv(&csv, &["panel", "line_bytes", "beta", "reduced_delay_x100"], &rows) {
+    if let Err(e) = write_csv(
+        &csv,
+        &["panel", "line_bytes", "beta", "reduced_delay_x100"],
+        &rows,
+    ) {
         eprintln!("warning: could not write {}: {e}", csv.display());
     }
     Ok(out)
@@ -58,7 +62,13 @@ pub fn report(model: &dyn MissRatioModel, dir: &std::path::Path) -> Result<Strin
 
 /// The per-panel validation table.
 pub fn validation_table(validations: &[PanelValidation]) -> String {
-    let mut t = Table::new(["panel", "Smith Eq.16", "ours Eq.19", "agree", "matches paper"]);
+    let mut t = Table::new([
+        "panel",
+        "Smith Eq.16",
+        "ours Eq.19",
+        "agree",
+        "matches paper",
+    ]);
     for v in validations {
         t.row([
             v.panel.to_string(),

@@ -131,9 +131,7 @@ pub fn report(beta: u64, instructions: usize) -> Result<String, TradeoffError> {
             100.0 * pipe
         )
     } else {
-        format!(
-            "still above the pipelining crossover ({crossover:.2}): pipelining keeps winning"
-        )
+        format!("still above the pipelining crossover ({crossover:.2}): pipelining keeps winning")
     };
     Ok(format!(
         "Second-level cache extension (8K L1 + 128K L2 @ β=2, memory β={beta}):\n{}\n\

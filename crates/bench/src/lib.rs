@@ -31,6 +31,7 @@ pub mod reuse;
 pub mod sector;
 pub mod sweep;
 pub mod table23;
+pub mod tracestore;
 pub mod unified;
 pub mod validate;
 pub mod victim;

@@ -94,7 +94,11 @@ pub fn main_report() -> String {
     let timing = FillTiming::new(7.0, 1.0).expect("valid timing");
     let mut t = Table::new(["program", "measured HR by line", "Smith pick", "Eq.19 pick"]);
     let mut rows_csv = Vec::new();
-    for p in [Spec92Program::Nasa7, Spec92Program::Doduc, Spec92Program::Ear] {
+    for p in [
+        Spec92Program::Nasa7,
+        Spec92Program::Doduc,
+        Spec92Program::Ear,
+    ] {
         match simulated_selection(p, 8 * 1024, 60_000, &timing) {
             Ok((cands, smith, ours)) => {
                 let hrs: Vec<String> = cands
@@ -116,7 +120,12 @@ pub fn main_report() -> String {
                 ]);
             }
             Err(e) => {
-                t.row([p.to_string(), format!("error: {e}"), String::new(), String::new()]);
+                t.row([
+                    p.to_string(),
+                    format!("error: {e}"),
+                    String::new(),
+                    String::new(),
+                ]);
             }
         }
     }
@@ -163,7 +172,10 @@ mod tests {
         let timing = FillTiming::new(20.0, 0.5).unwrap();
         let (_, smith, _) =
             simulated_selection(Spec92Program::Swm256, 8 * 1024, 40_000, &timing).unwrap();
-        assert!(smith >= 32.0, "sequential code with cheap transfer wants big lines: {smith}");
+        assert!(
+            smith >= 32.0,
+            "sequential code with cheap transfer wants big lines: {smith}"
+        );
     }
 
     #[test]

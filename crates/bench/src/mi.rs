@@ -35,7 +35,10 @@ pub fn analytic_table(beta_m: f64) -> Result<String, TradeoffError> {
     for (name, enh) in features {
         let mut row = vec![name.to_string()];
         for w in [1u32, 2, 4, 8] {
-            row.push(format!("{:.3}%", 100.0 * traded_hit_ratio_w(&machine, &base, &enh, hr, w)?));
+            row.push(format!(
+                "{:.3}%",
+                100.0 * traded_hit_ratio_w(&machine, &base, &enh, hr, w)?
+            ));
         }
         let limit = (miss_traffic_ratio_limit(&machine, &base, &enh)? - 1.0) * hr.miss_ratio();
         row.push(format!("{:.3}%", 100.0 * limit));

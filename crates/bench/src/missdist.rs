@@ -72,7 +72,12 @@ pub fn run(beta: u64, instructions: usize) -> Vec<DistanceProfile> {
 
 /// Renders the table plus a compact per-program sparkline.
 pub fn render(rows: &[DistanceProfile]) -> String {
-    let mut t = Table::new(["program", "distance histogram (1→512K instr)", "median ΔC", "φ(BL)"]);
+    let mut t = Table::new([
+        "program",
+        "distance histogram (1→512K instr)",
+        "median ΔC",
+        "φ(BL)",
+    ]);
     for r in rows {
         let spark = report::chart::sparkline(&r.hist);
         t.row([
@@ -109,9 +114,8 @@ mod tests {
     #[test]
     fn streaming_programs_have_short_distances() {
         let rows = run(8, 30_000);
-        let mean = |p: Spec92Program| {
-            mean_distance(&rows.iter().find(|r| r.program == p).unwrap().hist)
-        };
+        let mean =
+            |p: Spec92Program| mean_distance(&rows.iter().find(|r| r.program == p).unwrap().hist);
         // Stencil sweeps miss every line → shorter distances than the
         // loop-nest code.
         assert!(mean(Spec92Program::Swm256) < mean(Spec92Program::Ear));
@@ -124,8 +128,14 @@ mod tests {
         // much as the longest-distance one.
         let rows = run(8, 30_000);
         let key = |r: &DistanceProfile| mean_distance(&r.hist);
-        let shortest = rows.iter().min_by(|a, b| key(a).total_cmp(&key(b))).unwrap();
-        let longest = rows.iter().max_by(|a, b| key(a).total_cmp(&key(b))).unwrap();
+        let shortest = rows
+            .iter()
+            .min_by(|a, b| key(a).total_cmp(&key(b)))
+            .unwrap();
+        let longest = rows
+            .iter()
+            .max_by(|a, b| key(a).total_cmp(&key(b)))
+            .unwrap();
         assert!(
             shortest.phi_bl >= longest.phi_bl,
             "{}(ΔC={:.1}, φ={}) vs {}(ΔC={:.1}, φ={})",

@@ -6,7 +6,7 @@
 //! φ versus memory cycle time and MSHR count, and where NB would slot
 //! into the Figures 3–5 ranking.
 
-use crate::common::{average_phi, instructions_per_run};
+use crate::common::{instructions_per_run, phi_matrix, PhiPoint};
 use report::{Chart, Table};
 use simcpu::StallFeature;
 use tradeoff::equiv::traded_hit_ratio;
@@ -15,23 +15,32 @@ use tradeoff::{HitRatio, Machine, SystemConfig, TradeoffError};
 /// The β_m grid of the measurement.
 pub const BETAS: [u64; 5] = [4, 8, 15, 25, 40];
 
+/// The MSHR counts of the measurement.
+pub const MSHR_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
 /// Measured NB φ per (MSHR count, β_m).
+///
+/// One [`phi_matrix`] batch covers the whole grid: a single timeline
+/// per program serves every MSHR count and β, so the 20 points cost six
+/// cache passes plus 120 `O(misses)` replays.
 pub fn phi_grid(instructions: usize) -> Vec<(u32, Vec<(f64, f64)>)> {
-    [1u32, 2, 4, 8]
+    let points: Vec<PhiPoint> = MSHR_COUNTS
         .into_iter()
-        .map(|mshrs| {
+        .flat_map(|mshrs| {
+            BETAS
+                .iter()
+                .map(move |&beta| (StallFeature::NonBlocking { mshrs }, beta))
+        })
+        .collect();
+    let phis = phi_matrix(&points, 32, 4, instructions);
+    MSHR_COUNTS
+        .into_iter()
+        .enumerate()
+        .map(|(m, mshrs)| {
             let pts = BETAS
                 .iter()
-                .map(|&beta| {
-                    let phi = average_phi(
-                        StallFeature::NonBlocking { mshrs },
-                        32,
-                        4,
-                        beta,
-                        instructions,
-                    );
-                    (beta as f64, phi)
-                })
+                .enumerate()
+                .map(|(b, &beta)| (beta as f64, phis[m * BETAS.len() + b]))
                 .collect();
             (mshrs, pts)
         })
@@ -68,11 +77,22 @@ pub fn report(instructions: usize) -> Result<String, TradeoffError> {
         .expect("grid covers 4 MSHRs at β = 8");
     let mut t = Table::new(["feature", "ΔHR at β=8, HR=95%"]);
     let mut entries = vec![
-        ("doubling bus".to_string(), traded_hit_ratio(&machine, &base, &base.with_bus_factor(2.0), hr)?),
-        ("write buffers".to_string(), traded_hit_ratio(&machine, &base, &base.with_write_buffers(), hr)?),
+        (
+            "doubling bus".to_string(),
+            traded_hit_ratio(&machine, &base, &base.with_bus_factor(2.0), hr)?,
+        ),
+        (
+            "write buffers".to_string(),
+            traded_hit_ratio(&machine, &base, &base.with_write_buffers(), hr)?,
+        ),
         (
             format!("NB cache, 4 MSHRs (measured φ = {nb_phi:.2})"),
-            traded_hit_ratio(&machine, &base, &base.with_partial_stall(nb_phi.clamp(0.0, 8.0)), hr)?,
+            traded_hit_ratio(
+                &machine,
+                &base,
+                &base.with_partial_stall(nb_phi.clamp(0.0, 8.0)),
+                hr,
+            )?,
         ),
     ];
     entries.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -10,11 +10,12 @@
 
 use report::Table;
 use simcache::CacheConfig;
-use simcpu::{Cpu, CpuConfig, SimResult, StallFeature};
+use simcpu::{CpuConfig, MissTimeline, SimResult, StallFeature, TimelineCpu};
 use simmem::{BusWidth, MemoryTiming};
 use simtrace::gen::{StridedSweep, TraceShape, WorkingSet, ZipfWorkingSet};
 use simtrace::phases::{Phase, PhasedPattern};
 use simtrace::Instr;
+use std::sync::{Arc, OnceLock};
 
 /// References per phase in the experiment's program.
 pub const PHASE_REFS: u64 = 6_000;
@@ -22,11 +23,30 @@ pub const PHASE_REFS: u64 = 6_000;
 /// Builds the three-phase program: sweep → gather → hot loop.
 pub fn phased_trace(seed: u64) -> impl Iterator<Item = Instr> {
     PhasedPattern::new(vec![
-        Phase::new("sweep", StridedSweep::new(0x100_0000, 1 << 20, 8, 8, 3), PHASE_REFS),
-        Phase::new("gather", ZipfWorkingSet::new(0x200_0000, 64 * 1024, 8, 1.1, 0.2), PHASE_REFS),
-        Phase::new("hot loop", WorkingSet::new(0x30_0000, 4 * 1024, 0.4, 8), PHASE_REFS),
+        Phase::new(
+            "sweep",
+            StridedSweep::new(0x100_0000, 1 << 20, 8, 8, 3),
+            PHASE_REFS,
+        ),
+        Phase::new(
+            "gather",
+            ZipfWorkingSet::new(0x200_0000, 64 * 1024, 8, 1.1, 0.2),
+            PHASE_REFS,
+        ),
+        Phase::new(
+            "hot loop",
+            WorkingSet::new(0x30_0000, 4 * 1024, 0.4, 8),
+            PHASE_REFS,
+        ),
     ])
-    .into_trace(TraceShape { mem_fraction: 0.33, branch_fraction: 0.02, code_bytes: 32 * 1024 }, seed)
+    .into_trace(
+        TraceShape {
+            mem_fraction: 0.33,
+            branch_fraction: 0.02,
+            code_bytes: 32 * 1024,
+        },
+        seed,
+    )
 }
 
 /// One measured window (≈ one phase occupancy).
@@ -52,8 +72,16 @@ fn delta(name: &'static str, before: &SimResult, after: &SimResult) -> PhaseWind
     let miss_stall = after.miss_stall_cycles - before.miss_stall_cycles;
     PhaseWindow {
         name,
-        hit_ratio: if accesses == 0 { 0.0 } else { hits as f64 / accesses as f64 },
-        alpha: if fills == 0 { 0.0 } else { wbs as f64 / fills as f64 },
+        hit_ratio: if accesses == 0 {
+            0.0
+        } else {
+            hits as f64 / accesses as f64
+        },
+        alpha: if fills == 0 {
+            0.0
+        } else {
+            wbs as f64 / fills as f64
+        },
         phi: if fills == 0 {
             0.0
         } else {
@@ -63,45 +91,62 @@ fn delta(name: &'static str, before: &SimResult, after: &SimResult) -> PhaseWind
     }
 }
 
-/// Runs one full phase cycle under BL stalling and measures per-phase
-/// windows. The trace interleaves non-memory instructions, so windows
-/// are delimited by *reference* counts.
-pub fn run(beta: u64) -> Vec<PhaseWindow> {
-    let cfg = CpuConfig::baseline(
-        CacheConfig::new(8 * 1024, 32, 2).expect("valid cache"),
+fn phase_cache() -> CacheConfig {
+    CacheConfig::new(8 * 1024, 32, 2).expect("valid cache")
+}
+
+fn phase_config(beta: u64) -> CpuConfig {
+    CpuConfig::baseline(
+        phase_cache(),
         MemoryTiming::new(BusWidth::new(4).expect("valid bus"), beta),
     )
-    .with_stall(StallFeature::BusLocked);
-    let mut cpu = Cpu::new(cfg);
-    let names = ["sweep", "gather", "hot loop"];
-    let mut windows = Vec::new();
-    let mut trace = phased_trace(0x9A5E);
-    // Warm one full cycle so the phases run against a warmed cache.
+    .with_stall(StallFeature::BusLocked)
+}
+
+/// The experiment's trace — one warm-up cycle plus the three measured
+/// phases — cut right after its `6 · PHASE_REFS`-th data reference,
+/// exactly where the measurement stops.
+fn experiment_trace() -> Vec<Instr> {
+    let mut trace = Vec::new();
     let mut refs = 0;
-    for instr in trace.by_ref() {
-        cpu.step(&instr);
+    for instr in phased_trace(0x9A5E) {
+        trace.push(instr);
         if instr.mem.is_some() {
             refs += 1;
-            if refs == 3 * PHASE_REFS {
+            if refs == 6 * PHASE_REFS {
                 break;
             }
         }
     }
-    for name in names {
-        let before = cpu.snapshot();
-        let mut refs = 0;
-        for instr in trace.by_ref() {
-            cpu.step(&instr);
-            if instr.mem.is_some() {
-                refs += 1;
-                if refs == PHASE_REFS {
-                    break;
-                }
-            }
-        }
-        windows.push(delta(name, &before, &cpu.snapshot()));
-    }
-    windows
+    trace
+}
+
+/// The trace's [`MissTimeline`], extracted once: the cache's event
+/// sequence is shared by every β this experiment replays.
+fn phase_timeline() -> Arc<MissTimeline> {
+    static TIMELINE: OnceLock<Arc<MissTimeline>> = OnceLock::new();
+    Arc::clone(
+        TIMELINE.get_or_init(|| Arc::new(MissTimeline::extract(phase_cache(), experiment_trace()))),
+    )
+}
+
+/// Runs one full phase cycle under BL stalling and measures per-phase
+/// windows. The trace interleaves non-memory instructions, so windows
+/// are delimited by *reference* counts: the timeline replay snapshots
+/// the accumulated result at each phase boundary, bit-identical to
+/// stepping the full simulator to the same reference counts (asserted
+/// by `run_matches_full_simulation` below). Warm-up is one full phase
+/// cycle (the first three marks fall inside it).
+pub fn run(beta: u64) -> Vec<PhaseWindow> {
+    let timeline = phase_timeline();
+    let replay = TimelineCpu::new(&timeline, phase_config(beta)).expect("phase replay supported");
+    let marks: Vec<u64> = (3..=6).map(|k| k * PHASE_REFS).collect();
+    let (snaps, _) = replay.run_with_marks(&marks);
+    ["sweep", "gather", "hot loop"]
+        .into_iter()
+        .zip(snaps.windows(2))
+        .map(|(name, pair)| delta(name, &pair[0], &pair[1]))
+        .collect()
 }
 
 /// Renders the per-phase table.
@@ -146,7 +191,10 @@ mod tests {
         // once per line.
         assert!(by(&ws, "hot loop").hit_ratio > 0.95, "{ws:?}");
         assert!(by(&ws, "sweep").hit_ratio < 0.85, "{ws:?}");
-        assert!(by(&ws, "gather").hit_ratio < by(&ws, "hot loop").hit_ratio, "{ws:?}");
+        assert!(
+            by(&ws, "gather").hit_ratio < by(&ws, "hot loop").hit_ratio,
+            "{ws:?}"
+        );
         // Every per-phase φ respects the BL band.
         for w in &ws {
             assert!((1.0..=8.0 + 1e-9).contains(&w.phi), "{ws:?}");
@@ -156,7 +204,10 @@ mod tests {
     #[test]
     fn sweep_phase_dominates_execution_time() {
         let ws = run(8);
-        assert!(by(&ws, "sweep").cycles > by(&ws, "hot loop").cycles * 2, "{ws:?}");
+        assert!(
+            by(&ws, "sweep").cycles > by(&ws, "hot loop").cycles * 2,
+            "{ws:?}"
+        );
     }
 
     #[test]
@@ -166,6 +217,43 @@ mod tests {
         let spread = alphas.iter().cloned().fold(f64::MIN, f64::max)
             - alphas.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 0.1, "phases should differ in α: {alphas:?}");
+    }
+
+    #[test]
+    fn run_matches_full_simulation() {
+        // Oracle: the pre-timeline implementation — step the full
+        // simulator through warm-up and the three windows, snapshotting
+        // at the same reference boundaries.
+        for beta in [8, 22] {
+            let mut cpu = simcpu::Cpu::new(phase_config(beta));
+            let mut trace = phased_trace(0x9A5E).into_iter();
+            let mut refs = 0;
+            for instr in trace.by_ref() {
+                cpu.step(&instr);
+                if instr.mem.is_some() {
+                    refs += 1;
+                    if refs == 3 * PHASE_REFS {
+                        break;
+                    }
+                }
+            }
+            let mut oracle = Vec::new();
+            for name in ["sweep", "gather", "hot loop"] {
+                let before = cpu.snapshot();
+                let mut refs = 0;
+                for instr in trace.by_ref() {
+                    cpu.step(&instr);
+                    if instr.mem.is_some() {
+                        refs += 1;
+                        if refs == PHASE_REFS {
+                            break;
+                        }
+                    }
+                }
+                oracle.push(delta(name, &before, &cpu.snapshot()));
+            }
+            assert_eq!(run(beta), oracle, "β = {beta}");
+        }
     }
 
     #[test]

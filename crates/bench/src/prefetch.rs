@@ -61,10 +61,9 @@ pub fn run(beta: u64, instructions: usize) -> Result<Vec<PrefetchWorth>, Tradeof
         let base = SystemConfig::full_stalling(plain.alpha().clamp(0.0, 1.0));
         let g = base.delay_per_missed_line(&machine)?;
         let refs = plain.dcache.accesses() as f64;
-        let hit_ratio_worth =
-            (plain.cycles as f64 - pf.cycles as f64) / (refs * (g - 1.0));
-        let traffic_factor = (pf.dcache.fills + pf.dcache.prefetch_fills) as f64
-            / plain.dcache.fills.max(1) as f64;
+        let hit_ratio_worth = (plain.cycles as f64 - pf.cycles as f64) / (refs * (g - 1.0));
+        let traffic_factor =
+            (pf.dcache.fills + pf.dcache.prefetch_fills) as f64 / plain.dcache.fills.max(1) as f64;
         out.push(PrefetchWorth {
             program,
             cycles_plain: plain.cycles,

@@ -56,7 +56,9 @@ pub fn render(rows: &[ReuseRow]) -> String {
     ]);
     for r in rows {
         let fmt_cap = |target: f64| {
-            r.profile.capacity_for(target).map_or("—".to_string(), |k| k.to_string())
+            r.profile
+                .capacity_for(target)
+                .map_or("—".to_string(), |k| k.to_string())
         };
         t.row([
             r.program.to_string(),

@@ -105,9 +105,8 @@ fn sector(
     let blocks = cache_bytes / block;
     let sets = cfg.num_sets();
     let tag_bits = 32 - block.trailing_zeros() - sets.trailing_zeros();
-    let sram_bits = cache_bytes * 8
-        + blocks * u64::from(tag_bits)
-        + blocks * 2 * u64::from(cfg.subblocks());
+    let sram_bits =
+        cache_bytes * 8 + blocks * u64::from(tag_bits) + blocks * 2 * u64::from(cfg.subblocks());
     Ok(OrgResult {
         name: format!("sector {block}B/{sub}B"),
         hit_ratio: s.hit_ratio(),
@@ -124,7 +123,11 @@ fn sector(
 ///
 /// Propagates cost-model errors.
 pub fn run(program: Spec92Program, n: usize) -> Result<Vec<OrgResult>, TradeoffError> {
-    let tech = SectorTech { c: 7.0, beta: 2.0, bus_bytes: 8.0 };
+    let tech = SectorTech {
+        c: 7.0,
+        beta: 2.0,
+        bus_bytes: 8.0,
+    };
     Ok(vec![
         conventional("conventional 8B lines", 8 * 1024, 8, program, n, tech)?,
         conventional("conventional 64B lines", 8 * 1024, 64, program, n, tech)?,
@@ -141,8 +144,13 @@ pub fn report(n: usize) -> Result<String, TradeoffError> {
     let mut out = String::new();
     for program in [Spec92Program::Nasa7, Spec92Program::Doduc] {
         let rows = run(program, n)?;
-        let mut t =
-            Table::new(["organisation", "HR", "read traffic", "mean access", "SRAM Kbit"]);
+        let mut t = Table::new([
+            "organisation",
+            "HR",
+            "read traffic",
+            "mean access",
+            "SRAM Kbit",
+        ]);
         for r in &rows {
             t.row([
                 r.name.clone(),
@@ -152,7 +160,10 @@ pub fn report(n: usize) -> Result<String, TradeoffError> {
                 format!("{:.1}", r.sram_bits as f64 / 1024.0),
             ]);
         }
-        out.push_str(&format!("{program} (8K data, c=7, β=2/8B bus):\n{}\n", t.render()));
+        out.push_str(&format!(
+            "{program} (8K data, c=7, β=2/8B bus):\n{}\n",
+            t.render()
+        ));
     }
     out.push_str(
         "The sector organisation keeps the 64B design's tag budget while fetching 8B\n\

@@ -14,11 +14,9 @@ use crate::exec;
 use report::{write_csv, Table};
 use simcache::explore::HitRatioPoint;
 use simcache::stackdist::StackDistSweep;
-use simtrace::spec92::{spec92_trace, Spec92Program};
-use simtrace::Instr;
+use simtrace::spec92::Spec92Program;
 use smithval::TableModel;
 use std::path::Path;
-use std::sync::Arc;
 
 /// Trace seed shared with the line-size experiment, so the sweep's
 /// numbers are directly comparable to `linesize.csv`.
@@ -95,8 +93,8 @@ pub fn run_sweep(
     grid: &SweepGrid,
     instructions: usize,
 ) -> Vec<WorkloadSweep> {
-    let traces: Vec<Arc<[Instr]>> = exec::parallel_map(programs, |&p| {
-        spec92_trace(p, SWEEP_SEED).take(instructions).collect::<Vec<_>>().into()
+    let traces: Vec<crate::tracestore::TraceHandle> = exec::parallel_map(programs, |&p| {
+        crate::tracestore::spec_trace(p, SWEEP_SEED, instructions)
     });
 
     let jobs: Vec<(usize, u64)> = (0..programs.len())
@@ -174,7 +172,11 @@ pub fn best_line(sweep: &WorkloadSweep, cache_bytes: u64) -> Option<u64> {
 /// full grid to `sweep.csv` under `dir`.
 pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String {
     let mut header = vec!["program".to_string()];
-    header.extend(grid.cache_sizes.iter().map(|c| format!("best L @ {}K", c / 1024)));
+    header.extend(
+        grid.cache_sizes
+            .iter()
+            .map(|c| format!("best L @ {}K", c / 1024)),
+    );
     let mut t = Table::new(header);
     let mut rows = Vec::new();
     for ws in results {
@@ -199,7 +201,13 @@ pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String
     let csv = dir.join("sweep.csv");
     if let Err(e) = write_csv(
         &csv,
-        &["program", "cache_bytes", "line_bytes", "hit_ratio", "flush_ratio"],
+        &[
+            "program",
+            "cache_bytes",
+            "line_bytes",
+            "hit_ratio",
+            "flush_ratio",
+        ],
         &rows,
     ) {
         eprintln!("warning: could not write {}: {e}", csv.display());
@@ -220,8 +228,12 @@ pub fn measured_validation(results: &[WorkloadSweep]) -> String {
     let cache_bytes = 16 * 1024;
     let mut t = Table::new(["program", "Smith Eq.16", "ours Eq.19", "agree"]);
     for ws in results {
-        let Some(model) = measured_model(ws, cache_bytes) else { continue };
-        let Ok(validations) = smithval::validate_all_panels(&model) else { continue };
+        let Some(model) = measured_model(ws, cache_bytes) else {
+            continue;
+        };
+        let Ok(validations) = smithval::validate_all_panels(&model) else {
+            continue;
+        };
         // Panel (a) is the canonical 16 KB configuration.
         for v in validations.iter().filter(|v| v.panel.starts_with("(a)")) {
             t.row([
@@ -232,7 +244,10 @@ pub fn measured_validation(results: &[WorkloadSweep]) -> String {
             ]);
         }
     }
-    format!("\nSelector agreement on measured 16 KB miss ratios:\n{}", t.render())
+    format!(
+        "\nSelector agreement on measured 16 KB miss ratios:\n{}",
+        t.render()
+    )
 }
 
 /// Entry point shared by the binary and the `run_all` driver.
@@ -298,6 +313,7 @@ impl SweepBenchResult {
 mod tests {
     use super::*;
     use simcache::explore::hit_ratio_grid_replay;
+    use simtrace::spec92::spec92_trace;
 
     fn small_grid() -> SweepGrid {
         SweepGrid {
@@ -364,7 +380,13 @@ mod tests {
         assert!((r.speedup() - 14.0).abs() < 1e-12);
         assert!((r.points_per_sec() - 70.0).abs() < 1e-9);
         let json = r.to_json();
-        for key in ["grid_points", "replay_secs", "sweep_secs", "speedup", "points_per_sec"] {
+        for key in [
+            "grid_points",
+            "replay_secs",
+            "sweep_secs",
+            "speedup",
+            "points_per_sec",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
     }
@@ -379,13 +401,23 @@ mod tests {
         for p in &results[0].points {
             if p.cache_bytes == 16 * 1024 {
                 let m = model.miss_ratio(16.0 * 1024.0, p.line_bytes as f64);
-                assert!((m - (1.0 - p.hit_ratio)).abs() < 1e-12, "L={}", p.line_bytes);
+                assert!(
+                    (m - (1.0 - p.hit_ratio)).abs() < 1e-12,
+                    "L={}",
+                    p.line_bytes
+                );
             }
         }
-        assert!(measured_model(&results[0], 3).is_none(), "no points at 3 bytes");
+        assert!(
+            measured_model(&results[0], 3).is_none(),
+            "no points at 3 bytes"
+        );
         let text = measured_validation(&results);
         assert!(text.contains("ear"));
-        assert!(!text.contains("false"), "selectors must agree on measured tables:\n{text}");
+        assert!(
+            !text.contains("false"),
+            "selectors must agree on measured tables:\n{text}"
+        );
     }
 
     #[test]

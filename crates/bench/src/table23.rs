@@ -88,9 +88,17 @@ pub fn table3_rows(
 pub fn table3() -> Result<String, TradeoffError> {
     let machine = Machine::new(4.0, 32.0, 8.0)?;
     let rows = table3_rows(&machine, 0.5, 0.85 * 8.0, 2.0)?;
-    let mut t = Table::new(["feature", "ratio of cache misses r", "r @ (L=32,D=4,β=8,α=.5)"]);
+    let mut t = Table::new([
+        "feature",
+        "ratio of cache misses r",
+        "r @ (L=32,D=4,β=8,α=.5)",
+    ]);
     for row in &rows {
-        t.row([row.feature.clone(), row.expression.clone(), format!("{:.3}", row.r)]);
+        t.row([
+            row.feature.clone(),
+            row.expression.clone(),
+            format!("{:.3}", row.r),
+        ]);
     }
     Ok(t.render())
 }

@@ -1,0 +1,170 @@
+//! Process-wide memoised traces and miss timelines.
+//!
+//! Every φ/α experiment used to regenerate its SPEC92 proxy trace — and
+//! re-simulate the cache — once *per timing point* (168 times for
+//! Figure 1 alone), even though both depend only on (program, seed,
+//! length) and (…, cache geometry) respectively. This store materialises
+//! each trace once into a shared allocation and memoises each extracted
+//! [`MissTimeline`], so a β-sweep costs one trace generation plus one
+//! cache pass, after which every point is an `O(misses)` replay.
+//!
+//! Traces of different lengths share one backing: the proxy generators
+//! are deterministic lazy streams, so the `n`-instruction trace is a
+//! prefix of the `m ≥ n` one (asserted in the tests below). The store
+//! keeps the longest materialisation per (program, seed) and hands out
+//! prefix views.
+//!
+//! Set `REPRO_TRACE_CACHE=0` to disable memoisation (every call then
+//! regenerates from scratch — useful for memory-constrained runs and for
+//! A/B-testing the cache itself).
+
+use simcache::CacheConfig;
+use simcpu::MissTimeline;
+use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::Instr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Seed used by every `run_spec`-style experiment.
+pub const SPEC_SEED: u64 = 0xDEAD_BEEF;
+
+/// A shared trace prefix: cheap to clone, derefs to the instructions.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    data: Arc<Vec<Instr>>,
+    len: usize,
+}
+
+impl TraceHandle {
+    /// The instructions of this prefix.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.data[..self.len]
+    }
+}
+
+impl std::ops::Deref for TraceHandle {
+    type Target = [Instr];
+    fn deref(&self) -> &[Instr] {
+        self.instrs()
+    }
+}
+
+fn memoise() -> bool {
+    std::env::var("REPRO_TRACE_CACHE").map_or(true, |v| v != "0")
+}
+
+type TraceKey = (Spec92Program, u64);
+type TimelineKey = (Spec92Program, u64, usize, CacheConfig);
+
+fn traces() -> &'static Mutex<HashMap<TraceKey, Arc<Vec<Instr>>>> {
+    static STORE: OnceLock<Mutex<HashMap<TraceKey, Arc<Vec<Instr>>>>> = OnceLock::new();
+    STORE.get_or_init(Mutex::default)
+}
+
+fn timelines() -> &'static Mutex<HashMap<TimelineKey, Arc<MissTimeline>>> {
+    static STORE: OnceLock<Mutex<HashMap<TimelineKey, Arc<MissTimeline>>>> = OnceLock::new();
+    STORE.get_or_init(Mutex::default)
+}
+
+fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
+    Arc::new(spec92_trace(program, seed).take(len).collect())
+}
+
+/// The first `len` instructions of a SPEC92 proxy trace, materialised at
+/// most once per (program, seed) process-wide.
+pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle {
+    if !memoise() {
+        return TraceHandle {
+            data: generate(program, seed, len),
+            len,
+        };
+    }
+    let mut store = traces().lock().expect("trace store poisoned");
+    let entry = store
+        .entry((program, seed))
+        .or_insert_with(|| Arc::new(Vec::new()));
+    if entry.len() < len {
+        *entry = generate(program, seed, len);
+    }
+    TraceHandle {
+        data: Arc::clone(entry),
+        len,
+    }
+}
+
+/// The [`MissTimeline`] of a SPEC92 proxy prefix under `cache`,
+/// extracted at most once per (program, seed, length, cache geometry)
+/// process-wide.
+pub fn spec_timeline(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    cache: &CacheConfig,
+) -> Arc<MissTimeline> {
+    if !memoise() {
+        let trace = spec_trace(program, seed, len);
+        return Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
+    }
+    let key = (program, seed, len, *cache);
+    if let Some(tl) = timelines()
+        .lock()
+        .expect("timeline store poisoned")
+        .get(&key)
+    {
+        return Arc::clone(tl);
+    }
+    // Extract outside the lock: concurrent workers may duplicate the
+    // pass (first insertion wins) but never serialise behind it.
+    let trace = spec_trace(program, seed, len);
+    let tl = Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
+    Arc::clone(
+        timelines()
+            .lock()
+            .expect("timeline store poisoned")
+            .entry(key)
+            .or_insert(tl),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::figure1_cache;
+
+    #[test]
+    fn longer_traces_extend_shorter_ones() {
+        let short: Vec<Instr> = spec92_trace(Spec92Program::Ear, 7).take(2_000).collect();
+        let long: Vec<Instr> = spec92_trace(Spec92Program::Ear, 7).take(5_000).collect();
+        assert_eq!(
+            short[..],
+            long[..2_000],
+            "proxy traces must be prefix-stable"
+        );
+    }
+
+    #[test]
+    fn store_shares_one_backing_across_lengths() {
+        let a = spec_trace(Spec92Program::Nasa7, 99, 1_000);
+        let b = spec_trace(Spec92Program::Nasa7, 99, 3_000);
+        let c = spec_trace(Spec92Program::Nasa7, 99, 2_000);
+        assert_eq!(a.instrs(), &b.instrs()[..1_000]);
+        assert_eq!(c.instrs(), &b.instrs()[..2_000]);
+        // After the 3 000-instruction materialisation, shorter requests
+        // alias the same allocation.
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+        assert_eq!(a.len(), 1_000);
+    }
+
+    #[test]
+    fn timelines_are_memoised_and_match_direct_extraction() {
+        let cache = figure1_cache(32);
+        let first = spec_timeline(Spec92Program::Ear, 42, 4_000, &cache);
+        let second = spec_timeline(Spec92Program::Ear, 42, 4_000, &cache);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup must hit the memo"
+        );
+        let direct = MissTimeline::extract(cache, spec92_trace(Spec92Program::Ear, 42).take(4_000));
+        assert_eq!(*first, direct);
+    }
+}

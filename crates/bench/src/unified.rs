@@ -30,14 +30,23 @@ pub struct UnifiedConfig {
 }
 
 /// Figure 3's configuration.
-pub const FIG3: UnifiedConfig =
-    UnifiedConfig { figure: 3, line_bytes: 8, bnl: StallFeature::BusNotLocked1 };
+pub const FIG3: UnifiedConfig = UnifiedConfig {
+    figure: 3,
+    line_bytes: 8,
+    bnl: StallFeature::BusNotLocked1,
+};
 /// Figure 4's configuration.
-pub const FIG4: UnifiedConfig =
-    UnifiedConfig { figure: 4, line_bytes: 32, bnl: StallFeature::BusNotLocked1 };
+pub const FIG4: UnifiedConfig = UnifiedConfig {
+    figure: 4,
+    line_bytes: 32,
+    bnl: StallFeature::BusNotLocked1,
+};
 /// Figure 5's configuration.
-pub const FIG5: UnifiedConfig =
-    UnifiedConfig { figure: 5, line_bytes: 32, bnl: StallFeature::BusNotLocked3 };
+pub const FIG5: UnifiedConfig = UnifiedConfig {
+    figure: 5,
+    line_bytes: 32,
+    bnl: StallFeature::BusNotLocked3,
+};
 
 /// One feature curve of a unified figure.
 #[derive(Debug, Clone)]
@@ -76,15 +85,26 @@ pub fn run(
         wbuf.push((beta as f64, dhr(&base.with_write_buffers())?));
         // Measure the BNL stalling factor at this β_m, clamped into the
         // admissible band in case of sampling noise.
-        let phi = average_phi(cfg.bnl, cfg.line_bytes, 4, beta, instructions)
-            .clamp(1.0, chunks);
+        let phi = average_phi(cfg.bnl, cfg.line_bytes, 4, beta, instructions).clamp(1.0, chunks);
         bnl.push((beta as f64, dhr(&base.with_partial_stall(phi))?));
     }
     Ok(vec![
-        FeatureCurve { name: "pipelined mem".into(), points: pipelined },
-        FeatureCurve { name: "doubling bus".into(), points: bus },
-        FeatureCurve { name: "write buffers".into(), points: wbuf },
-        FeatureCurve { name: format!("{}", cfg.bnl), points: bnl },
+        FeatureCurve {
+            name: "pipelined mem".into(),
+            points: pipelined,
+        },
+        FeatureCurve {
+            name: "doubling bus".into(),
+            points: bus,
+        },
+        FeatureCurve {
+            name: "write buffers".into(),
+            points: wbuf,
+        },
+        FeatureCurve {
+            name: format!("{}", cfg.bnl),
+            points: bnl,
+        },
     ])
 }
 
@@ -135,7 +155,10 @@ mod tests {
     use super::*;
 
     fn by_name<'a>(curves: &'a [FeatureCurve], n: &str) -> &'a FeatureCurve {
-        curves.iter().find(|c| c.name == n).unwrap_or_else(|| panic!("missing {n}"))
+        curves
+            .iter()
+            .find(|c| c.name == n)
+            .unwrap_or_else(|| panic!("missing {n}"))
     }
 
     #[test]
@@ -175,7 +198,10 @@ mod tests {
         let b3 = run(FIG5, &[4], 20_000).unwrap();
         let bnl1 = by_name(&b1, "BNL1").points[0].1;
         let bnl3 = by_name(&b3, "BNL3").points[0].1;
-        assert!(bnl3 >= bnl1, "BNL3 {bnl3} should trade at least as much as BNL1 {bnl1}");
+        assert!(
+            bnl3 >= bnl1,
+            "BNL3 {bnl3} should trade at least as much as BNL1 {bnl1}"
+        );
     }
 
     #[test]

@@ -22,32 +22,44 @@ pub struct ValidationRow {
     pub rel_error: f64,
 }
 
-/// Runs the validation grid.
+/// Runs the validation grid: all 24 (program × feature) rows fan out
+/// over the [`crate::exec`] pool, with each program's timeline shared by
+/// its four feature replays via the trace store.
 pub fn run(instructions: usize) -> Vec<ValidationRow> {
-    let mut rows = Vec::new();
-    for p in Spec92Program::ALL {
-        for stall in [
-            StallFeature::FullStall,
-            StallFeature::BusLocked,
-            StallFeature::BusNotLocked3,
-            StallFeature::NonBlocking { mshrs: 4 },
-        ] {
-            let r = run_spec(p, stall, 32, 4, 8, instructions);
-            rows.push(ValidationRow {
-                program: p,
-                stall,
-                simulated: r.cycles,
-                predicted: predict_cycles(&r),
-                rel_error: validation_error(&r),
-            });
+    let grid: Vec<(Spec92Program, StallFeature)> = Spec92Program::ALL
+        .into_iter()
+        .flat_map(|p| {
+            [
+                StallFeature::FullStall,
+                StallFeature::BusLocked,
+                StallFeature::BusNotLocked3,
+                StallFeature::NonBlocking { mshrs: 4 },
+            ]
+            .into_iter()
+            .map(move |stall| (p, stall))
+        })
+        .collect();
+    crate::exec::parallel_map(&grid, |&(program, stall)| {
+        let r = run_spec(program, stall, 32, 4, 8, instructions);
+        ValidationRow {
+            program,
+            stall,
+            simulated: r.cycles,
+            predicted: predict_cycles(&r),
+            rel_error: validation_error(&r),
         }
-    }
-    rows
+    })
 }
 
 /// Renders the validation table.
 pub fn render(rows: &[ValidationRow]) -> String {
-    let mut t = Table::new(["program", "feature", "simulated cycles", "Eq.2 predicted", "rel err"]);
+    let mut t = Table::new([
+        "program",
+        "feature",
+        "simulated cycles",
+        "Eq.2 predicted",
+        "rel err",
+    ]);
     for r in rows {
         t.row([
             r.program.to_string(),
@@ -57,7 +69,10 @@ pub fn render(rows: &[ValidationRow]) -> String {
             format!("{:.2e}", r.rel_error),
         ]);
     }
-    format!("Eq. 2 vs cycle-accurate simulation (8K 2-way, L=32, D=4, β=8):\n{}", t.render())
+    format!(
+        "Eq. 2 vs cycle-accurate simulation (8K 2-way, L=32, D=4, β=8):\n{}",
+        t.render()
+    )
 }
 
 /// Entry point shared by the binary and the `run_all` driver.
@@ -72,7 +87,13 @@ mod tests {
     #[test]
     fn model_error_is_zero_for_all_rows() {
         for r in run(15_000) {
-            assert!(r.rel_error < 1e-9, "{} {}: err {}", r.program, r.stall, r.rel_error);
+            assert!(
+                r.rel_error < 1e-9,
+                "{} {}: err {}",
+                r.program,
+                r.stall,
+                r.rel_error
+            );
         }
     }
 

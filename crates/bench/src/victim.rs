@@ -34,8 +34,7 @@ pub fn run(cache_bytes: u64, victim_lines: usize, instructions: usize) -> Vec<Vi
             let dm_cfg = CacheConfig::new(cache_bytes, 32, 1).expect("valid");
             let mut dm = Cache::new(dm_cfg);
             let mut vc = VictimCache::new(dm_cfg, victim_lines);
-            let mut two_way =
-                Cache::new(CacheConfig::new(cache_bytes, 32, 2).expect("valid"));
+            let mut two_way = Cache::new(CacheConfig::new(cache_bytes, 32, 2).expect("valid"));
             for instr in spec92_trace(program, 0x71C7).take(instructions) {
                 if let Some(m) = instr.mem {
                     dm.access(m.op, m.addr);
@@ -99,7 +98,10 @@ mod tests {
                 helped += 1;
             }
         }
-        assert!(helped >= 3, "the buffer should help several workloads: {rows:?}");
+        assert!(
+            helped >= 3,
+            "the buffer should help several workloads: {rows:?}"
+        );
     }
 
     #[test]
@@ -107,7 +109,10 @@ mod tests {
         // Jouppi's observation: a small victim buffer approaches (but
         // does not generally exceed) doubling the associativity.
         let rows = run(8 * 1024, 4, 40_000);
-        let exceeded = rows.iter().filter(|r| r.victim_hr > r.two_way_hr + 0.01).count();
+        let exceeded = rows
+            .iter()
+            .filter(|r| r.victim_hr > r.two_way_hr + 0.01)
+            .count();
         assert!(exceeded <= 1, "victim ≫ 2-way should be rare: {rows:?}");
     }
 

@@ -79,7 +79,10 @@ pub fn render(rows: &[PolicyComparison]) -> String {
             format!("{err:.1e}"),
         ]);
     }
-    format!("Write-miss policy ablation (8K 2-way, L=32, D=4, β=8):\n{}", t.render())
+    format!(
+        "Write-miss policy ablation (8K 2-way, L=32, D=4, β=8):\n{}",
+        t.render()
+    )
 }
 
 /// Entry point shared by the binary and the `run_all` driver.

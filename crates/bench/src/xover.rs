@@ -46,7 +46,12 @@ pub fn run(chunk_grid: &[f64], q_grid: &[f64]) -> Result<Vec<Crossover>, Tradeof
                 // Closed form at exactly X = 2 meets the bisection's edge.
                 (a, b) => debug_assert!(chunks <= 2.0, "mismatch: {a:?} vs {b:?}"),
             }
-            out.push(Crossover { chunks, q, vs_bus, vs_wbuf });
+            out.push(Crossover {
+                chunks,
+                q,
+                vs_bus,
+                vs_wbuf,
+            });
         }
     }
     Ok(out)
@@ -57,7 +62,12 @@ pub fn render(rows: &[Crossover]) -> String {
     let fmt = |v: Option<f64>| v.map_or("never".to_string(), |x| format!("{x:.2}"));
     let mut t = Table::new(["L/D", "q", "β* vs doubling bus", "β* vs write buffers"]);
     for r in rows {
-        t.row([format!("{}", r.chunks), format!("{}", r.q), fmt(r.vs_bus), fmt(r.vs_wbuf)]);
+        t.row([
+            format!("{}", r.chunks),
+            format!("{}", r.q),
+            fmt(r.vs_bus),
+            fmt(r.vs_wbuf),
+        ]);
     }
     format!("Crossover memory cycle times (α = 0.5):\n{}", t.render())
 }
@@ -68,8 +78,7 @@ pub fn render(rows: &[Crossover]) -> String {
 ///
 /// Panics if the canonical parameters were invalid (they are not).
 pub fn main_report() -> String {
-    let rows =
-        run(&[2.0, 4.0, 8.0, 16.0], &[1.0, 2.0, 4.0]).expect("canonical parameters valid");
+    let rows = run(&[2.0, 4.0, 8.0, 16.0], &[1.0, 2.0, 4.0]).expect("canonical parameters valid");
     render(&rows)
 }
 
@@ -81,7 +90,10 @@ mod tests {
     fn paper_quoted_crossover_for_l32_q2() {
         let rows = run(&[8.0], &[2.0]).unwrap();
         let b = rows[0].vs_bus.unwrap();
-        assert!(b > 4.0 && b < 6.0, "paper: less than about five or six cycles; got {b}");
+        assert!(
+            b > 4.0 && b < 6.0,
+            "paper: less than about five or six cycles; got {b}"
+        );
     }
 
     #[test]

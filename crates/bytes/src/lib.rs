@@ -24,7 +24,10 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(Vec::new()), start: 0 }
+        Bytes {
+            data: Arc::from(Vec::new()),
+            start: 0,
+        }
     }
 
     /// Remaining length in bytes.
@@ -64,13 +67,19 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v), start: 0 }
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes { data: Arc::from(v), start: 0 }
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+        }
     }
 }
 
@@ -96,7 +105,9 @@ impl BytesMut {
 
     /// An empty builder with `cap` bytes reserved.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length in bytes.

@@ -47,7 +47,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(target: Duration) -> Self {
-        Bencher { mean_secs: 0.0, target }
+        Bencher {
+            mean_secs: 0.0,
+            target,
+        }
     }
 
     /// Times `f` in an adaptive loop until the sampling target is met.
@@ -131,7 +134,9 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(100);
-        Criterion { target: Duration::from_millis(ms) }
+        Criterion {
+            target: Duration::from_millis(ms),
+        }
     }
 }
 
@@ -150,7 +155,11 @@ impl Criterion {
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -220,13 +229,19 @@ mod tests {
     #[test]
     fn iter_batched_measures_routine_only() {
         let mut b = Bencher::new(Duration::from_millis(5));
-        b.iter_batched(|| vec![1u8; 64], |v| v.iter().map(|&x| x as u64).sum::<u64>(), BatchSize::LargeInput);
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
         assert!(b.mean_secs > 0.0);
     }
 
     #[test]
     fn groups_run_their_benches() {
-        let mut c = Criterion { target: Duration::from_millis(1) };
+        let mut c = Criterion {
+            target: Duration::from_millis(1),
+        };
         let mut ran = 0;
         {
             let mut g = c.benchmark_group("g");

@@ -29,7 +29,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Box::new(self) }
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
     }
 }
 

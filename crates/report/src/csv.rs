@@ -15,7 +15,13 @@ fn escape(field: &str) -> String {
 /// Renders rows as CSV text.
 pub fn to_csv_string<S: AsRef<str>>(header: &[S], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| escape(h.as_ref())).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| escape(h.as_ref()))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -49,7 +55,10 @@ mod tests {
     fn renders_basic_csv() {
         let text = to_csv_string(
             &["beta", "dhr"],
-            &[vec!["2".into(), "3.0".into()], vec!["4".into(), "2.5".into()]],
+            &[
+                vec!["2".into(), "3.0".into()],
+                vec!["4".into(), "2.5".into()],
+            ],
         );
         assert_eq!(text, "beta,dhr\n2,3.0\n4,2.5\n");
     }

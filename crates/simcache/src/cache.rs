@@ -75,7 +75,10 @@ impl Cache {
             "tree-PLRU supports at most 64 ways"
         );
         let sets = (0..cfg.num_sets())
-            .map(|_| Set { ways: vec![None; cfg.assoc() as usize], plru: 0 })
+            .map(|_| Set {
+                ways: vec![None; cfg.assoc() as usize],
+                plru: 0,
+            })
             .collect();
         Cache {
             cfg,
@@ -112,7 +115,10 @@ impl Cache {
 
     #[inline]
     fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
-        ((line.raw() & self.set_mask) as usize, line.raw() >> self.set_shift)
+        (
+            (line.raw() & self.set_mask) as usize,
+            line.raw() >> self.set_shift,
+        )
     }
 
     #[inline]
@@ -123,24 +129,36 @@ impl Cache {
     /// Index of the valid way holding `tag`, if any.
     #[inline]
     fn find_way(ways: &[Option<Way>], tag: u64) -> Option<usize> {
-        ways.iter().position(|w| matches!(w, Some(w) if w.tag == tag))
+        ways.iter()
+            .position(|w| matches!(w, Some(w) if w.tag == tag))
     }
 
     /// Returns `true` if the line holding `addr` is resident.
     pub fn contains(&self, addr: Addr) -> bool {
         let (set_idx, tag) = self.set_and_tag(self.line_addr(addr));
-        self.sets[set_idx].ways.iter().flatten().any(|w| w.tag == tag)
+        self.sets[set_idx]
+            .ways
+            .iter()
+            .flatten()
+            .any(|w| w.tag == tag)
     }
 
     /// Returns `true` if the line holding `addr` is resident and dirty.
     pub fn is_dirty(&self, addr: Addr) -> bool {
         let (set_idx, tag) = self.set_and_tag(self.line_addr(addr));
-        self.sets[set_idx].ways.iter().flatten().any(|w| w.tag == tag && w.dirty)
+        self.sets[set_idx]
+            .ways
+            .iter()
+            .flatten()
+            .any(|w| w.tag == tag && w.dirty)
     }
 
     /// Number of currently valid lines.
     pub fn resident_lines(&self) -> u64 {
-        self.sets.iter().map(|s| s.ways.iter().flatten().count() as u64).sum()
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().count() as u64)
+            .sum()
     }
 
     /// Invalidates every line, returning how many dirty lines were dropped.
@@ -255,8 +273,12 @@ impl Cache {
             .filter(|w| w.dirty)
             .map(|w| LineAddr::new((w.tag << set_shift) | set_idx as u64));
         let dirty_after_fill = op.is_store() && self.cfg.write_policy == WritePolicy::WriteBack;
-        set.ways[victim_idx] =
-            Some(Way { tag, dirty: dirty_after_fill, use_stamp: stamp, fill_stamp: stamp });
+        set.ways[victim_idx] = Some(Way {
+            tag,
+            dirty: dirty_after_fill,
+            use_stamp: stamp,
+            fill_stamp: stamp,
+        });
         if self.cfg.replacement == Replacement::TreePlru {
             Self::plru_touch(&mut set.plru, victim_idx, assoc);
         }
@@ -265,12 +287,18 @@ impl Cache {
         if writeback.is_some() {
             self.stats.writebacks += 1;
         }
-        let write_through =
-            op.is_store() && self.cfg.write_policy == WritePolicy::WriteThrough;
+        let write_through = op.is_store() && self.cfg.write_policy == WritePolicy::WriteThrough;
         if write_through {
             self.stats.write_throughs += 1;
         }
-        AccessOutcome { hit: false, line, filled: true, writeback, write_around: false, write_through }
+        AccessOutcome {
+            hit: false,
+            line,
+            filled: true,
+            writeback,
+            write_around: false,
+            write_through,
+        }
     }
 
     fn pick_victim(&mut self, set_idx: usize) -> usize {
@@ -356,7 +384,12 @@ impl Cache {
         let writeback = set.ways[victim_idx]
             .filter(|w| w.dirty)
             .map(|w| LineAddr::new((w.tag << set_shift) | set_idx as u64));
-        set.ways[victim_idx] = Some(Way { tag, dirty: false, use_stamp: stamp, fill_stamp: stamp });
+        set.ways[victim_idx] = Some(Way {
+            tag,
+            dirty: false,
+            use_stamp: stamp,
+            fill_stamp: stamp,
+        });
         if self.cfg.replacement == Replacement::TreePlru {
             Self::plru_touch(&mut set.plru, victim_idx, assoc);
         }
@@ -449,7 +482,13 @@ mod tests {
 
     #[test]
     fn random_replacement_is_reproducible() {
-        let mk = || Cache::new(cfg(128, 32, 4).with_replacement(Replacement::Random).with_seed(9));
+        let mk = || {
+            Cache::new(
+                cfg(128, 32, 4)
+                    .with_replacement(Replacement::Random)
+                    .with_seed(9),
+            )
+        };
         let mut a = mk();
         let mut b = mk();
         for i in 0..2000u64 {
@@ -508,7 +547,9 @@ mod tests {
         assert_eq!(c.stats().write_throughs, 2);
         // Eviction of a write-through line produces no writeback.
         let mut tiny = Cache::new(
-            CacheConfig::new(64, 32, 2).unwrap().with_write_policy(WritePolicy::WriteThrough),
+            CacheConfig::new(64, 32, 2)
+                .unwrap()
+                .with_write_policy(WritePolicy::WriteThrough),
         );
         store(&mut tiny, 0x000);
         load(&mut tiny, 0x020);
@@ -662,6 +703,9 @@ mod tests {
                 }
             }
         }
-        assert!(evictions.len() >= 4, "evictions spread across ways: {evictions:?}");
+        assert!(
+            evictions.len() >= 4,
+            "evictions spread across ways: {evictions:?}"
+        );
     }
 }

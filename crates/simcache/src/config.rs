@@ -92,7 +92,10 @@ impl fmt::Display for ConfigError {
             ConfigError::NotPowerOfTwo { what, value } => {
                 write!(f, "{what} must be a non-zero power of two, got {value}")
             }
-            ConfigError::LineTooLarge { line_bytes, way_bytes } => {
+            ConfigError::LineTooLarge {
+                line_bytes,
+                way_bytes,
+            } => {
                 write!(f, "line size {line_bytes} exceeds way capacity {way_bytes}")
             }
         }
@@ -142,7 +145,10 @@ impl CacheConfig {
         pow2("associativity", u64::from(assoc))?;
         let way_bytes = size_bytes / u64::from(assoc);
         if line_bytes > way_bytes {
-            return Err(ConfigError::LineTooLarge { line_bytes, way_bytes });
+            return Err(ConfigError::LineTooLarge {
+                line_bytes,
+                way_bytes,
+            });
         }
         Ok(CacheConfig {
             size_bytes,
@@ -244,15 +250,24 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheConfig::new(3000, 32, 2),
-            Err(ConfigError::NotPowerOfTwo { what: "cache size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::new(4096, 24, 2),
-            Err(ConfigError::NotPowerOfTwo { what: "line size", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::new(4096, 32, 3),
-            Err(ConfigError::NotPowerOfTwo { what: "associativity", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
         ));
         assert!(CacheConfig::new(0, 32, 2).is_err());
     }
@@ -268,7 +283,10 @@ mod tests {
     #[test]
     fn rejects_excess_associativity() {
         // assoc 64 over 32 lines means a line no longer fits one way.
-        assert!(matches!(CacheConfig::new(1024, 32, 64), Err(ConfigError::LineTooLarge { .. })));
+        assert!(matches!(
+            CacheConfig::new(1024, 32, 64),
+            Err(ConfigError::LineTooLarge { .. })
+        ));
     }
 
     #[test]

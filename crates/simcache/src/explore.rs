@@ -148,7 +148,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
     });
 
     let mut out = Vec::with_capacity(cache_sizes.len() * line_sizes.len());
@@ -217,7 +220,11 @@ mod tests {
     fn fitting_working_set_hits_after_warmup() {
         let cfg = CacheConfig::new(16 * 1024, 32, 2).unwrap();
         let stats = measure_dcache(cfg, ws_trace(8 * 1024, 100_000), 50_000);
-        assert!(stats.hit_ratio() > 0.999, "resident set should hit: {}", stats.hit_ratio());
+        assert!(
+            stats.hit_ratio() > 0.999,
+            "resident set should hit: {}",
+            stats.hit_ratio()
+        );
     }
 
     #[test]
@@ -283,8 +290,14 @@ mod tests {
 
     #[test]
     fn empty_grid_yields_no_points() {
-        assert_eq!(hit_ratio_grid(&[], &[32], 2, || ws_trace(128, 10), 0).unwrap(), vec![]);
-        assert_eq!(hit_ratio_grid(&[1024], &[], 2, || ws_trace(128, 10), 0).unwrap(), vec![]);
+        assert_eq!(
+            hit_ratio_grid(&[], &[32], 2, || ws_trace(128, 10), 0).unwrap(),
+            vec![]
+        );
+        assert_eq!(
+            hit_ratio_grid(&[1024], &[], 2, || ws_trace(128, 10), 0).unwrap(),
+            vec![]
+        );
     }
 
     #[test]

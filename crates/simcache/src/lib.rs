@@ -37,13 +37,13 @@ pub mod explore;
 pub mod sector;
 pub mod split;
 pub mod stackdist;
-pub mod victim;
 pub mod stats;
+pub mod victim;
 
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError, Replacement, WriteMiss, WritePolicy};
 pub use sector::{SectorCache, SectorConfig, SectorOutcome};
 pub use split::SplitCache;
 pub use stackdist::{StackDistSweep, SweepQueryError};
-pub use victim::{VictimCache, VictimOutcome, VictimStats};
 pub use stats::CacheStats;
+pub use victim::{VictimCache, VictimOutcome, VictimStats};

@@ -49,7 +49,10 @@ impl SectorConfig {
             }
         }
         if assoc == 0 || !assoc.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { what: "associativity", value: u64::from(assoc) });
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "associativity",
+                value: u64::from(assoc),
+            });
         }
         if subblock_bytes > block_bytes || block_bytes / subblock_bytes > 64 {
             return Err(ConfigError::LineTooLarge {
@@ -59,9 +62,17 @@ impl SectorConfig {
         }
         let way_bytes = size_bytes / u64::from(assoc);
         if block_bytes > way_bytes {
-            return Err(ConfigError::LineTooLarge { line_bytes: block_bytes, way_bytes });
+            return Err(ConfigError::LineTooLarge {
+                line_bytes: block_bytes,
+                way_bytes,
+            });
         }
-        Ok(SectorConfig { size_bytes, block_bytes, subblock_bytes, assoc })
+        Ok(SectorConfig {
+            size_bytes,
+            block_bytes,
+            subblock_bytes,
+            assoc,
+        })
     }
 
     /// Total capacity in bytes.
@@ -154,8 +165,16 @@ pub enum SectorOutcome {
 impl SectorCache {
     /// Creates an empty sector cache.
     pub fn new(cfg: SectorConfig) -> Self {
-        let sets = (0..cfg.num_sets()).map(|_| vec![None; cfg.assoc as usize]).collect();
-        SectorCache { cfg, sets, stats: CacheStats::new(), sector_stats: SectorStats::default(), stamp: 0 }
+        let sets = (0..cfg.num_sets())
+            .map(|_| vec![None; cfg.assoc as usize])
+            .collect();
+        SectorCache {
+            cfg,
+            sets,
+            stats: CacheStats::new(),
+            sector_stats: SectorStats::default(),
+            stamp: 0,
+        }
     }
 
     /// The configuration.
@@ -217,14 +236,11 @@ impl SectorCache {
             MemOp::Load => self.stats.load_misses += 1,
             MemOp::Store => self.stats.store_misses += 1,
         }
-        let victim_idx = set
-            .iter()
-            .position(Option::is_none)
-            .unwrap_or_else(|| {
-                (0..set.len())
-                    .min_by_key(|&i| set[i].expect("all valid").use_stamp)
-                    .expect("associativity positive")
-            });
+        let victim_idx = set.iter().position(Option::is_none).unwrap_or_else(|| {
+            (0..set.len())
+                .min_by_key(|&i| set[i].expect("all valid").use_stamp)
+                .expect("associativity positive")
+        });
         let dirty_evicted = set[victim_idx]
             .map(|b| (b.valid & b.dirty).count_ones())
             .unwrap_or(0);
@@ -271,10 +287,16 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(SectorConfig::new(8192, 64, 8, 2).is_ok());
-        assert!(SectorConfig::new(8192, 64, 128, 2).is_err(), "subblock > block");
+        assert!(
+            SectorConfig::new(8192, 64, 128, 2).is_err(),
+            "subblock > block"
+        );
         assert!(SectorConfig::new(8192, 48, 8, 2).is_err());
         assert!(SectorConfig::new(8192, 8192, 8, 2).is_err(), "block > way");
-        assert!(SectorConfig::new(1 << 20, 1024, 8, 2).is_err(), "more than 64 subblocks");
+        assert!(
+            SectorConfig::new(1 << 20, 1024, 8, 2).is_err(),
+            "more than 64 subblocks"
+        );
         let c = SectorConfig::new(8192, 64, 8, 2).unwrap();
         assert_eq!(c.subblocks(), 8);
         assert_eq!(c.num_sets(), 64);
@@ -283,7 +305,10 @@ mod tests {
     #[test]
     fn block_then_subblock_then_hit() {
         let mut c = cache(8192, 64, 8);
-        assert!(matches!(load(&mut c, 0x100), SectorOutcome::BlockMiss { dirty_evicted: 0 }));
+        assert!(matches!(
+            load(&mut c, 0x100),
+            SectorOutcome::BlockMiss { dirty_evicted: 0 }
+        ));
         // Same sub-block: hit.
         assert_eq!(load(&mut c, 0x104), SectorOutcome::Hit);
         // Same block, different sub-block: sub-block miss.
@@ -299,7 +324,11 @@ mod tests {
         let mut c = cache(8192, 64, 8);
         load(&mut c, 0x100);
         load(&mut c, 0x108);
-        assert_eq!(c.read_bytes(), 16, "two 8-byte sub-blocks, not 64-byte lines");
+        assert_eq!(
+            c.read_bytes(),
+            16,
+            "two 8-byte sub-blocks, not 64-byte lines"
+        );
     }
 
     #[test]
@@ -308,7 +337,7 @@ mod tests {
         store(&mut c, 0x000);
         store(&mut c, 0x008);
         load(&mut c, 0x040); // second way
-        // Third block evicts the LRU (the dirty one): 2 dirty sub-blocks.
+                             // Third block evicts the LRU (the dirty one): 2 dirty sub-blocks.
         let out = load(&mut c, 0x080);
         assert_eq!(out, SectorOutcome::BlockMiss { dirty_evicted: 2 });
         assert_eq!(c.writeback_bytes(), 16);
@@ -335,7 +364,10 @@ mod tests {
         load(&mut c, 0x000); // touch A
         load(&mut c, 0x080); // C evicts B
         assert_eq!(load(&mut c, 0x000), SectorOutcome::Hit, "A survived");
-        assert!(matches!(load(&mut c, 0x040), SectorOutcome::BlockMiss { .. }), "B evicted");
+        assert!(
+            matches!(load(&mut c, 0x040), SectorOutcome::BlockMiss { .. }),
+            "B evicted"
+        );
     }
 
     #[test]
@@ -343,9 +375,8 @@ mod tests {
         // Touch one word per 64-byte block across many blocks: a sector
         // cache fetches 8 bytes per touch, a 64-byte-line cache fetches 64.
         let mut sector = cache(8192, 64, 8);
-        let mut wide = crate::cache::Cache::new(
-            crate::config::CacheConfig::new(8192, 64, 2).expect("valid"),
-        );
+        let mut wide =
+            crate::cache::Cache::new(crate::config::CacheConfig::new(8192, 64, 2).expect("valid"));
         for i in 0..64u64 {
             load(&mut sector, i * 64);
             wide.access(MemOp::Load, Addr::new(i * 64));

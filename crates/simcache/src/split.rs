@@ -29,7 +29,10 @@ pub struct SplitCache {
 impl SplitCache {
     /// Creates a split cache from two configurations.
     pub fn new(icache_cfg: CacheConfig, dcache_cfg: CacheConfig) -> Self {
-        SplitCache { icache: Cache::new(icache_cfg), dcache: Cache::new(dcache_cfg) }
+        SplitCache {
+            icache: Cache::new(icache_cfg),
+            dcache: Cache::new(dcache_cfg),
+        }
     }
 
     /// Runs one instruction through both caches.

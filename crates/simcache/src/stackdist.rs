@@ -120,11 +120,21 @@ impl fmt::Display for SweepQueryError {
             SweepQueryError::UnsupportedPolicy => {
                 f.write_str("single-pass sweep covers LRU + write-back + write-allocate only")
             }
-            SweepQueryError::SetsOutOfRange { sets, min_sets, max_sets } => {
-                write!(f, "configuration needs {sets} sets, sweep covers {min_sets}..={max_sets}")
+            SweepQueryError::SetsOutOfRange {
+                sets,
+                min_sets,
+                max_sets,
+            } => {
+                write!(
+                    f,
+                    "configuration needs {sets} sets, sweep covers {min_sets}..={max_sets}"
+                )
             }
             SweepQueryError::AssocOutOfRange { assoc, max_assoc } => {
-                write!(f, "configuration needs {assoc} ways, sweep covers up to {max_assoc}")
+                write!(
+                    f,
+                    "configuration needs {assoc} ways, sweep covers up to {max_assoc}"
+                )
             }
         }
     }
@@ -173,7 +183,10 @@ struct Entry {
     m: u16,
 }
 
-const EMPTY_ENTRY: Entry = Entry { line: 0, m: EMPTY_M };
+const EMPTY_ENTRY: Entry = Entry {
+    line: 0,
+    m: EMPTY_M,
+};
 
 /// A single-pass exact sweep over every power-of-two LRU configuration
 /// at one line size. See the [module docs](self) for the algorithm.
@@ -238,10 +251,16 @@ impl StackDistSweep {
         warmup: u64,
     ) -> Result<Self, ConfigError> {
         if line_bytes == 0 || !line_bytes.is_power_of_two() {
-            return Err(ConfigError::NotPowerOfTwo { what: "line size", value: line_bytes });
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: line_bytes,
+            });
         }
         assert!(max_assoc > 0, "max_assoc must be at least 1");
-        assert!(max_assoc < u32::from(EMPTY_M), "max_assoc must fit 16-bit thresholds");
+        assert!(
+            max_assoc < u32::from(EMPTY_M),
+            "max_assoc must fit 16-bit thresholds"
+        );
         assert!(max_sets_log2 < 64, "set count must fit an u64");
         assert!(min_sets_log2 <= max_sets_log2, "empty set-count range");
         let levels = (max_sets_log2 - min_sets_log2 + 1) as usize;
@@ -409,7 +428,9 @@ impl StackDistSweep {
         let sum_hits =
             |op: usize| -> u64 { (0..a).map(|d| count(hist_sel(op), hist_base + d)).sum() };
         let sum_all = |op: usize| -> u64 {
-            (0..=self.max_assoc as usize).map(|d| count(hist_sel(op), hist_base + d)).sum()
+            (0..=self.max_assoc as usize)
+                .map(|d| count(hist_sel(op), hist_base + d))
+                .sum()
         };
         let load_hits = sum_hits(0);
         let store_hits = sum_hits(1);
@@ -492,20 +513,20 @@ mod tests {
     use simtrace::{Addr, MemRef};
 
     fn mem(op: MemOp, addr: u64) -> Instr {
-        Instr { pc: Addr::new(0), mem: Some(MemRef { op, addr: Addr::new(addr), size: 4 }) }
+        Instr {
+            pc: Addr::new(0),
+            mem: Some(MemRef {
+                op,
+                addr: Addr::new(addr),
+                size: 4,
+            }),
+        }
     }
 
     /// Replays `trace` per config and checks the sweep agrees exactly.
-    fn assert_exact(
-        trace: &[Instr],
-        line_bytes: u64,
-        kmax: u32,
-        max_assoc: u32,
-        warmup: u64,
-    ) {
-        let sweep =
-            StackDistSweep::run(line_bytes, kmax, max_assoc, warmup, trace.iter().copied())
-                .expect("valid sweep");
+    fn assert_exact(trace: &[Instr], line_bytes: u64, kmax: u32, max_assoc: u32, warmup: u64) {
+        let sweep = StackDistSweep::run(line_bytes, kmax, max_assoc, warmup, trace.iter().copied())
+            .expect("valid sweep");
         for k in 0..=kmax {
             for assoc in 1..=max_assoc {
                 if !assoc.is_power_of_two() {
@@ -539,10 +560,13 @@ mod tests {
 
     #[test]
     fn working_set_trace_matches_replay_all_geometries() {
-        let trace: Vec<Instr> =
-            PatternTrace::new(WorkingSet::new(0, 4 * 1024, 0.3, 4), TraceShape::default(), 11)
-                .take(20_000)
-                .collect();
+        let trace: Vec<Instr> = PatternTrace::new(
+            WorkingSet::new(0, 4 * 1024, 0.3, 4),
+            TraceShape::default(),
+            11,
+        )
+        .take(20_000)
+        .collect();
         assert_exact(&trace, 32, 5, 4, 0);
     }
 
@@ -560,10 +584,13 @@ mod tests {
 
     #[test]
     fn strided_trace_matches_replay() {
-        let trace: Vec<Instr> =
-            PatternTrace::new(StridedSweep::new(0, 1 << 16, 4, 4, 0), TraceShape::default(), 3)
-                .take(12_000)
-                .collect();
+        let trace: Vec<Instr> = PatternTrace::new(
+            StridedSweep::new(0, 1 << 16, 4, 4, 0),
+            TraceShape::default(),
+            3,
+        )
+        .take(12_000)
+        .collect();
         assert_exact(&trace, 64, 4, 2, 1_000);
     }
 
@@ -611,7 +638,11 @@ mod tests {
         ];
         assert_exact(&t, 32, 2, 4, 0);
         let sweep = StackDistSweep::run(32, 0, 4, 0, t.iter().copied()).unwrap();
-        assert_eq!(sweep.stats(0, 1).writebacks, 1, "only the first eviction is dirty");
+        assert_eq!(
+            sweep.stats(0, 1).writebacks,
+            1,
+            "only the first eviction is dirty"
+        );
         // In the 4-way config nothing is ever evicted.
         assert_eq!(sweep.stats(0, 4).writebacks, 0);
     }
@@ -636,14 +667,20 @@ mod tests {
     fn non_power_of_two_assoc_queries_work() {
         // The sweep answers any assoc ≤ max_assoc, including non-pow2
         // (useful for curves); LRU hit counts must be monotone in ways.
-        let t: Vec<Instr> =
-            PatternTrace::new(WorkingSet::new(0, 2 * 1024, 0.2, 4), TraceShape::default(), 9)
-                .take(5_000)
-                .collect();
+        let t: Vec<Instr> = PatternTrace::new(
+            WorkingSet::new(0, 2 * 1024, 0.2, 4),
+            TraceShape::default(),
+            9,
+        )
+        .take(5_000)
+        .collect();
         let sweep = StackDistSweep::run(32, 0, 3, 0, t.iter().copied()).unwrap();
         let s2 = sweep.stats(0, 2);
         let s3 = sweep.stats(0, 3);
-        assert!(s3.hits() >= s2.hits(), "more ways cannot hit less under LRU");
+        assert!(
+            s3.hits() >= s2.hits(),
+            "more ways cannot hit less under LRU"
+        );
     }
 
     #[test]
@@ -658,8 +695,13 @@ mod tests {
             sweep.stats_for(&other_line),
             Err(SweepQueryError::LineMismatch { .. })
         ));
-        let fifo = CacheConfig::new(1024, 32, 2).unwrap().with_replacement(Replacement::Fifo);
-        assert_eq!(sweep.stats_for(&fifo), Err(SweepQueryError::UnsupportedPolicy));
+        let fifo = CacheConfig::new(1024, 32, 2)
+            .unwrap()
+            .with_replacement(Replacement::Fifo);
+        assert_eq!(
+            sweep.stats_for(&fifo),
+            Err(SweepQueryError::UnsupportedPolicy)
+        );
         let too_many_sets = CacheConfig::new(32 * 1024, 32, 2).unwrap();
         assert!(matches!(
             sweep.stats_for(&too_many_sets),
@@ -674,10 +716,13 @@ mod tests {
 
     #[test]
     fn range_restricted_sweep_matches_full_sweep() {
-        let trace: Vec<Instr> =
-            PatternTrace::new(WorkingSet::new(0, 4 * 1024, 0.3, 4), TraceShape::default(), 13)
-                .take(10_000)
-                .collect();
+        let trace: Vec<Instr> = PatternTrace::new(
+            WorkingSet::new(0, 4 * 1024, 0.3, 4),
+            TraceShape::default(),
+            13,
+        )
+        .take(10_000)
+        .collect();
         let full = StackDistSweep::run(32, 6, 2, 500, trace.iter().copied()).unwrap();
         let mut narrow = StackDistSweep::new_range(32, 3, 6, 2, 500).unwrap();
         for i in &trace {
@@ -685,7 +730,11 @@ mod tests {
         }
         for k in 3..=6 {
             for a in 1..=2 {
-                assert_eq!(narrow.stats(k, a), full.stats(k, a), "2^{k} sets × {a} ways");
+                assert_eq!(
+                    narrow.stats(k, a),
+                    full.stats(k, a),
+                    "2^{k} sets × {a} ways"
+                );
             }
         }
         // Below the tracked range the checked query is rejected.
@@ -710,10 +759,13 @@ mod tests {
     fn matches_cache_outcome_stream() {
         // Beyond aggregate stats: cross-check hit/miss access by access
         // against a live Cache for one config.
-        let trace: Vec<Instr> =
-            PatternTrace::new(WorkingSet::new(0, 4 * 1024, 0.4, 4), TraceShape::default(), 21)
-                .take(4_000)
-                .collect();
+        let trace: Vec<Instr> = PatternTrace::new(
+            WorkingSet::new(0, 4 * 1024, 0.4, 4),
+            TraceShape::default(),
+            21,
+        )
+        .take(4_000)
+        .collect();
         let cfg = CacheConfig::new(2 * 1024, 32, 2).unwrap();
         let mut cache = Cache::new(cfg);
         let mut sweep = StackDistSweep::new(32, cfg.num_sets().trailing_zeros(), 2, 0).unwrap();

@@ -134,7 +134,10 @@ impl VictimCache {
         if out.hit {
             return VictimOutcome::Hit;
         }
-        debug_assert!(out.filled, "victim hierarchy assumes a write-allocate main cache");
+        debug_assert!(
+            out.filled,
+            "victim hierarchy assumes a write-allocate main cache"
+        );
 
         // The main cache evicted `out.writeback` (dirty) or some clean
         // victim we cannot see; only dirty victims are reported, so track
@@ -162,7 +165,9 @@ impl VictimCache {
             VictimOutcome::VictimHit
         } else {
             self.stats.victim_misses += 1;
-            VictimOutcome::Miss { writeback: wrote_back }
+            VictimOutcome::Miss {
+                writeback: wrote_back,
+            }
         }
     }
 }
@@ -189,7 +194,7 @@ mod tests {
         let b = sets * 32;
         store(&mut c, a);
         store(&mut c, b); // evicts dirty A into the buffer
-        // From now on the ping-pong is served by swaps, not memory.
+                          // From now on the ping-pong is served by swaps, not memory.
         let mut swaps = 0;
         for _ in 0..10 {
             if store(&mut c, a) == VictimOutcome::VictimHit {
@@ -251,7 +256,11 @@ mod tests {
         }
         let main_misses = c.main_stats().misses();
         assert_eq!(c.memory_fills() + c.victim_stats().victim_hits, main_misses);
-        assert!(c.memory_fills() <= 3, "memory sees only the cold misses: {}", c.memory_fills());
+        assert!(
+            c.memory_fills() <= 3,
+            "memory sees only the cold misses: {}",
+            c.memory_fills()
+        );
     }
 
     #[test]

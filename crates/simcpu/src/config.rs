@@ -1,8 +1,8 @@
 //! CPU configuration: stalling feature, caches, memory and write buffer.
 
+use serde::{Deserialize, Serialize};
 use simcache::CacheConfig;
 use simmem::{BypassMode, MemoryTiming};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The processor stalling feature on a data-cache miss (paper Table 2).
@@ -114,7 +114,10 @@ pub struct WriteBufferConfig {
 
 impl Default for WriteBufferConfig {
     fn default() -> Self {
-        WriteBufferConfig { capacity: 4, mode: BypassMode::Ideal }
+        WriteBufferConfig {
+            capacity: 4,
+            mode: BypassMode::Ideal,
+        }
     }
 }
 
@@ -213,7 +216,9 @@ impl CpuConfig {
             .check_line(self.dcache.line_bytes())
             .map_err(|e| format!("data cache: {e}"))?;
         if let Some(ic) = &self.icache {
-            self.timing.check_line(ic.line_bytes()).map_err(|e| format!("instruction cache: {e}"))?;
+            self.timing
+                .check_line(ic.line_bytes())
+                .map_err(|e| format!("instruction cache: {e}"))?;
         }
         if let StallFeature::NonBlocking { mshrs } = self.stall {
             if mshrs == 0 {
@@ -242,8 +247,7 @@ impl CpuConfig {
             && self.dcache.write_miss == simcache::WriteMiss::Allocate
         {
             return Err(
-                "write-through with write-allocate is not modelled; use write-around"
-                    .to_string(),
+                "write-through with write-allocate is not modelled; use write-around".to_string(),
             );
         }
         Ok(())
@@ -295,15 +299,22 @@ mod tests {
     #[test]
     fn l2_validation() {
         let base = CpuConfig::baseline(CacheConfig::new(8192, 32, 2).unwrap(), timing());
-        let good = base.with_l2(L2Config::new(CacheConfig::new(64 * 1024, 32, 4).unwrap(), 2));
+        let good = base.with_l2(L2Config::new(
+            CacheConfig::new(64 * 1024, 32, 4).unwrap(),
+            2,
+        ));
         assert!(good.validate().is_ok());
-        let wrong_line =
-            base.with_l2(L2Config::new(CacheConfig::new(64 * 1024, 64, 4).unwrap(), 2));
+        let wrong_line = base.with_l2(L2Config::new(
+            CacheConfig::new(64 * 1024, 64, 4).unwrap(),
+            2,
+        ));
         assert!(wrong_line.validate().is_err());
         let too_small = base.with_l2(L2Config::new(CacheConfig::new(4096, 32, 2).unwrap(), 2));
         assert!(too_small.validate().is_err());
-        let zero_beta =
-            base.with_l2(L2Config::new(CacheConfig::new(64 * 1024, 32, 4).unwrap(), 0));
+        let zero_beta = base.with_l2(L2Config::new(
+            CacheConfig::new(64 * 1024, 32, 4).unwrap(),
+            0,
+        ));
         assert!(zero_beta.validate().is_err());
     }
 

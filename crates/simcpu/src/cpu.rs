@@ -64,8 +64,9 @@ impl Cpu {
     /// [`CpuConfig::validate`] to check fallibly.
     pub fn new(cfg: CpuConfig) -> Self {
         cfg.validate().expect("invalid CPU configuration");
-        let wbuf =
-            cfg.write_buffer.map(|wc| WriteBuffer::new(wc.capacity, cfg.timing.beta_m(), wc.mode));
+        let wbuf = cfg
+            .write_buffer
+            .map(|wc| WriteBuffer::new(wc.capacity, cfg.timing.beta_m(), wc.mode));
         let l2_timing = cfg.l2.map(|l2| {
             MemoryTiming::new(
                 BusWidth::new(cfg.timing.bus().bytes()).expect("validated bus"),
@@ -183,8 +184,10 @@ impl Cpu {
         let Some(ic) = &mut self.icache else { return };
         let out = ic.access(MemOp::Load, instr.pc);
         if out.filled {
-            let fill =
-                self.cfg.timing.line_fill_time(self.cfg.icache.expect("icache cfg").line_bytes());
+            let fill = self
+                .cfg
+                .timing
+                .line_fill_time(self.cfg.icache.expect("icache cfg").line_bytes());
             let wait = if self.cfg.shared_bus {
                 // Queue behind in-flight data traffic on the one bus.
                 let start = self.cycle.max(self.mem_free_at);
@@ -231,9 +234,7 @@ impl Cpu {
             // Tagged prefetch: the first demand reference to a
             // prefetched line triggers the next prefetch, keeping a
             // stream pipelined without a demand miss in between.
-            if self.cfg.prefetch == Prefetch::NextLine
-                && self.pf_tagged.remove(&out.line.raw())
-            {
+            if self.cfg.prefetch == Prefetch::NextLine && self.pf_tagged.remove(&out.line.raw()) {
                 self.issue_prefetch(mref);
             }
             if out.write_through {
@@ -293,7 +294,10 @@ impl Cpu {
     /// the data simply is not there yet.
     fn prefetch_wait(&mut self, mref: MemRef) {
         let now = self.cycle;
-        if let Some(f) = self.pf_fills.iter().find(|f| !f.is_complete(now) && f.covers(mref.addr))
+        if let Some(f) = self
+            .pf_fills
+            .iter()
+            .find(|f| !f.is_complete(now) && f.covers(mref.addr))
         {
             let until = f.chunk_available_at(mref.addr).max(now);
             if until > now {
@@ -306,7 +310,11 @@ impl Cpu {
     /// Launches a next-line prefetch behind the demand fill.
     fn issue_prefetch(&mut self, mref: MemRef) {
         let line_bytes = self.cfg.dcache.line_bytes();
-        let next = mref.addr.line(line_bytes).base(line_bytes).wrapping_add(line_bytes);
+        let next = mref
+            .addr
+            .line(line_bytes)
+            .base(line_bytes)
+            .wrapping_add(line_bytes);
         let Some(writeback) = self.dcache.prefetch(next) else {
             return; // already resident (possibly by an earlier prefetch)
         };
@@ -320,8 +328,7 @@ impl Cpu {
         if let Some(victim) = writeback {
             // The victim's flush rides behind the prefetch; it is never
             // on the processor's critical path.
-            let service =
-                self.victim_flush_service(victim.base(line_bytes), sched.complete_at());
+            let service = self.victim_flush_service(victim.base(line_bytes), sched.complete_at());
             match &mut self.wbuf {
                 Some(wb) => {
                     let stall = wb.enqueue(sched.complete_at(), service);
@@ -460,8 +467,10 @@ impl Cpu {
             StallFeature::NonBlocking { .. } => {
                 // Accesses to any in-flight line wait for their chunk;
                 // other lines proceed (misses gated by MSHR count later).
-                if let Some(f) =
-                    self.fills.iter().find(|f| !f.is_complete(now) && f.covers(mref.addr))
+                if let Some(f) = self
+                    .fills
+                    .iter()
+                    .find(|f| !f.is_complete(now) && f.covers(mref.addr))
                 {
                     stall_until = f.chunk_available_at(mref.addr).max(now);
                 }
@@ -668,7 +677,11 @@ mod tests {
             cpu.step(&plain()); // cycle 18; chunk 1 arrived at 16
         }
         cpu.step(&load(0x1004));
-        assert_eq!(cpu.cycle(), 19, "arrived chunk satisfies the access with no stall");
+        assert_eq!(
+            cpu.cycle(),
+            19,
+            "arrived chunk satisfies the access with no stall"
+        );
     }
 
     #[test]
@@ -706,7 +719,11 @@ mod tests {
         let mut cpu = Cpu::new(config(StallFeature::NonBlocking { mshrs: 1 }));
         cpu.step(&load(0x1000)); // occupies the only MSHR; fill 0..64
         cpu.step(&load(0x2000)); // must wait for the first fill to retire
-        assert!(cpu.cycle() >= 64, "second miss waits for MSHR: {}", cpu.cycle());
+        assert!(
+            cpu.cycle() >= 64,
+            "second miss waits for MSHR: {}",
+            cpu.cycle()
+        );
         let r = cpu.finish();
         eq2_identity(&r);
     }
@@ -731,7 +748,9 @@ mod tests {
     fn ordering_fs_ge_bl_ge_bnl1_ge_bnl3_ge_nb() {
         use simtrace::spec92::{spec92_trace, Spec92Program};
         let run = |stall| {
-            Cpu::new(config(stall)).run(spec92_trace(Spec92Program::Swm256, 42).take(30_000)).cycles
+            Cpu::new(config(stall))
+                .run(spec92_trace(Spec92Program::Swm256, 42).take(30_000))
+                .cycles
         };
         let fs = run(StallFeature::FullStall);
         let bl = run(StallFeature::BusLocked);
@@ -766,7 +785,13 @@ mod tests {
         let base = CpuConfig::baseline(CacheConfig::new(64, 32, 1).unwrap(), timing());
         let with_wb = base.with_write_buffer(WriteBufferConfig::default());
         let trace: Vec<Instr> = (0..200u64)
-            .map(|i| if i % 2 == 0 { store((i % 8) * 0x40) } else { load(((i + 1) % 8) * 0x40) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    store((i % 8) * 0x40)
+                } else {
+                    load(((i + 1) % 8) * 0x40)
+                }
+            })
             .collect();
         let slow = Cpu::new(base).run(trace.clone());
         let fast = Cpu::new(with_wb).run(trace);
@@ -780,7 +805,9 @@ mod tests {
     #[test]
     fn write_around_store_costs_beta() {
         let cfg = CpuConfig::baseline(
-            CacheConfig::new(8 * 1024, LINE, 2).unwrap().with_write_miss(WriteMiss::Around),
+            CacheConfig::new(8 * 1024, LINE, 2)
+                .unwrap()
+                .with_write_miss(WriteMiss::Around),
             timing(),
         );
         let r = Cpu::new(cfg).run(vec![store(0x1000), plain()]);
@@ -856,7 +883,11 @@ mod tests {
                 let r = Cpu::new(config(stall)).run(spec92_trace(p, 3).take(20_000));
                 eq2_identity(&r);
                 let hi = (LINE / 4) as f64 + 1e-9;
-                assert!(r.phi() >= 0.0 && r.phi() <= hi, "{p} {stall}: φ={} out of range", r.phi());
+                assert!(
+                    r.phi() >= 0.0 && r.phi() <= hi,
+                    "{p} {stall}: φ={} out of range",
+                    r.phi()
+                );
             }
         }
     }
@@ -865,7 +896,9 @@ mod tests {
     fn phi_bounds_per_feature() {
         use simtrace::spec92::{spec92_trace, Spec92Program};
         let run = |stall| {
-            Cpu::new(config(stall)).run(spec92_trace(Spec92Program::Hydro2d, 9).take(30_000)).phi()
+            Cpu::new(config(stall))
+                .run(spec92_trace(Spec92Program::Hydro2d, 9).take(30_000))
+                .phi()
         };
         let ld = (LINE / 4) as f64;
         assert!((run(StallFeature::FullStall) - ld).abs() < 1e-9);
@@ -885,7 +918,13 @@ mod tests {
                 .with_write_buffer(WriteBufferConfig { capacity: 2, mode })
         };
         let trace: Vec<Instr> = (0..100u64)
-            .map(|i| if i % 2 == 0 { store((i % 6) * 0x40) } else { load(((i + 3) % 6) * 0x40) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    store((i % 6) * 0x40)
+                } else {
+                    load(((i + 3) % 6) * 0x40)
+                }
+            })
             .collect();
         let ideal = Cpu::new(mk(BypassMode::Ideal)).run(trace.clone());
         let chunky = Cpu::new(mk(BypassMode::ChunkGranular)).run(trace);
@@ -958,7 +997,10 @@ mod tests {
         // the Tullsen & Eggers caution the paper cites. The slowdown is
         // bounded by 2× plus small queueing effects.
         assert!(pf.cycles as f64 <= plain.cycles as f64 * 2.15);
-        assert!(pf.cycles >= plain.cycles, "prefetch cannot help a pure chase");
+        assert!(
+            pf.cycles >= plain.cycles,
+            "prefetch cannot help a pure chase"
+        );
     }
 
     #[test]
@@ -1005,7 +1047,10 @@ mod tests {
         let run = |with_l2: bool| {
             let mut cfg = config(StallFeature::FullStall);
             if with_l2 {
-                cfg = cfg.with_l2(L2Config::new(CacheConfig::new(128 * 1024, LINE, 4).unwrap(), 2));
+                cfg = cfg.with_l2(L2Config::new(
+                    CacheConfig::new(128 * 1024, LINE, 4).unwrap(),
+                    2,
+                ));
             }
             Cpu::new(cfg).run(spec92_trace(Spec92Program::Doduc, 5).take(30_000))
         };
@@ -1027,7 +1072,10 @@ mod tests {
         for stall in [StallFeature::FullStall, StallFeature::BusNotLocked3] {
             for pf in [Prefetch::None, Prefetch::NextLine] {
                 let cfg = config(stall)
-                    .with_l2(L2Config::new(CacheConfig::new(64 * 1024, LINE, 4).unwrap(), 2))
+                    .with_l2(L2Config::new(
+                        CacheConfig::new(64 * 1024, LINE, 4).unwrap(),
+                        2,
+                    ))
                     .with_prefetch(pf)
                     .with_write_buffer(WriteBufferConfig::default());
                 let r = Cpu::new(cfg).run(spec92_trace(Spec92Program::Wave5, 6).take(15_000));
@@ -1041,8 +1089,8 @@ mod tests {
         // An I-miss right after a data miss queues behind it on a shared
         // bus but proceeds in parallel on split buses.
         let mk = |shared: bool| {
-            let mut cfg = config(StallFeature::FullStall)
-                .with_icache(CacheConfig::new(4096, 32, 1).unwrap());
+            let mut cfg =
+                config(StallFeature::FullStall).with_icache(CacheConfig::new(4096, 32, 1).unwrap());
             if shared {
                 cfg = cfg.with_shared_bus();
             }
@@ -1091,7 +1139,9 @@ mod tests {
                 MemoryTiming::new(BusWidth::new(4).unwrap(), beta),
             )
             .with_stall(StallFeature::BusLocked);
-            Cpu::new(cfg).run(spec92_trace(Spec92Program::Swm256, 5).take(30_000)).phi()
+            Cpu::new(cfg)
+                .run(spec92_trace(Spec92Program::Swm256, 5).take(30_000))
+                .phi()
         };
         // More memory latency → more overlap conflicts → higher φ
         // (Figure 1's upward trend).

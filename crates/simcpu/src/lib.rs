@@ -38,10 +38,12 @@
 
 pub mod config;
 pub mod cpu;
+pub mod events;
 pub mod result;
 pub mod validate;
 
 pub use config::{CpuConfig, L2Config, Prefetch, StallFeature, WriteBufferConfig};
 pub use cpu::Cpu;
+pub use events::{MissTimeline, TimelineCpu};
 pub use result::{MeasuredProfile, SimResult};
 pub use validate::{predict_cycles, predict_cycles_multiissue, validation_error};

@@ -203,7 +203,11 @@ mod tests {
 
     #[test]
     fn zero_fills_zero_phi() {
-        let r = SimResult { instructions: 10, cycles: 10, ..SimResult::default() };
+        let r = SimResult {
+            instructions: 10,
+            cycles: 10,
+            ..SimResult::default()
+        };
         assert_eq!(r.phi(), 0.0);
         assert_eq!(r.cpi(), 1.0);
     }

@@ -72,7 +72,9 @@ mod tests {
 
     fn run(stall: StallFeature, wb: bool, write_miss: WriteMiss, beta: u64) -> SimResult {
         let mut cfg = CpuConfig::baseline(
-            CacheConfig::new(8 * 1024, 32, 2).unwrap().with_write_miss(write_miss),
+            CacheConfig::new(8 * 1024, 32, 2)
+                .unwrap()
+                .with_write_miss(write_miss),
             MemoryTiming::new(BusWidth::new(4).unwrap(), beta),
         )
         .with_stall(stall);

@@ -93,7 +93,11 @@ impl FillSchedule {
     ///
     /// Panics if `addr` is not within the line being filled.
     pub fn chunk_available_at(&self, addr: Addr) -> u64 {
-        assert_eq!(addr.line(self.line_bytes), self.line, "address outside the in-flight line");
+        assert_eq!(
+            addr.line(self.line_bytes),
+            self.line,
+            "address outside the in-flight line"
+        );
         let chunk = addr.chunk_in_line(self.line_bytes, self.chunk_bytes);
         let chunks = self.chunks();
         let delivery_index = (chunk + chunks - self.critical_chunk) % chunks;

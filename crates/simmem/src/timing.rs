@@ -23,11 +23,20 @@ impl fmt::Display for TimingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TimingError::BadBusWidth(d) => {
-                write!(f, "bus width must be a power of two in 1..=64 bytes, got {d}")
+                write!(
+                    f,
+                    "bus width must be a power of two in 1..=64 bytes, got {d}"
+                )
             }
             TimingError::ZeroCycles(what) => write!(f, "{what} must be at least one cycle"),
-            TimingError::BadLine { line_bytes, bus_bytes } => {
-                write!(f, "line size {line_bytes} is not a positive multiple of bus width {bus_bytes}")
+            TimingError::BadLine {
+                line_bytes,
+                bus_bytes,
+            } => {
+                write!(
+                    f,
+                    "line size {line_bytes} is not a positive multiple of bus width {bus_bytes}"
+                )
             }
         }
     }
@@ -44,8 +53,7 @@ pub struct BusWidth(u64);
 
 impl BusWidth {
     /// The paper's canonical widths.
-    pub const PAPER_SET: [BusWidth; 4] =
-        [BusWidth(4), BusWidth(8), BusWidth(16), BusWidth(32)];
+    pub const PAPER_SET: [BusWidth; 4] = [BusWidth(4), BusWidth(8), BusWidth(16), BusWidth(32)];
 
     /// Creates a bus width.
     ///
@@ -132,7 +140,12 @@ impl MemoryTiming {
         if beta_m == 0 {
             return Err(TimingError::ZeroCycles("beta_m"));
         }
-        Ok(MemoryTiming { bus, beta_m, q: None, beta_write: None })
+        Ok(MemoryTiming {
+            bus,
+            beta_m,
+            q: None,
+            beta_write: None,
+        })
     }
 
     /// Returns a pipelined variant with issue interval `q`.
@@ -165,7 +178,10 @@ impl MemoryTiming {
     /// Panics if `row_hit` is zero or exceeds `row_miss`.
     pub fn page_mode(bus: BusWidth, row_miss: u64, row_hit: u64) -> Self {
         assert!(row_hit > 0, "row-hit time must be positive");
-        assert!(row_hit <= row_miss, "row hits cannot be slower than row misses");
+        assert!(
+            row_hit <= row_miss,
+            "row hits cannot be slower than row misses"
+        );
         MemoryTiming::new(bus, row_miss).pipelined(row_hit)
     }
 
@@ -221,7 +237,10 @@ impl MemoryTiming {
     pub fn check_line(&self, line_bytes: u64) -> Result<(), TimingError> {
         let d = self.bus.bytes();
         if line_bytes == 0 || (!line_bytes.is_multiple_of(d) && !d.is_multiple_of(line_bytes)) {
-            return Err(TimingError::BadLine { line_bytes, bus_bytes: d });
+            return Err(TimingError::BadLine {
+                line_bytes,
+                bus_bytes: d,
+            });
         }
         Ok(())
     }
@@ -378,7 +397,10 @@ mod tests {
         let t = MemoryTiming::new(BusWidth::new(8).unwrap(), 5);
         assert!(t.check_line(32).is_ok());
         assert!(t.check_line(8).is_ok());
-        assert!(t.check_line(4).is_ok(), "line narrower than bus is one chunk");
+        assert!(
+            t.check_line(4).is_ok(),
+            "line narrower than bus is one chunk"
+        );
         assert!(t.check_line(12).is_err());
         assert!(t.check_line(0).is_err());
         assert_eq!(t.chunks_per_line(4), 1);

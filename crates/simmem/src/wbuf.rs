@@ -136,7 +136,10 @@ impl WriteBuffer {
             stall = head.remaining;
             self.advance(now + stall);
         }
-        self.entries.push_back(Entry { total: service_cycles, remaining: service_cycles });
+        self.entries.push_back(Entry {
+            total: service_cycles,
+            remaining: service_cycles,
+        });
         self.stats.full_stall_cycles += stall;
         stall
     }

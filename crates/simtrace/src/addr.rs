@@ -18,7 +18,9 @@ use std::fmt;
 /// assert_eq!(a.line(64).base(64), Addr::new(0x1200));
 /// assert_eq!(a.offset_in_line(64), 0x34);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -38,7 +40,10 @@ impl Addr {
     ///
     /// Panics if `line_bytes` is not a power of two (debug builds).
     pub fn line(self, line_bytes: u64) -> LineAddr {
-        debug_assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        debug_assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 / line_bytes)
     }
 
@@ -93,7 +98,9 @@ impl fmt::LowerHex for Addr {
 /// A `LineAddr` is only meaningful together with the line size it was
 /// derived from; the simulators carry a single global line size so this is
 /// not encoded in the type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

@@ -43,7 +43,10 @@ impl fmt::Display for DinError {
                 write!(f, "line {line}: malformed record {text:?}")
             }
             DinError::BadLabel { line, label } => {
-                write!(f, "line {line}: unknown label {label:?} (expected 0, 1 or 2)")
+                write!(
+                    f,
+                    "line {line}: unknown label {label:?} (expected 0, 1 or 2)"
+                )
             }
             DinError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -69,7 +72,11 @@ pub struct DinReader<R> {
 impl<R: BufRead> DinReader<R> {
     /// Creates a parser over a buffered reader.
     pub fn new(reader: R) -> Self {
-        DinReader { lines: reader.lines(), line_no: 0, last_pc: 0 }
+        DinReader {
+            lines: reader.lines(),
+            line_no: 0,
+            last_pc: 0,
+        }
     }
 }
 
@@ -107,7 +114,10 @@ impl<R: BufRead> Iterator for DinReader<R> {
                     self.last_pc = addr;
                     Ok(Instr::plain(addr))
                 }
-                other => Err(DinError::BadLabel { line: self.line_no, label: other.to_string() }),
+                other => Err(DinError::BadLabel {
+                    line: self.line_no,
+                    label: other.to_string(),
+                }),
             });
         }
     }
@@ -168,7 +178,10 @@ mod tests {
         let err = parse("2 400\njusttoken\n").unwrap_err();
         assert!(matches!(err, DinError::Malformed { line: 2, .. }), "{err}");
         let err = parse("not a record\n").unwrap_err();
-        assert!(matches!(err, DinError::BadLabel { line: 1, .. }), "hex 'a' parses, label doesn't: {err}");
+        assert!(
+            matches!(err, DinError::BadLabel { line: 1, .. }),
+            "hex 'a' parses, label doesn't: {err}"
+        );
         let err = parse("7 400\n").unwrap_err();
         assert!(matches!(err, DinError::BadLabel { line: 1, .. }), "{err}");
         let err = parse("2 zzz\n").unwrap_err();
@@ -183,13 +196,16 @@ mod tests {
 
     #[test]
     fn write_then_read_round_trips_structure() {
-        let original = [Instr::plain(0x100u64),
+        let original = [
+            Instr::plain(0x100u64),
             Instr::mem(0x104u64, MemRef::load(0x2000u64, 4)),
-            Instr::mem(0x108u64, MemRef::store(0x2004u64, 4))];
+            Instr::mem(0x108u64, MemRef::store(0x2004u64, 4)),
+        ];
         let mut bytes = Vec::new();
         write_din(&mut bytes, original.iter().copied()).unwrap();
-        let reread: Vec<Instr> =
-            DinReader::new(BufReader::new(&bytes[..])).collect::<Result<_, _>>().unwrap();
+        let reread: Vec<Instr> = DinReader::new(BufReader::new(&bytes[..]))
+            .collect::<Result<_, _>>()
+            .unwrap();
         // din splits fetch and data into separate records, so counts grow,
         // but the reference stream is preserved in order.
         let refs: Vec<_> = reread.iter().filter_map(|i| i.mem).collect();

@@ -112,7 +112,8 @@ impl TraceBuffer {
         let mut prev_addr = 0u64;
         for instr in trace {
             let mut flags = 0u8;
-            let seq = instr.pc.raw() == prev_pc.wrapping_add(4) || (len == 0 && instr.pc.raw() == 0);
+            let seq =
+                instr.pc.raw() == prev_pc.wrapping_add(4) || (len == 0 && instr.pc.raw() == 0);
             if seq {
                 flags |= FLAG_SEQ_PC;
             }
@@ -137,7 +138,10 @@ impl TraceBuffer {
             prev_pc = instr.pc.raw();
             len += 1;
         }
-        TraceBuffer { data: data.freeze(), len }
+        TraceBuffer {
+            data: data.freeze(),
+            len,
+        }
     }
 
     /// Number of instructions in the buffer.
@@ -157,7 +161,12 @@ impl TraceBuffer {
 
     /// Iterates over the decoded instructions.
     pub fn iter(&self) -> Iter {
-        Iter { data: self.data.clone(), prev_pc: 0, prev_addr: 0, first: true }
+        Iter {
+            data: self.data.clone(),
+            prev_pc: 0,
+            prev_addr: 0,
+            first: true,
+        }
     }
 
     /// Writes the buffer to a writer with a small self-describing header
@@ -186,7 +195,10 @@ impl TraceBuffer {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != FILE_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a trace file",
+            ));
         }
         let mut word = [0u8; 8];
         r.read_exact(&mut word)?;
@@ -195,7 +207,10 @@ impl TraceBuffer {
         let byte_len = u64::from_le_bytes(word) as usize;
         let mut data = vec![0u8; byte_len];
         r.read_exact(&mut data)?;
-        Ok(TraceBuffer { data: Bytes::from(data), len })
+        Ok(TraceBuffer {
+            data: Bytes::from(data),
+            len,
+        })
     }
 
     /// Writes the buffer to a file, creating parent directories.
@@ -261,14 +276,25 @@ impl Iterator for Iter {
             if size_code > 7 {
                 return Some(Err(DecodeError::BadSize(size_code)));
             }
-            let op = if flags & FLAG_STORE != 0 { MemOp::Store } else { MemOp::Load };
-            Some(MemRef { op, addr: Addr::new(addr), size: 1 << size_code })
+            let op = if flags & FLAG_STORE != 0 {
+                MemOp::Store
+            } else {
+                MemOp::Load
+            };
+            Some(MemRef {
+                op,
+                addr: Addr::new(addr),
+                size: 1 << size_code,
+            })
         } else {
             None
         };
         self.prev_pc = pc;
         self.first = false;
-        Some(Ok(Instr { pc: Addr::new(pc), mem }))
+        Some(Ok(Instr {
+            pc: Addr::new(pc),
+            mem,
+        }))
     }
 }
 
@@ -303,10 +329,13 @@ mod tests {
 
     #[test]
     fn generated_trace_round_trip() {
-        let trace: Vec<Instr> =
-            PatternTrace::new(WorkingSet::new(0x4000, 8192, 0.3, 4), TraceShape::default(), 5)
-                .take(5_000)
-                .collect();
+        let trace: Vec<Instr> = PatternTrace::new(
+            WorkingSet::new(0x4000, 8192, 0.3, 4),
+            TraceShape::default(),
+            5,
+        )
+        .take(5_000)
+        .collect();
         round_trip(trace);
     }
 
@@ -323,7 +352,10 @@ mod tests {
         let buf = TraceBuffer::encode(vec![Instr::mem(0x100u64, MemRef::load(0x12345u64, 4))]);
         let mut raw = buf.data.to_vec();
         raw.truncate(raw.len() - 1);
-        let broken = TraceBuffer { data: Bytes::from(raw), len: 1 };
+        let broken = TraceBuffer {
+            data: Bytes::from(raw),
+            len: 1,
+        };
         let results: Vec<_> = broken.iter().collect();
         assert!(results.iter().any(|r| r.is_err()));
     }

@@ -53,10 +53,24 @@ impl StridedSweep {
     /// # Panics
     ///
     /// Panics if `stride` is zero or `region_bytes` is zero.
-    pub fn new(base: u64, region_bytes: u64, stride: u64, elem_size: u8, store_period: u32) -> Self {
+    pub fn new(
+        base: u64,
+        region_bytes: u64,
+        stride: u64,
+        elem_size: u8,
+        store_period: u32,
+    ) -> Self {
         assert!(stride > 0, "stride must be positive");
         assert!(region_bytes > 0, "region must be non-empty");
-        StridedSweep { base, region_bytes, stride, elem_size, store_period, cursor: 0, count: 0 }
+        StridedSweep {
+            base,
+            region_bytes,
+            stride,
+            elem_size,
+            store_period,
+            cursor: 0,
+            count: 0,
+        }
     }
 }
 
@@ -70,7 +84,11 @@ impl AccessPattern for StridedSweep {
         } else {
             MemOp::Load
         };
-        MemRef { op, addr, size: self.elem_size }
+        MemRef {
+            op,
+            addr,
+            size: self.elem_size,
+        }
     }
 }
 
@@ -110,7 +128,13 @@ impl PointerChase {
         for w in 0..nodes as usize {
             next[perm[w] as usize] = perm[(w + 1) % nodes as usize];
         }
-        PointerChase { base, next, node_bytes, current: 0, store_fraction }
+        PointerChase {
+            base,
+            next,
+            node_bytes,
+            current: 0,
+            store_fraction,
+        }
     }
 }
 
@@ -118,7 +142,11 @@ impl AccessPattern for PointerChase {
     fn next_ref(&mut self, rng: &mut SmallRng) -> MemRef {
         let addr = Addr::new(self.base + self.current as u64 * self.node_bytes);
         self.current = self.next[self.current as usize];
-        let op = if rng.gen_bool(self.store_fraction) { MemOp::Store } else { MemOp::Load };
+        let op = if rng.gen_bool(self.store_fraction) {
+            MemOp::Store
+        } else {
+            MemOp::Load
+        };
         MemRef { op, addr, size: 4 }
     }
 }
@@ -149,8 +177,16 @@ impl WorkingSet {
     /// Panics if `bytes` is zero or `store_fraction` is outside `[0, 1]`.
     pub fn new(base: u64, bytes: u64, store_fraction: f64, elem_size: u8) -> Self {
         assert!(bytes > 0, "working set must be non-empty");
-        assert!((0.0..=1.0).contains(&store_fraction), "store fraction must be in [0, 1]");
-        WorkingSet { base, bytes, store_fraction, elem_size }
+        assert!(
+            (0.0..=1.0).contains(&store_fraction),
+            "store fraction must be in [0, 1]"
+        );
+        WorkingSet {
+            base,
+            bytes,
+            store_fraction,
+            elem_size,
+        }
     }
 }
 
@@ -159,8 +195,16 @@ impl AccessPattern for WorkingSet {
         let elem = self.elem_size.max(1) as u64;
         let slots = (self.bytes / elem).max(1);
         let addr = Addr::new(self.base + rng.gen_range(0..slots) * elem);
-        let op = if rng.gen_bool(self.store_fraction) { MemOp::Store } else { MemOp::Load };
-        MemRef { op, addr, size: self.elem_size }
+        let op = if rng.gen_bool(self.store_fraction) {
+            MemOp::Store
+        } else {
+            MemOp::Load
+        };
+        MemRef {
+            op,
+            addr,
+            size: self.elem_size,
+        }
     }
 }
 
@@ -196,7 +240,10 @@ impl ZipfWorkingSet {
     pub fn new(base: u64, slots: u32, elem_size: u8, s: f64, store_fraction: f64) -> Self {
         assert!(slots > 0, "need at least one slot");
         assert!(s.is_finite() && s > 0.0, "zipf exponent must be positive");
-        assert!((0.0..=1.0).contains(&store_fraction), "store fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&store_fraction),
+            "store fraction must be in [0, 1]"
+        );
         let mut cdf = Vec::with_capacity(slots as usize);
         let mut total = 0.0;
         for i in 0..slots {
@@ -206,7 +253,12 @@ impl ZipfWorkingSet {
         for v in &mut cdf {
             *v /= total;
         }
-        ZipfWorkingSet { base, elem_size, store_fraction, cdf }
+        ZipfWorkingSet {
+            base,
+            elem_size,
+            store_fraction,
+            cdf,
+        }
     }
 
     /// Number of slots.
@@ -220,8 +272,16 @@ impl AccessPattern for ZipfWorkingSet {
         let u: f64 = rng.gen();
         let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
         let addr = Addr::new(self.base + rank as u64 * u64::from(self.elem_size.max(1)));
-        let op = if rng.gen_bool(self.store_fraction) { MemOp::Store } else { MemOp::Load };
-        MemRef { op, addr, size: self.elem_size }
+        let op = if rng.gen_bool(self.store_fraction) {
+            MemOp::Store
+        } else {
+            MemOp::Load
+        };
+        MemRef {
+            op,
+            addr,
+            size: self.elem_size,
+        }
     }
 }
 
@@ -247,8 +307,15 @@ impl HotCold {
     ///
     /// Panics if `hot_fraction` is outside `[0, 1]`.
     pub fn new(hot: WorkingSet, cold: WorkingSet, hot_fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&hot_fraction), "hot fraction must be in [0, 1]");
-        HotCold { hot, cold, hot_fraction }
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot fraction must be in [0, 1]"
+        );
+        HotCold {
+            hot,
+            cold,
+            hot_fraction,
+        }
     }
 }
 
@@ -284,7 +351,12 @@ impl LoopNest {
     pub fn new(arrays: Vec<StridedSweep>, burst: u32) -> Self {
         assert!(!arrays.is_empty(), "loop nest needs at least one array");
         assert!(burst > 0, "burst must be positive");
-        LoopNest { arrays, burst, current: 0, issued: 0 }
+        LoopNest {
+            arrays,
+            burst,
+            current: 0,
+            issued: 0,
+        }
     }
 }
 
@@ -317,7 +389,11 @@ pub struct TraceShape {
 
 impl Default for TraceShape {
     fn default() -> Self {
-        TraceShape { mem_fraction: 0.3, branch_fraction: 0.05, code_bytes: 64 * 1024 }
+        TraceShape {
+            mem_fraction: 0.3,
+            branch_fraction: 0.05,
+            code_bytes: 64 * 1024,
+        }
     }
 }
 
@@ -333,7 +409,10 @@ impl TraceShape {
             return Err(format!("mem_fraction {} outside [0, 1]", self.mem_fraction));
         }
         if !(0.0..=1.0).contains(&self.branch_fraction) {
-            return Err(format!("branch_fraction {} outside [0, 1]", self.branch_fraction));
+            return Err(format!(
+                "branch_fraction {} outside [0, 1]",
+                self.branch_fraction
+            ));
         }
         if self.code_bytes < 4 {
             return Err("code region must hold at least one instruction".to_string());
@@ -370,7 +449,12 @@ impl<P: AccessPattern> PatternTrace<P> {
     /// check fallibly.
     pub fn new(pattern: P, shape: TraceShape, seed: u64) -> Self {
         shape.validate().expect("invalid trace shape");
-        PatternTrace { pattern, shape, rng: SmallRng::seed_from_u64(seed), pc: 0 }
+        PatternTrace {
+            pattern,
+            shape,
+            rng: SmallRng::seed_from_u64(seed),
+            pc: 0,
+        }
     }
 }
 
@@ -416,7 +500,10 @@ mod tests {
         let mut s = StridedSweep::new(0, 1024, 4, 4, 4);
         let mut r = rng();
         let ops: Vec<bool> = (0..8).map(|_| s.next_ref(&mut r).op.is_store()).collect();
-        assert_eq!(ops, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            ops,
+            vec![false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]
@@ -431,7 +518,10 @@ mod tests {
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..64 {
-            assert!(seen.insert(p.next_ref(&mut r).addr.raw()), "node revisited within a cycle");
+            assert!(
+                seen.insert(p.next_ref(&mut r).addr.raw()),
+                "node revisited within a cycle"
+            );
         }
         assert_eq!(seen.len(), 64);
         // Next 64 revisit the same set.
@@ -479,8 +569,13 @@ mod tests {
         let cold = WorkingSet::new(0x1_0000, 64, 0.0, 4);
         let mut hc = HotCold::new(hot, cold, 0.9);
         let mut r = rng();
-        let hits = (0..10_000).filter(|_| hc.next_ref(&mut r).addr.raw() < 0x1_0000).count();
-        assert!((8_500..=9_500).contains(&hits), "hot fraction far from 0.9: {hits}");
+        let hits = (0..10_000)
+            .filter(|_| hc.next_ref(&mut r).addr.raw() < 0x1_0000)
+            .count();
+        assert!(
+            (8_500..=9_500).contains(&hits),
+            "hot fraction far from 0.9: {hits}"
+        );
     }
 
     #[test]
@@ -489,9 +584,13 @@ mod tests {
         let b = StridedSweep::new(0x10_000, 1024, 4, 4, 0);
         let mut nest = LoopNest::new(vec![a, b], 3);
         let mut r = rng();
-        let regions: Vec<bool> =
-            (0..9).map(|_| nest.next_ref(&mut r).addr.raw() >= 0x10_000).collect();
-        assert_eq!(regions, vec![false, false, false, true, true, true, false, false, false]);
+        let regions: Vec<bool> = (0..9)
+            .map(|_| nest.next_ref(&mut r).addr.raw() >= 0x10_000)
+            .collect();
+        assert_eq!(
+            regions,
+            vec![false, false, false, true, true, true, false, false, false]
+        );
     }
 
     #[test]
@@ -510,7 +609,11 @@ mod tests {
         );
         let hottest = *counts.values().max().unwrap();
         assert!(hottest > 2_000, "rank-0 share too small: {hottest}");
-        assert!(counts.len() > 100, "tail should still be touched: {}", counts.len());
+        assert!(
+            counts.len() > 100,
+            "tail should still be touched: {}",
+            counts.len()
+        );
     }
 
     #[test]
@@ -552,24 +655,38 @@ mod tests {
             }
             lines.len()
         };
-        assert!(footprint(1.3) < footprint(0.7), "heavier tail → wider footprint");
+        assert!(
+            footprint(1.3) < footprint(0.7),
+            "heavier tail → wider footprint"
+        );
     }
 
     #[test]
     fn pattern_trace_respects_mem_fraction() {
         let ws = WorkingSet::new(0, 4096, 0.3, 4);
-        let shape = TraceShape { mem_fraction: 0.25, ..TraceShape::default() };
+        let shape = TraceShape {
+            mem_fraction: 0.25,
+            ..TraceShape::default()
+        };
         let n = 40_000;
-        let mems =
-            PatternTrace::new(ws, shape, 3).take(n).filter(|i: &Instr| i.mem.is_some()).count();
+        let mems = PatternTrace::new(ws, shape, 3)
+            .take(n)
+            .filter(|i: &Instr| i.mem.is_some())
+            .count();
         let frac = mems as f64 / n as f64;
-        assert!((frac - 0.25).abs() < 0.02, "mem fraction {frac} far from 0.25");
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "mem fraction {frac} far from 0.25"
+        );
     }
 
     #[test]
     fn pattern_trace_pcs_stay_in_code_region() {
         let ws = WorkingSet::new(0, 4096, 0.3, 4);
-        let shape = TraceShape { code_bytes: 1024, ..TraceShape::default() };
+        let shape = TraceShape {
+            code_bytes: 1024,
+            ..TraceShape::default()
+        };
         for i in PatternTrace::new(ws, shape, 3).take(5_000) {
             assert!(i.pc.raw() < 1024);
             assert_eq!(i.pc.raw() % 4, 0);
@@ -579,8 +696,23 @@ mod tests {
     #[test]
     fn trace_shape_validation() {
         assert!(TraceShape::default().validate().is_ok());
-        assert!(TraceShape { mem_fraction: 1.5, ..Default::default() }.validate().is_err());
-        assert!(TraceShape { branch_fraction: -0.1, ..Default::default() }.validate().is_err());
-        assert!(TraceShape { code_bytes: 2, ..Default::default() }.validate().is_err());
+        assert!(TraceShape {
+            mem_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TraceShape {
+            branch_fraction: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TraceShape {
+            code_bytes: 2,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

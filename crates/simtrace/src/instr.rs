@@ -53,12 +53,20 @@ pub struct MemRef {
 impl MemRef {
     /// Creates a load reference.
     pub fn load(addr: impl Into<Addr>, size: u8) -> Self {
-        MemRef { op: MemOp::Load, addr: addr.into(), size }
+        MemRef {
+            op: MemOp::Load,
+            addr: addr.into(),
+            size,
+        }
     }
 
     /// Creates a store reference.
     pub fn store(addr: impl Into<Addr>, size: u8) -> Self {
-        MemRef { op: MemOp::Store, addr: addr.into(), size }
+        MemRef {
+            op: MemOp::Store,
+            addr: addr.into(),
+            size,
+        }
     }
 }
 
@@ -84,22 +92,40 @@ pub struct Instr {
 impl Instr {
     /// An instruction with no data reference (ALU, branch, ...).
     pub fn plain(pc: impl Into<Addr>) -> Self {
-        Instr { pc: pc.into(), mem: None }
+        Instr {
+            pc: pc.into(),
+            mem: None,
+        }
     }
 
     /// An instruction performing the given data reference.
     pub fn mem(pc: impl Into<Addr>, mem: MemRef) -> Self {
-        Instr { pc: pc.into(), mem: Some(mem) }
+        Instr {
+            pc: pc.into(),
+            mem: Some(mem),
+        }
     }
 
     /// Returns `true` if this instruction performs a data load.
     pub fn is_load(&self) -> bool {
-        matches!(self.mem, Some(MemRef { op: MemOp::Load, .. }))
+        matches!(
+            self.mem,
+            Some(MemRef {
+                op: MemOp::Load,
+                ..
+            })
+        )
     }
 
     /// Returns `true` if this instruction performs a data store.
     pub fn is_store(&self) -> bool {
-        matches!(self.mem, Some(MemRef { op: MemOp::Store, .. }))
+        matches!(
+            self.mem,
+            Some(MemRef {
+                op: MemOp::Store,
+                ..
+            })
+        )
     }
 }
 
@@ -139,6 +165,8 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!Instr::plain(0u64).to_string().is_empty());
-        assert!(Instr::mem(0u64, MemRef::load(4u64, 4)).to_string().contains("load"));
+        assert!(Instr::mem(0u64, MemRef::load(4u64, 4))
+            .to_string()
+            .contains("load"));
     }
 }

@@ -83,7 +83,10 @@ impl MixtureBuilder {
     ///
     /// Panics if `weight` is not finite and positive.
     pub fn component(mut self, weight: f64, pattern: impl AccessPattern + Send + 'static) -> Self {
-        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
         self.components.push((weight, Box::new(pattern)));
         self
     }
@@ -94,9 +97,15 @@ impl MixtureBuilder {
     ///
     /// Panics if no component was added.
     pub fn build(self) -> MixtureTrace {
-        assert!(!self.components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !self.components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total_weight = self.components.iter().map(|(w, _)| *w).sum();
-        MixtureTrace { components: self.components, total_weight }
+        MixtureTrace {
+            components: self.components,
+            total_weight,
+        }
     }
 
     /// Finishes the mixture and lifts it into an instruction trace.
@@ -119,7 +128,9 @@ mod tests {
             .build();
         let mut rng = SmallRng::seed_from_u64(1);
         let n = 20_000;
-        let low = (0..n).filter(|_| mix.next_ref(&mut rng).addr.raw() < 0x1_0000).count();
+        let low = (0..n)
+            .filter(|_| mix.next_ref(&mut rng).addr.raw() < 0x1_0000)
+            .count();
         let frac = low as f64 / n as f64;
         assert!((frac - 0.8).abs() < 0.02, "component weight off: {frac}");
     }
@@ -138,7 +149,9 @@ mod tests {
 
     #[test]
     fn single_component_mixture_is_that_component() {
-        let mut mix = MixtureBuilder::new().component(1.0, WorkingSet::new(0, 64, 0.0, 4)).build();
+        let mut mix = MixtureBuilder::new()
+            .component(1.0, WorkingSet::new(0, 64, 0.0, 4))
+            .build();
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..100 {
             assert!(mix.next_ref(&mut rng).addr.raw() < 64);
@@ -147,7 +160,9 @@ mod tests {
 
     #[test]
     fn debug_is_nonempty() {
-        let mix = MixtureBuilder::new().component(1.0, WorkingSet::new(0, 64, 0.0, 4)).build();
+        let mix = MixtureBuilder::new()
+            .component(1.0, WorkingSet::new(0, 64, 0.0, 4))
+            .build();
         assert!(format!("{mix:?}").contains("MixtureTrace"));
     }
 }

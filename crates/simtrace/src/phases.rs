@@ -21,7 +21,10 @@ pub struct Phase {
 
 impl std::fmt::Debug for Phase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Phase").field("name", &self.name).field("refs", &self.refs).finish()
+        f.debug_struct("Phase")
+            .field("name", &self.name)
+            .field("refs", &self.refs)
+            .finish()
     }
 }
 
@@ -31,9 +34,17 @@ impl Phase {
     /// # Panics
     ///
     /// Panics if `refs` is zero.
-    pub fn new(name: impl Into<String>, pattern: impl AccessPattern + Send + 'static, refs: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        pattern: impl AccessPattern + Send + 'static,
+        refs: u64,
+    ) -> Self {
         assert!(refs > 0, "a phase must run at least one reference");
-        Phase { name: name.into(), pattern: Box::new(pattern), refs }
+        Phase {
+            name: name.into(),
+            pattern: Box::new(pattern),
+            refs,
+        }
     }
 }
 
@@ -54,7 +65,11 @@ impl PhasedPattern {
     /// Panics if `phases` is empty.
     pub fn new(phases: Vec<Phase>) -> Self {
         assert!(!phases.is_empty(), "need at least one phase");
-        PhasedPattern { phases, current: 0, spent: 0 }
+        PhasedPattern {
+            phases,
+            current: 0,
+            spent: 0,
+        }
     }
 
     /// The phase that will serve the next reference.
@@ -101,8 +116,9 @@ mod tests {
             Phase::new("hot", WorkingSet::new(0x10_0000, 64, 0.0, 4), 2),
         ]);
         let mut r = rng();
-        let regions: Vec<bool> =
-            (0..10).map(|_| p.next_ref(&mut r).addr.raw() >= 0x10_0000).collect();
+        let regions: Vec<bool> = (0..10)
+            .map(|_| p.next_ref(&mut r).addr.raw() >= 0x10_0000)
+            .collect();
         assert_eq!(
             regions,
             vec![false, false, false, true, true, false, false, false, true, true]

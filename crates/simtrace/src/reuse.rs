@@ -42,7 +42,10 @@ impl ReuseProfile {
         line_bytes: u64,
         max_distance: usize,
     ) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(max_distance > 0, "need at least one distance bucket");
         let mut stack: Vec<u64> = Vec::new(); // most recent at the end
         let mut histogram = vec![0u64; max_distance + 1];
@@ -65,7 +68,12 @@ impl ReuseProfile {
                 }
             }
         }
-        ReuseProfile { line_bytes, histogram, cold, total }
+        ReuseProfile {
+            line_bytes,
+            histogram,
+            cold,
+            total,
+        }
     }
 
     /// The line granularity the profile was computed at.
@@ -160,7 +168,11 @@ mod tests {
         let p = ReuseProfile::from_trace(loads(&addrs), 32, 64);
         // 40 resident lines: distance 39 for every wrap access.
         assert_eq!(p.capacity_for(0.8), Some(40));
-        assert_eq!(p.capacity_for(0.999), None, "compulsory misses bound the ceiling");
+        assert_eq!(
+            p.capacity_for(0.999),
+            None,
+            "compulsory misses bound the ceiling"
+        );
     }
 
     #[test]

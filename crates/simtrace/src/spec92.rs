@@ -97,19 +97,26 @@ pub fn spec92_trace(program: Spec92Program, seed: u64) -> PatternTrace<MixtureTr
             // arrays)...
             .component(0.16, StridedSweep::new(0x10_0000, 2 * mib, 8, 8, 5))
             // ...a blocked kernel reusing a small sub-matrix...
-            .component(0.42, LoopNest::new(
-                vec![
-                    StridedSweep::new(0x60_0000, 3 * 1024, 8, 8, 0),
-                    StridedSweep::new(0x60_0C00, 3 * 1024, 8, 8, 3),
-                ],
-                384,
-            ))
+            .component(
+                0.42,
+                LoopNest::new(
+                    vec![
+                        StridedSweep::new(0x60_0000, 3 * 1024, 8, 8, 0),
+                        StridedSweep::new(0x60_0C00, 3 * 1024, 8, 8, 3),
+                    ],
+                    384,
+                ),
+            )
             // ...index/coefficient tables with heavy-tailed reuse...
             .component(0.18, ZipfWorkingSet::new(0x68_0000, 16 * 1024, 8, 1.2, 0.1))
             // ...and scalar locals that always hit.
             .component(0.24, WorkingSet::new(0x7F_0000, 2048, 0.4, 8))
             .into_trace(
-                TraceShape { mem_fraction: 0.34, branch_fraction: 0.02, code_bytes: 32 * 1024 },
+                TraceShape {
+                    mem_fraction: 0.34,
+                    branch_fraction: 0.02,
+                    code_bytes: 32 * 1024,
+                },
                 seed,
             ),
         Spec92Program::Swm256 => MixtureBuilder::new()
@@ -123,49 +130,74 @@ pub fn spec92_trace(program: Spec92Program, seed: u64) -> PatternTrace<MixtureTr
             // Grid-edge tables and loop-invariant scalars.
             .component(0.46, WorkingSet::new(0x7F_0000, 3 * 1024, 0.5, 8))
             .into_trace(
-                TraceShape { mem_fraction: 0.40, branch_fraction: 0.01, code_bytes: 16 * 1024 },
+                TraceShape {
+                    mem_fraction: 0.40,
+                    branch_fraction: 0.01,
+                    code_bytes: 16 * 1024,
+                },
                 seed,
             ),
         Spec92Program::Wave5 => MixtureBuilder::new()
             // Particle push: heavy-tailed gather/scatter over the
             // particle array.
-            .component(0.32, ZipfWorkingSet::new(0x300_0000, 96 * 1024, 8, 1.3, 0.35))
+            .component(
+                0.32,
+                ZipfWorkingSet::new(0x300_0000, 96 * 1024, 8, 1.3, 0.35),
+            )
             // Field solve: regular sweeps over the grid.
             .component(0.24, StridedSweep::new(0x400_0000, mib, 8, 8, 4))
             // Hot auxiliary tables.
             .component(0.44, WorkingSet::new(0x7E_0000, 4 * 1024, 0.2, 8))
             .into_trace(
-                TraceShape { mem_fraction: 0.32, branch_fraction: 0.04, code_bytes: 96 * 1024 },
+                TraceShape {
+                    mem_fraction: 0.32,
+                    branch_fraction: 0.04,
+                    code_bytes: 96 * 1024,
+                },
                 seed,
             ),
         Spec92Program::Ear => MixtureBuilder::new()
             // Cochlea filter cascade: tight loop nest over medium arrays
             // revisited every time step — strong temporal reuse.
-            .component(0.78, LoopNest::new(
-                vec![
-                    StridedSweep::new(0x50_0000, 2 * 1024, 4, 4, 4),
-                    StridedSweep::new(0x50_0800, 2 * 1024, 4, 4, 0),
-                    StridedSweep::new(0x50_1000, 2 * 1024, 4, 4, 2),
-                ],
-                256,
-            ))
+            .component(
+                0.78,
+                LoopNest::new(
+                    vec![
+                        StridedSweep::new(0x50_0000, 2 * 1024, 4, 4, 4),
+                        StridedSweep::new(0x50_0800, 2 * 1024, 4, 4, 0),
+                        StridedSweep::new(0x50_1000, 2 * 1024, 4, 4, 2),
+                    ],
+                    256,
+                ),
+            )
             // Occasional state spill to a larger history buffer.
             .component(0.06, StridedSweep::new(0x58_0000, mib / 2, 8, 8, 3))
             .component(0.16, WorkingSet::new(0x7D_0000, 2048, 0.3, 4))
             .into_trace(
-                TraceShape { mem_fraction: 0.28, branch_fraction: 0.03, code_bytes: 24 * 1024 },
+                TraceShape {
+                    mem_fraction: 0.28,
+                    branch_fraction: 0.03,
+                    code_bytes: 24 * 1024,
+                },
                 seed,
             ),
         Spec92Program::Doduc => MixtureBuilder::new()
             // Monte-Carlo: cross-section tables with Zipf popularity —
             // mostly reads, so α stays low.
-            .component(0.48, ZipfWorkingSet::new(0x500_0000, 64 * 1024, 8, 1.2, 0.08))
+            .component(
+                0.48,
+                ZipfWorkingSet::new(0x500_0000, 64 * 1024, 8, 1.2, 0.08),
+            )
             // Hot physics constants and the particle stack.
             .component(0.46, WorkingSet::new(0x40_0000, 3 * 1024, 0.15, 8))
             // Cold event records appended rarely.
             .component(0.06, StridedSweep::new(0x600_0000, 4 * mib, 8, 8, 2))
             .into_trace(
-                TraceShape { mem_fraction: 0.25, branch_fraction: 0.08, code_bytes: 192 * 1024 },
+                TraceShape {
+                    mem_fraction: 0.25,
+                    branch_fraction: 0.08,
+                    code_bytes: 192 * 1024,
+                },
                 seed,
             ),
         Spec92Program::Hydro2d => MixtureBuilder::new()
@@ -177,7 +209,11 @@ pub fn spec92_trace(program: Spec92Program, seed: u64) -> PatternTrace<MixtureTr
             // Hot column scratch and equation-of-state tables.
             .component(0.50, WorkingSet::new(0x7C_0000, 2048, 0.5, 8))
             .into_trace(
-                TraceShape { mem_fraction: 0.38, branch_fraction: 0.015, code_bytes: 20 * 1024 },
+                TraceShape {
+                    mem_fraction: 0.38,
+                    branch_fraction: 0.015,
+                    code_bytes: 20 * 1024,
+                },
                 seed,
             ),
     }
@@ -229,7 +265,10 @@ mod tests {
         };
         let swm = frac(Spec92Program::Swm256);
         let doduc = frac(Spec92Program::Doduc);
-        assert!(swm > doduc + 0.05, "swm256 ({swm}) should reference memory more than doduc ({doduc})");
+        assert!(
+            swm > doduc + 0.05,
+            "swm256 ({swm}) should reference memory more than doduc ({doduc})"
+        );
     }
 
     #[test]

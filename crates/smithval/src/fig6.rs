@@ -198,8 +198,16 @@ mod tests {
     fn all_panels_reproduce_smith_optima() {
         let model = DesignTargetModel::default();
         for v in validate_all_panels(&model).unwrap() {
-            assert!(v.selectors_agree, "{}: Smith {} vs Eq.19 {}", v.panel, v.smith_line, v.eq19_line);
-            assert!(v.matches_paper, "{}: selected {} not in Smith's set", v.panel, v.smith_line);
+            assert!(
+                v.selectors_agree,
+                "{}: Smith {} vs Eq.19 {}",
+                v.panel, v.smith_line, v.eq19_line
+            );
+            assert!(
+                v.matches_paper,
+                "{}: selected {} not in Smith's set",
+                v.panel, v.smith_line
+            );
         }
     }
 
@@ -234,7 +242,10 @@ mod tests {
         let panel = &PANELS[0];
         let betas: Vec<f64> = (1..=10).map(f64::from).collect();
         let series = panel.reduced_delay_series(&model, 32.0, &betas).unwrap();
-        assert!(series.iter().any(|&(_, v)| v > 0.0), "32B should be beneficial somewhere");
+        assert!(
+            series.iter().any(|&(_, v)| v > 0.0),
+            "32B should be beneficial somewhere"
+        );
     }
 
     #[test]
@@ -244,7 +255,11 @@ mod tests {
         let model = DesignTargetModel::default();
         let panel = &PANELS[1]; // lowest latency ratio → earliest crossover
         let series = panel.reduced_delay_series(&model, 256.0, &[10.0]).unwrap();
-        assert!(series[0].1 < 0.0, "256B at β=10 should be harmful: {}", series[0].1);
+        assert!(
+            series[0].1 < 0.0,
+            "256B at β=10 should be harmful: {}",
+            series[0].1
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ pub struct PowerLawModel {
 
 impl Default for PowerLawModel {
     fn default() -> Self {
-        PowerLawModel { k: 0.25, sigma: 0.5 }
+        PowerLawModel {
+            k: 0.25,
+            sigma: 0.5,
+        }
     }
 }
 
@@ -157,7 +160,10 @@ impl TableModel {
             assert!((0.0..=1.0).contains(&m), "miss ratio {m} outside [0, 1]");
         }
         points.sort_by(|a, b| a.0.total_cmp(&b.0));
-        TableModel { cache_bytes, points }
+        TableModel {
+            cache_bytes,
+            points,
+        }
     }
 
     /// The cache size the table was measured at.
@@ -228,7 +234,9 @@ mod tests {
             [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
                 .into_iter()
                 .min_by(|&a, &b| {
-                    model.miss_ratio(cache, a).total_cmp(&model.miss_ratio(cache, b))
+                    model
+                        .miss_ratio(cache, a)
+                        .total_cmp(&model.miss_ratio(cache, b))
                 })
                 .unwrap()
         };
@@ -237,7 +245,10 @@ mod tests {
 
     #[test]
     fn miss_ratio_is_clamped() {
-        let model = DesignTargetModel { base_miss: 0.9, ..DesignTargetModel::default() };
+        let model = DesignTargetModel {
+            base_miss: 0.9,
+            ..DesignTargetModel::default()
+        };
         let m = model.miss_ratio(256.0, 256.0);
         assert!((0.0..=1.0).contains(&m));
     }
@@ -288,6 +299,9 @@ mod tests {
         let model = DesignTargetModel::default();
         let m = |l: f64| model.miss_ratio(16_384.0, l);
         assert!(m(128.0) < m(4.0));
-        assert!(m(256.0) > m(128.0) * 0.99, "gains dry up at very large lines");
+        assert!(
+            m(256.0) > m(128.0) * 0.99,
+            "gains dry up at very large lines"
+        );
     }
 }

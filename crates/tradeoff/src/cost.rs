@@ -29,7 +29,10 @@ pub struct CacheAreaModel {
 impl Default for CacheAreaModel {
     fn default() -> Self {
         // The paper's era: 32-bit addresses, valid + dirty.
-        CacheAreaModel { addr_bits: 32, status_bits_per_line: 2 }
+        CacheAreaModel {
+            addr_bits: 32,
+            status_bits_per_line: 2,
+        }
     }
 }
 
@@ -65,14 +68,25 @@ impl CacheAreaModel {
     ///
     /// Returns [`TradeoffError::NotPositive`] for degenerate geometry
     /// (zero sizes, line larger than a way, non-powers of two).
-    pub fn bits(&self, size_bytes: u64, line_bytes: u64, assoc: u32) -> Result<CacheBits, TradeoffError> {
+    pub fn bits(
+        &self,
+        size_bytes: u64,
+        line_bytes: u64,
+        assoc: u32,
+    ) -> Result<CacheBits, TradeoffError> {
         for (what, v) in [("cache size", size_bytes), ("line size", line_bytes)] {
             if v == 0 || !v.is_power_of_two() {
-                return Err(TradeoffError::NotPositive { what, value: v as f64 });
+                return Err(TradeoffError::NotPositive {
+                    what,
+                    value: v as f64,
+                });
             }
         }
         if assoc == 0 || !assoc.is_power_of_two() {
-            return Err(TradeoffError::NotPositive { what: "associativity", value: f64::from(assoc) });
+            return Err(TradeoffError::NotPositive {
+                what: "associativity",
+                value: f64::from(assoc),
+            });
         }
         let lines = size_bytes / line_bytes;
         if lines == 0 || u64::from(assoc) > lines {
@@ -104,7 +118,10 @@ pub struct PinModel {
 
 impl Default for PinModel {
     fn default() -> Self {
-        PinModel { addr_pins: 32, control_pins: 16 }
+        PinModel {
+            addr_pins: 32,
+            control_pins: 16,
+        }
     }
 }
 

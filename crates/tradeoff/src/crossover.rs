@@ -60,7 +60,10 @@ pub fn find_crossover(
     hi: f64,
 ) -> Result<Option<f64>, TradeoffError> {
     if !(lo > 0.0 && hi > lo) {
-        return Err(TradeoffError::NotPositive { what: "crossover interval", value: hi - lo });
+        return Err(TradeoffError::NotPositive {
+            what: "crossover interval",
+            value: hi - lo,
+        });
     }
     let diff = |beta: f64| -> Result<f64, TradeoffError> {
         let m = machine.with_beta_m(beta)?;
@@ -128,9 +131,14 @@ mod tests {
         let base = SystemConfig::full_stalling(0.5);
         let piped = base.with_pipelined_memory(2.0);
         let bus = base.with_bus_factor(2.0);
-        let numeric = find_crossover(&machine, &piped, &bus, 2.0, 50.0).unwrap().unwrap();
+        let numeric = find_crossover(&machine, &piped, &bus, 2.0, 50.0)
+            .unwrap()
+            .unwrap();
         let closed = pipelined_vs_double_bus(8.0, 2.0).unwrap();
-        assert!((numeric - closed).abs() < 1e-6, "numeric {numeric} vs closed {closed}");
+        assert!(
+            (numeric - closed).abs() < 1e-6,
+            "numeric {numeric} vs closed {closed}"
+        );
     }
 
     #[test]
@@ -140,7 +148,10 @@ mod tests {
         let base = SystemConfig::full_stalling(0.5);
         let piped = base.with_pipelined_memory(2.0);
         let bus = base.with_bus_factor(2.0);
-        assert_eq!(find_crossover(&machine, &piped, &bus, 2.0, 500.0).unwrap(), None);
+        assert_eq!(
+            find_crossover(&machine, &piped, &bus, 2.0, 500.0).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn equivalent_hit_ratio(
     let dhr = traded_hit_ratio(machine, base, enhanced, base_hr)?;
     let hr2 = base_hr.value() - dhr;
     if hr2 < 0.0 {
-        return Err(TradeoffError::HitRatioUnderflow { base: base_hr.value(), implied: hr2 });
+        return Err(TradeoffError::HitRatioUnderflow {
+            base: base_hr.value(),
+            implied: hr2,
+        });
     }
     HitRatio::new(hr2)
 }
@@ -166,7 +169,11 @@ mod tests {
         for (hr1, hr2_expect) in [(0.95, 0.90), (0.98, 0.96)] {
             let hr2 =
                 equivalent_hit_ratio(&m, &fs(), &doubled(), HitRatio::new(hr1).unwrap()).unwrap();
-            assert!((hr2.value() - hr2_expect).abs() < 1e-4, "{hr1} → {}", hr2.value());
+            assert!(
+                (hr2.value() - hr2_expect).abs() < 1e-4,
+                "{hr1} → {}",
+                hr2.value()
+            );
         }
     }
 
@@ -232,7 +239,10 @@ mod tests {
             (p, b)
         };
         let (p4, b4) = at(4.0);
-        assert!(p4 < b4, "at β=4 pipelining should not yet win: {p4} vs {b4}");
+        assert!(
+            p4 < b4,
+            "at β=4 pipelining should not yet win: {p4} vs {b4}"
+        );
         let (p6, b6) = at(6.0);
         assert!(p6 > b6, "at β=6 pipelining should win: {p6} vs {b6}");
     }

@@ -64,11 +64,20 @@ impl fmt::Display for TradeoffError {
             TradeoffError::NotPositive { what, value } => {
                 write!(f, "{what} must be positive and finite, got {value}")
             }
-            TradeoffError::LineNarrowerThanBus { line_bytes, bus_bytes } => {
-                write!(f, "line size {line_bytes} B is narrower than the {bus_bytes} B bus")
+            TradeoffError::LineNarrowerThanBus {
+                line_bytes,
+                bus_bytes,
+            } => {
+                write!(
+                    f,
+                    "line size {line_bytes} B is narrower than the {bus_bytes} B bus"
+                )
             }
             TradeoffError::NonPhysicalDelay { delay } => {
-                write!(f, "delay per missed line {delay} ≤ 1 cycle has no equivalence solution")
+                write!(
+                    f,
+                    "delay per missed line {delay} ≤ 1 cycle has no equivalence solution"
+                )
             }
             TradeoffError::HitRatioUnderflow { base, implied } => {
                 write!(f, "hit ratio {base} trades below zero (implied {implied})")
@@ -90,15 +99,46 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         let cases: Vec<(TradeoffError, &str)> = vec![
-            (TradeoffError::FractionOutOfRange { what: "hit ratio", value: 1.5 }, "hit ratio"),
-            (TradeoffError::NotPositive { what: "beta_m", value: -1.0 }, "beta_m"),
             (
-                TradeoffError::LineNarrowerThanBus { line_bytes: 4.0, bus_bytes: 8.0 },
+                TradeoffError::FractionOutOfRange {
+                    what: "hit ratio",
+                    value: 1.5,
+                },
+                "hit ratio",
+            ),
+            (
+                TradeoffError::NotPositive {
+                    what: "beta_m",
+                    value: -1.0,
+                },
+                "beta_m",
+            ),
+            (
+                TradeoffError::LineNarrowerThanBus {
+                    line_bytes: 4.0,
+                    bus_bytes: 8.0,
+                },
                 "narrower",
             ),
-            (TradeoffError::NonPhysicalDelay { delay: 0.5 }, "no equivalence"),
-            (TradeoffError::HitRatioUnderflow { base: 0.5, implied: -0.2 }, "below zero"),
-            (TradeoffError::PhiOutOfRange { phi: 9.0, min: 1.0, max: 8.0 }, "stalling factor"),
+            (
+                TradeoffError::NonPhysicalDelay { delay: 0.5 },
+                "no equivalence",
+            ),
+            (
+                TradeoffError::HitRatioUnderflow {
+                    base: 0.5,
+                    implied: -0.2,
+                },
+                "below zero",
+            ),
+            (
+                TradeoffError::PhiOutOfRange {
+                    phi: 9.0,
+                    min: 1.0,
+                    max: 8.0,
+                },
+                "stalling factor",
+            ),
             (TradeoffError::EmptyCandidates, "empty"),
         ];
         for (e, needle) in cases {

@@ -30,16 +30,27 @@ impl AppSignature {
     ///
     /// Returns [`TradeoffError::NotPositive`] if `instructions` is not
     /// positive, or a range error if byte/op counts are negative.
-    pub fn new(instructions: f64, read_bytes: f64, write_arounds: f64) -> Result<Self, TradeoffError> {
+    pub fn new(
+        instructions: f64,
+        read_bytes: f64,
+        write_arounds: f64,
+    ) -> Result<Self, TradeoffError> {
         if !(instructions.is_finite() && instructions > 0.0) {
-            return Err(TradeoffError::NotPositive { what: "instructions", value: instructions });
+            return Err(TradeoffError::NotPositive {
+                what: "instructions",
+                value: instructions,
+            });
         }
         for (what, v) in [("read bytes", read_bytes), ("write arounds", write_arounds)] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(TradeoffError::NotPositive { what, value: v });
             }
         }
-        Ok(AppSignature { instructions, read_bytes, write_arounds })
+        Ok(AppSignature {
+            instructions,
+            read_bytes,
+            write_arounds,
+        })
     }
 
     /// The number of load/store misses `Λm = R/L + W` on a machine with

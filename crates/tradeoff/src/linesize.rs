@@ -41,10 +41,16 @@ impl FillTiming {
     /// Returns [`TradeoffError::NotPositive`] when `c < 1` or `β ≤ 0`.
     pub fn new(c: f64, beta: f64) -> Result<Self, TradeoffError> {
         if !(c.is_finite() && c >= 1.0) {
-            return Err(TradeoffError::NotPositive { what: "latency c (≥ 1)", value: c });
+            return Err(TradeoffError::NotPositive {
+                what: "latency c (≥ 1)",
+                value: c,
+            });
         }
         if !(beta.is_finite() && beta > 0.0) {
-            return Err(TradeoffError::NotPositive { what: "bus speed beta", value: beta });
+            return Err(TradeoffError::NotPositive {
+                what: "bus speed beta",
+                value: beta,
+            });
         }
         Ok(FillTiming { c, beta })
     }
@@ -86,7 +92,11 @@ pub fn miss_count_ratio(
     alpha0: f64,
     alpha_star: f64,
 ) -> Result<f64, TradeoffError> {
-    for (what, v) in [("bus width", bus_bytes), ("base line", l0), ("larger line", l_star)] {
+    for (what, v) in [
+        ("bus width", bus_bytes),
+        ("base line", l0),
+        ("larger line", l_star),
+    ] {
         if !(v.is_finite() && v > 0.0) {
             return Err(TradeoffError::NotPositive { what, value: v });
         }
@@ -298,13 +308,34 @@ mod tests {
     fn smith_and_eq19_agree_on_a_hand_curve() {
         // Hit ratios rising then saturating: classic line-size curve.
         let cands = [
-            LineCandidate { line_bytes: 8.0, hit_ratio: hr(0.90) },
-            LineCandidate { line_bytes: 16.0, hit_ratio: hr(0.94) },
-            LineCandidate { line_bytes: 32.0, hit_ratio: hr(0.962) },
-            LineCandidate { line_bytes: 64.0, hit_ratio: hr(0.970) },
-            LineCandidate { line_bytes: 128.0, hit_ratio: hr(0.972) },
+            LineCandidate {
+                line_bytes: 8.0,
+                hit_ratio: hr(0.90),
+            },
+            LineCandidate {
+                line_bytes: 16.0,
+                hit_ratio: hr(0.94),
+            },
+            LineCandidate {
+                line_bytes: 32.0,
+                hit_ratio: hr(0.962),
+            },
+            LineCandidate {
+                line_bytes: 64.0,
+                hit_ratio: hr(0.970),
+            },
+            LineCandidate {
+                line_bytes: 128.0,
+                hit_ratio: hr(0.972),
+            },
         ];
-        for (c, beta) in [(2.0, 0.5), (7.0, 1.0), (13.0, 2.0), (25.0, 4.0), (49.0, 8.0)] {
+        for (c, beta) in [
+            (2.0, 0.5),
+            (7.0, 1.0),
+            (13.0, 2.0),
+            (25.0, 4.0),
+            (49.0, 8.0),
+        ] {
             let t = FillTiming::new(c, beta).unwrap();
             let smith = optimal_line_smith(&t, 4.0, &cands).unwrap();
             let ours = optimal_line_eq19(&t, 4.0, &cands).unwrap();
@@ -318,24 +349,43 @@ mod tests {
     #[test]
     fn slow_buses_favour_small_lines() {
         let cands = [
-            LineCandidate { line_bytes: 8.0, hit_ratio: hr(0.90) },
-            LineCandidate { line_bytes: 64.0, hit_ratio: hr(0.96) },
+            LineCandidate {
+                line_bytes: 8.0,
+                hit_ratio: hr(0.90),
+            },
+            LineCandidate {
+                line_bytes: 64.0,
+                hit_ratio: hr(0.96),
+            },
         ];
         // Fast bus: big line wins.
         let fast = FillTiming::new(20.0, 0.25).unwrap();
-        assert_eq!(optimal_line_smith(&fast, 4.0, &cands).unwrap().line_bytes, 64.0);
+        assert_eq!(
+            optimal_line_smith(&fast, 4.0, &cands).unwrap().line_bytes,
+            64.0
+        );
         // Very slow bus: transfer dominates; small line wins.
         let slow = FillTiming::new(2.0, 50.0).unwrap();
-        assert_eq!(optimal_line_smith(&slow, 4.0, &cands).unwrap().line_bytes, 8.0);
+        assert_eq!(
+            optimal_line_smith(&slow, 4.0, &cands).unwrap().line_bytes,
+            8.0
+        );
     }
 
     #[test]
     fn beneficial_range_shrinks_with_beta() {
         // For a modest hit gain, slow buses make the larger line lose.
         let betas: Vec<f64> = (1..=10).map(|b| b as f64).collect();
-        let good =
-            beneficial_bus_speeds(|b| 6.0 * b + 1.0, &betas, 4.0, 8.0, hr(0.90), 32.0, hr(0.95))
-                .unwrap();
+        let good = beneficial_bus_speeds(
+            |b| 6.0 * b + 1.0,
+            &betas,
+            4.0,
+            8.0,
+            hr(0.90),
+            32.0,
+            hr(0.95),
+        )
+        .unwrap();
         assert!(!good.is_empty());
         // The set is a prefix: once it stops being beneficial it stays so.
         for w in good.windows(2) {

@@ -32,7 +32,10 @@ use crate::system::SystemConfig;
 
 fn check_width(issue_width: u32) -> Result<f64, TradeoffError> {
     if issue_width == 0 {
-        return Err(TradeoffError::NotPositive { what: "issue width", value: 0.0 });
+        return Err(TradeoffError::NotPositive {
+            what: "issue width",
+            value: 0.0,
+        });
     }
     Ok(f64::from(issue_width))
 }

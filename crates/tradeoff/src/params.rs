@@ -132,9 +132,16 @@ impl Machine {
         let line_bytes = check_positive("line size", line_bytes)?;
         let beta_m = check_positive("beta_m", beta_m)?;
         if line_bytes < bus_bytes {
-            return Err(TradeoffError::LineNarrowerThanBus { line_bytes, bus_bytes });
+            return Err(TradeoffError::LineNarrowerThanBus {
+                line_bytes,
+                bus_bytes,
+            });
         }
-        Ok(Machine { bus_bytes, line_bytes, beta_m })
+        Ok(Machine {
+            bus_bytes,
+            line_bytes,
+            beta_m,
+        })
     }
 
     /// Bus width `D` in bytes.
@@ -178,7 +185,11 @@ impl Machine {
 
 impl fmt::Display for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "D={}B L={}B βm={}", self.bus_bytes, self.line_bytes, self.beta_m)
+        write!(
+            f,
+            "D={}B L={}B βm={}",
+            self.bus_bytes, self.line_bytes, self.beta_m
+        )
     }
 }
 
@@ -229,7 +240,10 @@ mod tests {
     fn displays() {
         assert_eq!(HitRatio::new(0.95).unwrap().to_string(), "95.00%");
         assert_eq!(FlushRatio::HALF.to_string(), "α=0.50");
-        assert!(Machine::new(4.0, 32.0, 8.0).unwrap().to_string().contains("L=32B"));
+        assert!(Machine::new(4.0, 32.0, 8.0)
+            .unwrap()
+            .to_string()
+            .contains("L=32B"));
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct Candidate {
 impl Candidate {
     /// Creates a candidate.
     pub fn new(name: impl Into<String>, system: SystemConfig) -> Self {
-        Candidate { name: name.into(), system }
+        Candidate {
+            name: name.into(),
+            system,
+        }
     }
 }
 
@@ -34,7 +37,12 @@ pub struct Ranked {
 
 impl fmt::Display for Ranked {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: ΔHR = {:.3}%", self.candidate.name, self.traded_hr * 100.0)
+        write!(
+            f,
+            "{}: ΔHR = {:.3}%",
+            self.candidate.name,
+            self.traded_hr * 100.0
+        )
     }
 }
 
@@ -57,7 +65,10 @@ pub fn rank_features(
     let mut ranked = Vec::with_capacity(candidates.len());
     for c in candidates {
         let traded_hr = traded_hit_ratio(machine, base, &c.system, base_hr)?;
-        ranked.push(Ranked { candidate: c.clone(), traded_hr });
+        ranked.push(Ranked {
+            candidate: c.clone(),
+            traded_hr,
+        });
     }
     ranked.sort_by(|a, b| b.traded_hr.total_cmp(&a.traded_hr));
     Ok(ranked)
@@ -89,8 +100,7 @@ mod tests {
         // BNL1's measured φ is high (Figure 1): use 85 % of L/D.
         let cands = paper_candidates(&base, 0.85 * 8.0, 2.0);
         let ranked = rank_features(&machine, &base, hr, &cands).unwrap();
-        let names: Vec<&str> =
-            ranked.iter().map(|r| r.candidate.name.as_str()).collect();
+        let names: Vec<&str> = ranked.iter().map(|r| r.candidate.name.as_str()).collect();
         let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
         assert!(pos("doubling bus") < pos("write buffers"));
         assert!(pos("write buffers") < pos("BNL cache"));

@@ -41,7 +41,12 @@ fn eval(
     alpha: f64,
 ) -> Result<f64, TradeoffError> {
     let m = machine.with_beta_m(beta)?;
-    traded_hit_ratio(&m, &with_alpha(base, alpha)?, &with_alpha(enhanced, alpha)?, hr)
+    traded_hit_ratio(
+        &m,
+        &with_alpha(base, alpha)?,
+        &with_alpha(enhanced, alpha)?,
+        hr,
+    )
 }
 
 /// Computes the sensitivities at `(machine, hr)` for the comparison
@@ -76,7 +81,12 @@ pub fn sensitivities(
         - eval(machine, base, enhanced, hr, beta, alpha - h_alpha)?)
         / (2.0 * h_alpha);
 
-    Ok(Sensitivities { delta_hr, d_hr, d_beta, d_alpha })
+    Ok(Sensitivities {
+        delta_hr,
+        d_hr,
+        d_beta,
+        d_alpha,
+    })
 }
 
 /// First-order error bound: the |ΔHR| uncertainty induced by input
@@ -156,7 +166,11 @@ mod tests {
             )
             .unwrap())
             / 0.02;
-        assert!((coarse - s.d_alpha).abs() < 1e-3, "coarse {coarse} vs {}", s.d_alpha);
+        assert!(
+            (coarse - s.d_alpha).abs() < 1e-3,
+            "coarse {coarse} vs {}",
+            s.d_alpha
+        );
     }
 
     #[test]
@@ -165,9 +179,7 @@ mod tests {
         let s = sensitivities(&m, &b, &e, hr).unwrap();
         let u = uncertainty(&s, 0.01, 1.0, 0.1);
         assert!(u > 0.0);
-        assert!(
-            (u - (s.d_hr.abs() * 0.01 + s.d_beta.abs() + s.d_alpha.abs() * 0.1)).abs() < 1e-12
-        );
+        assert!((u - (s.d_hr.abs() * 0.01 + s.d_beta.abs() + s.d_alpha.abs() * 0.1)).abs() < 1e-12);
         // A ±0.1 error in α moves the bus trade by well under a point of
         // hit ratio — the paper's α = 0.5 convention is safe.
         assert!(s.d_alpha.abs() * 0.1 < 0.01, "{s:?}");

@@ -25,8 +25,14 @@ pub enum StallKind {
 
 impl StallKind {
     /// All kinds, in Table 2 order.
-    pub const ALL: [StallKind; 6] =
-        [StallKind::Fs, StallKind::Bl, StallKind::Bnl1, StallKind::Bnl2, StallKind::Bnl3, StallKind::Nb];
+    pub const ALL: [StallKind; 6] = [
+        StallKind::Fs,
+        StallKind::Bl,
+        StallKind::Bnl1,
+        StallKind::Bnl2,
+        StallKind::Bnl3,
+        StallKind::Nb,
+    ];
 
     /// Table 2's bounds on the stalling factor `φ` for a line/bus ratio
     /// `chunks = L/D`: `(min, max)`.
@@ -94,7 +100,13 @@ mod tests {
     #[test]
     fn partial_stalling_classification() {
         assert!(!StallKind::Fs.is_partially_stalling());
-        for k in [StallKind::Bl, StallKind::Bnl1, StallKind::Bnl2, StallKind::Bnl3, StallKind::Nb] {
+        for k in [
+            StallKind::Bl,
+            StallKind::Bnl1,
+            StallKind::Bnl2,
+            StallKind::Bnl3,
+            StallKind::Nb,
+        ] {
             assert!(k.is_partially_stalling(), "{k}");
         }
     }

@@ -193,10 +193,8 @@ mod tests {
         let m = machine();
         let combo = base().with_bus_factor(2.0).with_write_buffers();
         let both = traded_hit_ratio(&m, &base(), &combo, hr).unwrap();
-        let bus_only =
-            traded_hit_ratio(&m, &base(), &base().with_bus_factor(2.0), hr).unwrap();
-        let wb_only =
-            traded_hit_ratio(&m, &base(), &base().with_write_buffers(), hr).unwrap();
+        let bus_only = traded_hit_ratio(&m, &base(), &base().with_bus_factor(2.0), hr).unwrap();
+        let wb_only = traded_hit_ratio(&m, &base(), &base().with_write_buffers(), hr).unwrap();
         assert!(both > bus_only && both > wb_only);
     }
 }

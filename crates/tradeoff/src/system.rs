@@ -113,7 +113,10 @@ impl SystemConfig {
     /// factor is not positive.
     pub fn chunks(&self, machine: &Machine) -> Result<f64, TradeoffError> {
         if !(self.bus_factor.is_finite() && self.bus_factor > 0.0) {
-            return Err(TradeoffError::NotPositive { what: "bus factor", value: self.bus_factor });
+            return Err(TradeoffError::NotPositive {
+                what: "bus factor",
+                value: self.bus_factor,
+            });
         }
         let eff_bus = machine.bus_bytes() * self.bus_factor;
         let chunks = machine.line_bytes() / eff_bus;
@@ -139,7 +142,10 @@ impl SystemConfig {
             None => chunks * beta,
             Some(q) => {
                 if !(q.is_finite() && q > 0.0) {
-                    return Err(TradeoffError::NotPositive { what: "pipeline q", value: q });
+                    return Err(TradeoffError::NotPositive {
+                        what: "pipeline q",
+                        value: q,
+                    });
                 }
                 beta + q * (chunks - 1.0)
             }
@@ -159,7 +165,11 @@ impl SystemConfig {
             StallSpec::Full => self.line_transfer_time(machine),
             StallSpec::Partial(phi) => {
                 if !(phi.is_finite() && (0.0..=chunks).contains(&phi)) {
-                    return Err(TradeoffError::PhiOutOfRange { phi, min: 0.0, max: chunks });
+                    return Err(TradeoffError::PhiOutOfRange {
+                        phi,
+                        min: 0.0,
+                        max: chunks,
+                    });
                 }
                 Ok(phi * machine.beta_m())
             }
@@ -218,7 +228,9 @@ mod tests {
     #[test]
     fn baseline_g_matches_table3() {
         // FS baseline: G = (L/D)(1 + α)β = 8 · 1.5 · 8 = 96.
-        let g = SystemConfig::full_stalling(0.5).delay_per_missed_line(&machine()).unwrap();
+        let g = SystemConfig::full_stalling(0.5)
+            .delay_per_missed_line(&machine())
+            .unwrap();
         assert!((g - 96.0).abs() < 1e-12);
     }
 

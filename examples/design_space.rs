@@ -58,11 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     for &(size, hr) in curve.iter().rev() {
         let hr1 = HitRatio::new(hr)?;
-        let Ok(hr2) = tradeoff::equiv::equivalent_hit_ratio(&machine, &base, &doubled, hr1)
-        else {
+        let Ok(hr2) = tradeoff::equiv::equivalent_hit_ratio(&machine, &base, &doubled, hr1) else {
             continue; // hit ratio too low to trade down further
         };
-        let cheaper = curve.iter().find(|&&(_, h)| h >= hr2.value()).map(|&(s, _)| s);
+        let cheaper = curve
+            .iter()
+            .find(|&&(_, h)| h >= hr2.value())
+            .map(|&(s, _)| s);
         eq.row([
             format!("{}K", size / 1024),
             format!("{:.2}%", hr * 100.0),

@@ -22,11 +22,36 @@ struct Variant {
 }
 
 const VARIANTS: [Variant; 5] = [
-    Variant { name: "1994 baseline", l2: false, prefetch: Prefetch::None, issue_width: 1 },
-    Variant { name: "+ next-line prefetch", l2: false, prefetch: Prefetch::NextLine, issue_width: 1 },
-    Variant { name: "+ 128K L2", l2: true, prefetch: Prefetch::None, issue_width: 1 },
-    Variant { name: "+ L2 + prefetch", l2: true, prefetch: Prefetch::NextLine, issue_width: 1 },
-    Variant { name: "+ L2 + prefetch, 4-issue", l2: true, prefetch: Prefetch::NextLine, issue_width: 4 },
+    Variant {
+        name: "1994 baseline",
+        l2: false,
+        prefetch: Prefetch::None,
+        issue_width: 1,
+    },
+    Variant {
+        name: "+ next-line prefetch",
+        l2: false,
+        prefetch: Prefetch::NextLine,
+        issue_width: 1,
+    },
+    Variant {
+        name: "+ 128K L2",
+        l2: true,
+        prefetch: Prefetch::None,
+        issue_width: 1,
+    },
+    Variant {
+        name: "+ L2 + prefetch",
+        l2: true,
+        prefetch: Prefetch::NextLine,
+        issue_width: 1,
+    },
+    Variant {
+        name: "+ L2 + prefetch, 4-issue",
+        l2: true,
+        prefetch: Prefetch::NextLine,
+        issue_width: 4,
+    },
 ];
 
 fn simulate(program: Spec92Program, v: Variant) -> SimResult {
@@ -37,7 +62,10 @@ fn simulate(program: Spec92Program, v: Variant) -> SimResult {
     .with_prefetch(v.prefetch)
     .with_issue_width(v.issue_width);
     if v.l2 {
-        cfg = cfg.with_l2(L2Config::new(CacheConfig::new(128 * 1024, 32, 4).expect("valid L2"), 2));
+        cfg = cfg.with_l2(L2Config::new(
+            CacheConfig::new(128 * 1024, 32, 4).expect("valid L2"),
+            2,
+        ));
     }
     Cpu::new(cfg).run(spec92_trace(program, 0x1994).take(INSTRUCTIONS))
 }
@@ -46,8 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-variant CPI across the proxies.
     let mut t = Table::new(["variant", "nasa7", "swm256", "ear", "doduc", "geomean CPI"]);
     for v in VARIANTS {
-        let programs =
-            [Spec92Program::Nasa7, Spec92Program::Swm256, Spec92Program::Ear, Spec92Program::Doduc];
+        let programs = [
+            Spec92Program::Nasa7,
+            Spec92Program::Swm256,
+            Spec92Program::Ear,
+            Spec92Program::Doduc,
+        ];
         let cpis: Vec<f64> = programs.iter().map(|&p| simulate(p, v).cpi()).collect();
         let geomean = cpis.iter().map(|c| c.ln()).sum::<f64>() / cpis.len() as f64;
         t.row([
@@ -66,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = SystemConfig::full_stalling(0.5);
     let hr = HitRatio::new(0.95)?;
     println!("Analytic shifts at HR = 95% (L = 32, D = 4):");
-    for (label, beta_eff) in [("flat memory, β_m = 8", 8.0), ("behind an L2, β_eff ≈ 3", 3.0)] {
+    for (label, beta_eff) in [
+        ("flat memory, β_m = 8", 8.0),
+        ("behind an L2, β_eff ≈ 3", 3.0),
+    ] {
         let machine = Machine::new(4.0, 32.0, beta_eff)?;
         let bus =
             tradeoff::equiv::traded_hit_ratio(&machine, &base, &base.with_bus_factor(2.0), hr)?;
@@ -76,7 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &base.with_pipelined_memory(2.0),
             hr,
         )?;
-        let winner = if pipe > bus { "pipelining wins" } else { "the bus wins" };
+        let winner = if pipe > bus {
+            "pipelining wins"
+        } else {
+            "the bus wins"
+        };
         println!(
             "  · {label}: doubling bus {:+.2}%, pipelined memory {:+.2}% — {winner}.",
             100.0 * bus,

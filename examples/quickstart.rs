@@ -36,12 +36,8 @@ fn main() -> Result<(), TradeoffError> {
 
     // The headline law: doubling the bus lets a 95 % cache shrink until
     // it hits somewhere between 2·HR − 1 and 2.5·HR − 1.5.
-    let hr2 = tradeoff::equiv::equivalent_hit_ratio(
-        &machine,
-        &base,
-        &base.with_bus_factor(2.0),
-        hr,
-    )?;
+    let hr2 =
+        tradeoff::equiv::equivalent_hit_ratio(&machine, &base, &base.with_bus_factor(2.0), hr)?;
     println!(
         "A 64-bit-bus system with a {hr2} cache performs exactly like the \
          32-bit baseline at {hr} — that is the cache area the wider bus buys back."

@@ -61,9 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Interchange: export to .din (Dinero's format) and re-import.
     let din_path = dir.join("wave5.din");
     write_din(std::fs::File::create(&din_path)?, trace.iter().copied())?;
-    let reimported: Vec<Instr> =
-        DinReader::new(BufReader::new(std::fs::File::open(&din_path)?))
-            .collect::<Result<_, _>>()?;
+    let reimported: Vec<Instr> = DinReader::new(BufReader::new(std::fs::File::open(&din_path)?))
+        .collect::<Result<_, _>>()?;
     let refs_out = trace.iter().filter(|i| i.mem.is_some()).count();
     let refs_in = reimported.iter().filter(|i| i.mem.is_some()).count();
     println!(

@@ -15,8 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let timing = MemoryTiming::new(BusWidth::new(4).map_err(|e| e.to_string())?, 8);
     let dcache = CacheConfig::new(8 * 1024, 32, 2)?;
 
-    let mut profile_table =
-        Table::new(["program", "HR", "α (measured)", "φ(BNL1)", "φ(BNL3)", "CPI (FS)"]);
+    let mut profile_table = Table::new([
+        "program",
+        "HR",
+        "α (measured)",
+        "φ(BNL1)",
+        "φ(BNL3)",
+        "CPI (FS)",
+    ]);
     let mut ranking_table = Table::new(["program", "best feature", "2nd", "3rd"]);
 
     for program in Spec92Program::ALL {
@@ -42,11 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let machine = Machine::new(4.0, 32.0, 8.0)?;
         let base = SystemConfig::full_stalling(fs.alpha().clamp(0.0, 1.0));
         let hr = HitRatio::new(fs.dcache.hit_ratio())?;
-        let candidates = tradeoff::ranking::paper_candidates(
-            &base,
-            bnl1.phi().clamp(1.0, 8.0),
-            2.0,
-        );
+        let candidates =
+            tradeoff::ranking::paper_candidates(&base, bnl1.phi().clamp(1.0, 8.0), 2.0);
         let ranked = tradeoff::ranking::rank_features(&machine, &base, hr, &candidates)?;
         ranking_table.row([
             program.to_string(),

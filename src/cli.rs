@@ -36,7 +36,9 @@ pub fn parse_args(args: &[String]) -> Result<(String, Options), String> {
     let cmd = it.next().ok_or_else(usage)?.clone();
     let mut opts = Options::new();
     while let Some(key) = it.next() {
-        let key = key.strip_prefix("--").ok_or(format!("expected --option, got {key:?}"))?;
+        let key = key
+            .strip_prefix("--")
+            .ok_or(format!("expected --option, got {key:?}"))?;
         let value = it.next().ok_or(format!("--{key} needs a value"))?;
         opts.insert(key.to_string(), value.clone());
     }
@@ -57,14 +59,18 @@ fn usage() -> String {
 
 fn get_f64(opts: &Options, key: &str, default: Option<f64>) -> Result<f64, String> {
     match opts.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: not a number: {v:?}")),
         None => default.ok_or(format!("missing required --{key}")),
     }
 }
 
 fn get_u64(opts: &Options, key: &str, default: Option<u64>) -> Result<u64, String> {
     match opts.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: not an integer: {v:?}")),
         None => default.ok_or(format!("missing required --{key}")),
     }
 }
@@ -108,7 +114,11 @@ fn price(opts: &Options) -> Result<String, String> {
         let dhr = tradeoff::multiissue::traded_hit_ratio_w(&machine, &base, &enh, hr, width)
             .map_err(|e| e.to_string())?;
         let hr2 = (hr.value() - dhr).max(0.0);
-        t.row([name.to_string(), format!("{:+.3}%", 100.0 * dhr), format!("{:.2}%", 100.0 * hr2)]);
+        t.row([
+            name.to_string(),
+            format!("{:+.3}%", 100.0 * dhr),
+            format!("{:.2}%", 100.0 * hr2),
+        ]);
     }
     Ok(format!(
         "Design point: D={bus}B L={line}B β_m={beta} α={alpha} HR={hr} issue width {width}\n{}",
@@ -138,9 +148,17 @@ fn crossover(opts: &Options) -> Result<String, String> {
 pub fn parse_curve(spec: &str) -> Result<Vec<LineCandidate>, String> {
     spec.split(',')
         .map(|pair| {
-            let (l, h) = pair.split_once(':').ok_or(format!("bad curve entry {pair:?}"))?;
-            let line_bytes: f64 = l.trim().parse().map_err(|_| format!("bad line size {l:?}"))?;
-            let hr: f64 = h.trim().parse().map_err(|_| format!("bad hit ratio {h:?}"))?;
+            let (l, h) = pair
+                .split_once(':')
+                .ok_or(format!("bad curve entry {pair:?}"))?;
+            let line_bytes: f64 = l
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad line size {l:?}"))?;
+            let hr: f64 = h
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad hit ratio {h:?}"))?;
             Ok(LineCandidate {
                 line_bytes,
                 hit_ratio: HitRatio::new(hr).map_err(|e| e.to_string())?,
@@ -239,7 +257,13 @@ fn design(opts: &Options) -> Result<String, String> {
         ));
     }
     feasible.sort_by(|a, b| a.0.cmp(&b.0).then(a.4.total_cmp(&b.4)));
-    let mut t = Table::new(["pins", "bus", "write buffers", "pipelined", "mean access time"]);
+    let mut t = Table::new([
+        "pins",
+        "bus",
+        "write buffers",
+        "pipelined",
+        "mean access time",
+    ]);
     for (p, bus, wb, piped, time) in &feasible {
         t.row([
             p.to_string(),
@@ -319,7 +343,10 @@ mod tests {
 
     #[test]
     fn simulate_runs_a_proxy() {
-        let out = run(&argv("simulate --program ear --instructions 5000 --stall bnl3")).unwrap();
+        let out = run(&argv(
+            "simulate --program ear --instructions 5000 --stall bnl3",
+        ))
+        .unwrap();
         assert!(out.contains("ear"));
         assert!(out.contains("CPI"));
     }

@@ -65,13 +65,9 @@ fn doubled_bus_equivalence_law_holds_in_simulation() {
         // (α = 0 — the controlled trace never dirties a line).
         let machine = Machine::new(4.0, LINE as f64, beta as f64).expect("valid");
         let sys = SystemConfig::full_stalling(0.0);
-        let hr2 = tradeoff::equiv::equivalent_hit_ratio(
-            &machine,
-            &sys,
-            &sys.with_bus_factor(2.0),
-            hr1,
-        )
-        .expect("physical trade");
+        let hr2 =
+            tradeoff::equiv::equivalent_hit_ratio(&machine, &sys, &sys.with_bus_factor(2.0), hr1)
+                .expect("physical trade");
 
         // Build the second trace at HR₂ and run it on the 64-bit system.
         let misses2 = ((1.0 - hr2.value()) * REFS as f64).round() as u64;
@@ -126,13 +122,8 @@ fn write_buffer_equivalence_law_holds_in_simulation() {
     let machine = Machine::new(4.0, LINE as f64, beta as f64).expect("valid");
     let sys = SystemConfig::full_stalling(alpha.clamp(0.0, 1.0));
     let hr1 = HitRatio::new(base.dcache.hit_ratio()).expect("valid");
-    let hr2 = tradeoff::equiv::equivalent_hit_ratio(
-        &machine,
-        &sys,
-        &sys.with_write_buffers(),
-        hr1,
-    )
-    .expect("physical");
+    let hr2 = tradeoff::equiv::equivalent_hit_ratio(&machine, &sys, &sys.with_write_buffers(), hr1)
+        .expect("physical");
 
     // Second trace at HR₂ with the same store pattern on misses.
     let misses2 = ((1.0 - hr2.value()) * REFS as f64).round() as u64;

@@ -30,7 +30,8 @@ fn figure2_report_renders_both_panels() {
 fn unified_figures_render() {
     for cfg in [FIG3, FIG4, FIG5] {
         let curves = bench::unified::run(cfg, &[2, 8], 5_000).expect("valid");
-        let text = bench::unified::render(cfg, &curves, &std::env::temp_dir().join("smoke_results"));
+        let text =
+            bench::unified::render(cfg, &curves, &std::env::temp_dir().join("smoke_results"));
         assert!(text.contains(&format!("Figure {}", cfg.figure)));
         assert!(text.contains("doubling bus"));
     }
@@ -41,7 +42,10 @@ fn unified_figures_render() {
 fn figure6_report_validates() {
     let text = bench::fig6::main_report();
     assert!(text.contains("(a)") && text.contains("(d)"));
-    assert!(!text.contains("false"), "all panels must agree with Smith:\n{text}");
+    assert!(
+        !text.contains("false"),
+        "all panels must agree with Smith:\n{text}"
+    );
 }
 
 #[test]

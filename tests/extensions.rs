@@ -14,7 +14,10 @@ fn run(l2: bool, prefetch: Prefetch, width: u32, program: Spec92Program) -> SimR
     .with_prefetch(prefetch)
     .with_issue_width(width);
     if l2 {
-        cfg = cfg.with_l2(L2Config::new(CacheConfig::new(128 * 1024, 32, 4).expect("valid L2"), 2));
+        cfg = cfg.with_l2(L2Config::new(
+            CacheConfig::new(128 * 1024, 32, 4).expect("valid L2"),
+            2,
+        ));
     }
     Cpu::new(cfg).run(spec92_trace(program, 0xE7E7).take(N))
 }
@@ -54,7 +57,11 @@ fn l2_filters_memory_traffic() {
     let l2 = r.l2.expect("l2 stats present");
     // Every L1 fill probes the L2; a decent fraction must hit there.
     assert_eq!(l2.accesses(), r.dcache.fills + r.dcache.writebacks);
-    assert!(l2.hit_ratio() > 0.3, "L2 local hit ratio {}", l2.hit_ratio());
+    assert!(
+        l2.hit_ratio() > 0.3,
+        "L2 local hit ratio {}",
+        l2.hit_ratio()
+    );
 }
 
 #[test]
@@ -64,10 +71,16 @@ fn issue_width_speedup_is_bounded_by_width_and_memory() {
     let w4 = run(false, Prefetch::None, 4, p);
     let speedup = w1.cycles as f64 / w4.cycles as f64;
     assert!(speedup > 1.0, "wider issue must help");
-    assert!(speedup < 4.0, "cannot exceed the width (memory stalls persist)");
+    assert!(
+        speedup < 4.0,
+        "cannot exceed the width (memory stalls persist)"
+    );
     // The miss stalls are width-invariant up to interleaving noise.
     let ratio = w4.miss_stall_cycles as f64 / w1.miss_stall_cycles as f64;
-    assert!((0.8..1.25).contains(&ratio), "miss stalls should be stable: {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "miss stalls should be stable: {ratio}"
+    );
 }
 
 #[test]
@@ -76,8 +89,11 @@ fn multiissue_model_reduces_to_paper_at_width_one() {
     let machine = Machine::new(4.0, 32.0, 8.0).expect("valid");
     let base = SystemConfig::full_stalling(0.5);
     let hr = HitRatio::new(0.93).expect("valid");
-    for enh in [base.with_bus_factor(2.0), base.with_write_buffers(), base.with_pipelined_memory(2.0)]
-    {
+    for enh in [
+        base.with_bus_factor(2.0),
+        base.with_write_buffers(),
+        base.with_pipelined_memory(2.0),
+    ] {
         let paper = equiv::traded_hit_ratio(&machine, &base, &enh, hr).expect("physical");
         let wide = multiissue::traded_hit_ratio_w(&machine, &base, &enh, hr, 1).expect("physical");
         assert!((paper - wide).abs() < 1e-12);

@@ -126,7 +126,9 @@ fn sweep_matches_replay_on_spec_proxies() {
 fn set_associativity_only_loses_against_full_associativity() {
     // A set-associative cache of the same capacity can only do worse
     // than the Mattson bound (conflict misses), never better.
-    let trace: Vec<Instr> = spec92_trace(Spec92Program::Doduc, 13).take(20_000).collect();
+    let trace: Vec<Instr> = spec92_trace(Spec92Program::Doduc, 13)
+        .take(20_000)
+        .collect();
     let profile = ReuseProfile::from_trace(trace.iter().copied(), 32, 512);
     for (lines, assoc) in [(64u64, 2u32), (256, 2), (256, 4)] {
         let mut cache = Cache::new(CacheConfig::new(lines * 32, 32, assoc).expect("valid"));

@@ -9,7 +9,11 @@ use tradeoff::{HitRatio, Machine, SystemConfig};
 
 fn machines() -> impl Strategy<Value = Machine> {
     // D ∈ {4, 8}, L/D ∈ {2, 4, 8, 16}, β_m ∈ [2, 100].
-    (prop_oneof![Just(4.0), Just(8.0)], prop_oneof![Just(2u32), Just(4), Just(8), Just(16)], 2.0..100.0f64)
+    (
+        prop_oneof![Just(4.0), Just(8.0)],
+        prop_oneof![Just(2u32), Just(4), Just(8), Just(16)],
+        2.0..100.0f64,
+    )
         .prop_map(|(d, chunks, beta)| {
             Machine::new(d, d * f64::from(chunks), beta).expect("valid machine")
         })

@@ -41,7 +41,11 @@ fn claim_95_to_90_and_98_to_96() {
             HitRatio::new(hr1).unwrap(),
         )
         .unwrap();
-        assert!((hr2.value() - hr2_expected).abs() < 1e-6, "{hr1} → {}", hr2.value());
+        assert!(
+            (hr2.value() - hr2_expected).abs() < 1e-6,
+            "{hr1} → {}",
+            hr2.value()
+        );
     }
 }
 
@@ -82,9 +86,13 @@ fn claim_feature_ranking() {
             let bus = traded_hit_ratio(&m, &fs(0.5), &fs(0.5).with_bus_factor(2.0), hr).unwrap();
             let wb = traded_hit_ratio(&m, &fs(0.5), &fs(0.5).with_write_buffers(), hr).unwrap();
             // Figure 1: BNL1's measured φ sits at 80–95 % of L/D.
-            let bnl =
-                traded_hit_ratio(&m, &fs(0.5), &fs(0.5).with_partial_stall(0.85 * l / 4.0), hr)
-                    .unwrap();
+            let bnl = traded_hit_ratio(
+                &m,
+                &fs(0.5),
+                &fs(0.5).with_partial_stall(0.85 * l / 4.0),
+                hr,
+            )
+            .unwrap();
             assert!(bus > wb, "L={l} β={beta}");
             assert!(wb > bnl, "L={l} β={beta}");
         }
@@ -103,8 +111,7 @@ fn claim_pipelining_crossover() {
     let hr = HitRatio::new(0.95).unwrap();
     for (beta, pipe_wins) in [(4.0, false), (6.0, true)] {
         let m = Machine::new(4.0, 32.0, beta).unwrap();
-        let pipe =
-            traded_hit_ratio(&m, &fs(0.5), &fs(0.5).with_pipelined_memory(2.0), hr).unwrap();
+        let pipe = traded_hit_ratio(&m, &fs(0.5), &fs(0.5).with_pipelined_memory(2.0), hr).unwrap();
         let bus = traded_hit_ratio(&m, &fs(0.5), &fs(0.5).with_bus_factor(2.0), hr).unwrap();
         assert_eq!(pipe > bus, pipe_wins, "β = {beta}");
     }
@@ -134,7 +141,11 @@ fn claim_example_1() {
         HitRatio::new(0.91).unwrap(),
     )
     .unwrap();
-    assert!((0.91 + gain - 0.955).abs() < 0.005, "required {}", 0.91 + gain);
+    assert!(
+        (0.91 + gain - 0.955).abs() < 0.005,
+        "required {}",
+        0.91 + gain
+    );
 }
 
 /// §6 bullet 3: "if ... subsequent load/store accesses are only stalled
@@ -181,5 +192,8 @@ fn claim_mean_delay_equivalence() {
     let hr2 = equivalent_hit_ratio(&m, &base, &enh, hr1).unwrap();
     let t1 = mean_access_time(&m, &base, hr1).unwrap();
     let t2 = mean_access_time(&m, &enh, hr2).unwrap();
-    assert!((t1 - t2).abs() < 1e-9, "mean delays must match: {t1} vs {t2}");
+    assert!(
+        (t1 - t2).abs() < 1e-9,
+        "mean delays must match: {t1} vs {t2}"
+    );
 }

@@ -37,14 +37,14 @@ fn stalls() -> impl Strategy<Value = StallFeature> {
 fn configs() -> impl Strategy<Value = CpuConfig> {
     (
         stalls(),
-        prop_oneof![Just(4u64), Just(8)],           // bus
+        prop_oneof![Just(4u64), Just(8)],             // bus
         prop_oneof![Just(16u64), Just(32), Just(64)], // line
-        2u64..30,                                   // beta
-        any::<bool>(),                              // write buffer
-        any::<bool>(),                              // write-around
-        prop_oneof![Just(1u32), Just(2), Just(4)],  // issue width
-        any::<bool>(),                              // prefetch
-        any::<bool>(),                              // l2
+        2u64..30,                                     // beta
+        any::<bool>(),                                // write buffer
+        any::<bool>(),                                // write-around
+        prop_oneof![Just(1u32), Just(2), Just(4)],    // issue width
+        any::<bool>(),                                // prefetch
+        any::<bool>(),                                // l2
     )
         .prop_map(|(stall, bus, line, beta, wbuf, around, width, pf, l2)| {
             let line = line.max(bus);
@@ -65,8 +65,10 @@ fn configs() -> impl Strategy<Value = CpuConfig> {
                 cfg = cfg.with_prefetch(Prefetch::NextLine);
             }
             if l2 {
-                cfg = cfg
-                    .with_l2(L2Config::new(CacheConfig::new(16 * 1024, line, 4).expect("valid"), 2));
+                cfg = cfg.with_l2(L2Config::new(
+                    CacheConfig::new(16 * 1024, line, 4).expect("valid"),
+                    2,
+                ));
             }
             cfg
         })
