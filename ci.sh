@@ -1,12 +1,38 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 verification plus lint, exactly what a PR must pass.
 #
-#   ./ci.sh          tier-1 (release build + full test suite) + fmt + clippy
+#   ./ci.sh          tier-1 (release build + full test suite) + fmt +
+#                    clippy + manifest (committed results/ hash-verified
+#                    against a fresh parallel suite run)
 #   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
 #                    grid) and BENCH_phi.json (figure-1 timeline engine)
 #                    from the criterion benches (slow; perf-sensitive PRs)
+#   ./ci.sh manifest run only the manifest staleness check
 set -euo pipefail
 cd "$(dirname "$0")"
+
+manifest_check() {
+    echo "==> manifest: regenerate artifacts and hash-verify results/"
+    local tmp
+    tmp="$(mktemp -d)"
+    # The suite document and every CSV must be byte-identical however
+    # they are produced: regenerate with the parallel scheduler into a
+    # scratch directory, then hash the committed results/ against the
+    # fresh manifest. Any drift — stale committed artifact or lost
+    # determinism — fails the build.
+    REPRO_RESULTS_DIR="$tmp" REPRO_JOBS=4 \
+        cargo run --release -q -p bench --bin run_all > /dev/null
+    cargo run --release -q --bin tradeoff-cli -- experiments verify \
+        --results-dir results --manifest "$tmp/manifest.json"
+    rm -rf "$tmp"
+}
+
+if [[ "${1:-}" == "manifest" ]]; then
+    cargo build --release
+    manifest_check
+    echo "CI green."
+    exit 0
+fi
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -19,6 +45,8 @@ cargo fmt --check
 
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+manifest_check
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"

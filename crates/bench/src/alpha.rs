@@ -8,6 +8,7 @@
 //! value is hiding flushes), and the pipelining crossover versus write
 //! buffers shifts with α while the one versus bus doubling does not.
 
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::{Chart, Table};
 use tradeoff::crossover::{pipelined_vs_double_bus, pipelined_vs_write_buffers};
 use tradeoff::equiv::traded_hit_ratio;
@@ -114,13 +115,31 @@ pub fn report() -> Result<String, TradeoffError> {
     ))
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "alpha"
+    }
+    fn title(&self) -> &'static str {
+        "Flush-ratio ablation"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "analytic"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(report().expect("canonical parameters valid"))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    report().expect("canonical parameters valid")
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! directly comparable to the Figure 3–5 features — and the replacement
 //! policy's effect shows how much of that worth is LRU-specific.
 
-use crate::common::instructions_per_run;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcache::{Cache, CacheConfig, Replacement};
 use simtrace::spec92::{spec92_trace, Spec92Program};
@@ -98,10 +98,32 @@ pub fn render(
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "assoc"
+    }
+    fn title(&self) -> &'static str {
+        "Associativity & replacement"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let n = ctx.instructions;
+        ExpReport::text_only(render(&assoc_ladder(n), &policy_spread(n)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    let n = instructions_per_run();
-    render(&assoc_ladder(n), &policy_spread(n))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! worth, in CPI, on the SPEC92 proxies — and therefore how much caution
 //! the analytic numbers deserve on machines that violate them.
 
-use crate::common::instructions_per_run;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use crate::tracestore;
 use report::Table;
 use simcache::CacheConfig;
@@ -110,9 +110,31 @@ pub fn render(rows: &[AssumptionRow]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "assumptions"
+    }
+    fn title(&self) -> &'static str {
+        "Assumption audit"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured", "validation"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(ctx.instructions)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(instructions_per_run()))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! The generic experiment runner — one binary for the whole registry,
+//! replacing the historical per-figure `exp_*` binaries.
+//!
+//! ```text
+//! exp list                 # id, tags, shared traces, title
+//! exp <id>                 # run one experiment, print its section
+//! exp run [--filter F] [--jobs N] [--results-dir DIR]
+//! ```
+//!
+//! `run` over the full registry also writes `run_all_report.txt` and
+//! `manifest.json` next to the artifacts; the observability footer goes
+//! to stderr so stdout stays deterministic.
+
+use bench::registry::{self, RunCtx};
+use bench::sched::{drive, SuiteOptions};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exp list\n       exp <id>\n       exp run [--filter <tag|id>] [--jobs N] [--results-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn list() {
+    for e in registry::all() {
+        println!(
+            "{:<12} [{}]{} {}",
+            e.id(),
+            e.tags().join(","),
+            if e.depends_on_traces().is_empty() {
+                String::new()
+            } else {
+                format!(" traces={}", e.depends_on_traces().join(","))
+            },
+            e.title()
+        );
+    }
+}
+
+fn run(args: &[String]) {
+    let mut filter = String::new();
+    let mut jobs = 1usize;
+    let mut results_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => filter = it.next().cloned().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--results-dir" => {
+                results_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            _ => usage(),
+        }
+    }
+    let opts = SuiteOptions {
+        jobs,
+        ctx: RunCtx::standard(),
+    };
+    let dir = results_dir.unwrap_or_else(bench::common::results_dir);
+    match drive(&filter, &opts, &dir) {
+        Ok(outcome) => {
+            print!("{}", outcome.run.document());
+            eprintln!("{}", outcome.run.footer());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some(id) => match registry::find(id) {
+            Some(exp) => println!("{}", registry::main_report(exp)),
+            None => {
+                eprintln!("error: no experiment with id {id:?} (try `exp list`)");
+                std::process::exit(1);
+            }
+        },
+    }
+}

@@ -1,62 +1,33 @@
-//! Runs every experiment in sequence, printing each report.
-type Section = (&'static str, Box<dyn Fn() -> String>);
+//! Runs every experiment through the registry scheduler, printing the
+//! suite document to stdout and writing every artifact — the per-figure
+//! CSVs, `run_all_report.txt` and the hash `manifest.json` — to the
+//! results directory.
+//!
+//! `REPRO_JOBS=N` runs up to `N` experiments concurrently; the document
+//! is byte-identical to the serial run either way. The per-experiment
+//! wall-clock and trace-store footer goes to stderr so stdout stays
+//! deterministic.
+
+use bench::registry::RunCtx;
+use bench::sched::{drive, SuiteOptions};
 
 fn main() {
-    let sections: Vec<Section> = vec![
-        ("Tables 2 and 3", Box::new(bench::table23::main_report)),
-        ("Figure 1", Box::new(bench::fig1::main_report)),
-        ("Figure 2", Box::new(bench::fig2::main_report)),
-        (
-            "Figure 3",
-            Box::new(|| bench::unified::main_report(bench::unified::FIG3)),
-        ),
-        (
-            "Figure 4",
-            Box::new(|| bench::unified::main_report(bench::unified::FIG4)),
-        ),
-        (
-            "Figure 5",
-            Box::new(|| bench::unified::main_report(bench::unified::FIG5)),
-        ),
-        ("Figure 6", Box::new(bench::fig6::main_report)),
-        ("Example 1", Box::new(bench::example1::main_report)),
-        ("Crossover points", Box::new(bench::xover::main_report)),
-        ("Line-size analysis", Box::new(bench::linesize::main_report)),
-        ("Model validation", Box::new(bench::validate::main_report)),
-        ("Multi-issue extension", Box::new(bench::mi::main_report)),
-        ("Prefetch pricing", Box::new(bench::prefetch::main_report)),
-        (
-            "Write-miss policy ablation",
-            Box::new(bench::writemiss::main_report),
-        ),
-        ("Flush-ratio ablation", Box::new(bench::alpha::main_report)),
-        ("L2 extension", Box::new(bench::l2::main_report)),
-        ("Pins vs silicon", Box::new(bench::cost::main_report)),
-        (
-            "Miss-distance profiles",
-            Box::new(bench::missdist::main_report),
-        ),
-        ("Per-phase profiles", Box::new(bench::phases::main_report)),
-        ("Sector caches", Box::new(bench::sector::main_report)),
-        ("Victim buffers", Box::new(bench::victim::main_report)),
-        (
-            "Associativity & replacement",
-            Box::new(bench::assoc::main_report),
-        ),
-        ("Multiprogramming", Box::new(bench::context::main_report)),
-        (
-            "Assumption audit",
-            Box::new(bench::assumptions::main_report),
-        ),
-        ("Non-blocking cache", Box::new(bench::nb::main_report)),
-        (
-            "Reuse-distance fingerprints",
-            Box::new(bench::reuse::main_report),
-        ),
-        ("Design-space sweep", Box::new(bench::sweep::main_report)),
-    ];
-    for (name, f) in sections {
-        println!("================ {name} ================");
-        println!("{}", f());
+    let jobs = std::env::var("REPRO_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let opts = SuiteOptions {
+        jobs,
+        ctx: RunCtx::standard(),
+    };
+    match drive("all", &opts, &bench::common::results_dir()) {
+        Ok(outcome) => {
+            print!("{}", outcome.run.document());
+            eprintln!("{}", outcome.run.footer());
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

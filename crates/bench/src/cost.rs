@@ -9,6 +9,7 @@
 //! plus a hit-ratio-versus-size model, then prices both sides in pins
 //! and SRAM bits.
 
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use smithval::{DesignTargetModel, MissRatioModel};
 use tradeoff::cost::{equivalent_cache_size, CacheAreaModel, PinModel};
@@ -103,13 +104,31 @@ pub fn render(rows: &[CostRow]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "cost"
+    }
+    fn title(&self) -> &'static str {
+        "Pins vs silicon"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "analytic"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(8.0, 32).expect("canonical parameters valid")))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(8.0, 32).expect("canonical parameters valid"))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! * Case 2: a 64-bit bus with 32 KB performs like a 32-bit bus with
 //!   128 KB.
 
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use tradeoff::equiv::hit_gain_equivalent;
 use tradeoff::{HitRatio, Machine, SystemConfig, TradeoffError};
@@ -95,14 +96,32 @@ pub fn render(results: &[(f64, Vec<CaseResult>)]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "example1"
+    }
+    fn title(&self) -> &'static str {
+        "Example 1"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "analytic"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        let results = run(&[4.0, 8.0, 16.0, 32.0]).expect("canonical parameters valid");
+        ExpReport::text_only(render(&results))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    let results = run(&[4.0, 8.0, 16.0, 32.0]).expect("canonical parameters valid");
-    render(&results)
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

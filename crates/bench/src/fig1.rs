@@ -4,8 +4,9 @@
 //! Paper setting: 8 KB two-way write-allocate data cache, L = 32 B,
 //! D = 4 B, stalling factor reported as a percentage of `L/D`.
 
-use crate::common::{instructions_per_run, phi_matrix, PhiPoint};
-use report::{write_csv, Chart};
+use crate::common::{phi_matrix, PhiPoint};
+use crate::registry::{ExpReport, Experiment, RunCtx};
+use report::{Artifact, Chart};
 use simcpu::StallFeature;
 
 /// The β_m sweep of the figure.
@@ -50,8 +51,8 @@ pub fn run(line_bytes: u64, bus_bytes: u64, instructions: usize) -> Vec<PhiCurve
         .collect()
 }
 
-/// Renders the figure and writes `fig1.csv` under `results_dir`.
-pub fn render(curves: &[PhiCurve], results_dir: &std::path::Path) -> String {
+/// Renders the figure's chart.
+pub fn render(curves: &[PhiCurve]) -> String {
     let mut chart = Chart::new(
         "Figure 1 — stalling factor (% of L/D) vs memory cycle time",
         "beta_m (cycles per 4 bytes)",
@@ -59,9 +60,16 @@ pub fn render(curves: &[PhiCurve], results_dir: &std::path::Path) -> String {
         60,
         16,
     );
-    let mut rows = Vec::new();
     for c in curves {
         chart.series(c.feature.to_string(), c.points.clone());
+    }
+    chart.render()
+}
+
+/// The figure's series as a typed `fig1.csv` artifact.
+pub fn artifact(curves: &[PhiCurve]) -> Artifact {
+    let mut rows = Vec::new();
+    for c in curves {
         for &(beta, pct) in &c.points {
             rows.push(vec![
                 c.feature.to_string(),
@@ -70,17 +78,40 @@ pub fn render(curves: &[PhiCurve], results_dir: &std::path::Path) -> String {
             ]);
         }
     }
-    let csv_path = results_dir.join("fig1.csv");
-    if let Err(e) = write_csv(&csv_path, &["feature", "beta_m", "phi_pct_of_LD"], &rows) {
-        eprintln!("warning: could not write {}: {e}", csv_path.display());
-    }
-    chart.render()
+    Artifact::csv("fig1.csv", &["feature", "beta_m", "phi_pct_of_LD"], rows)
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 1"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "figure", "measured"]
+    }
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        &[crate::registry::traces::SPEC_L32]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let curves = run(32, 4, ctx.instructions);
+        ExpReport {
+            section: render(&curves),
+            artifacts: vec![artifact(&curves)],
+        }
+    }
+}
+
+/// Entry point shared by the binary and the suite driver.
 pub fn main_report() -> String {
-    let curves = run(32, 4, instructions_per_run());
-    render(&curves, &crate::common::results_dir())
+    crate::registry::main_report(&Exp)
 }
 
 /// Wall-clock record of the Figure-1 sweep through the miss-event
@@ -172,12 +203,28 @@ mod tests {
     }
 
     #[test]
-    fn render_contains_legend_and_writes_csv() {
-        let tmp = std::env::temp_dir().join("fig1_test_results");
+    fn render_contains_legend_and_artifact_carries_rows() {
         let curves = run(32, 4, 5_000);
-        let text = render(&curves, &tmp);
+        let text = render(&curves);
         assert!(text.contains("BNL2"));
-        assert!(tmp.join("fig1.csv").exists());
-        let _ = std::fs::remove_dir_all(&tmp);
+        let a = artifact(&curves);
+        assert_eq!(a.name, "fig1.csv");
+        match &a.kind {
+            report::ArtifactKind::Csv { header, rows } => {
+                assert_eq!(header, &["feature", "beta_m", "phi_pct_of_LD"]);
+                assert_eq!(rows.len(), 4 * BETAS.len());
+            }
+            other => panic!("expected CSV artifact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_run_matches_legacy_composition() {
+        use crate::registry::Experiment as _;
+        let ctx = RunCtx::with_instructions(5_000);
+        let report = Exp.run(&ctx);
+        let curves = run(32, 4, 5_000);
+        assert_eq!(report.section, render(&curves));
+        assert_eq!(report.artifacts, vec![artifact(&curves)]);
     }
 }

@@ -2,7 +2,8 @@
 //! memory cycle time, for L ∈ {8, 16, 32} at base hit ratios 98 % and
 //! 90 % (α = α′ = 0.5, full-stalling).
 
-use report::{write_csv, Chart};
+use crate::registry::{ExpReport, Experiment, RunCtx};
+use report::{Artifact, Chart};
 use tradeoff::equiv::traded_hit_ratio;
 use tradeoff::{HitRatio, Machine, SystemConfig, TradeoffError};
 
@@ -53,10 +54,9 @@ pub fn default_betas() -> Vec<f64> {
     (2..=20).map(f64::from).collect()
 }
 
-/// Renders both panels and writes `fig2.csv` under `results_dir`.
-pub fn render(curves: &[TradeCurve], results_dir: &std::path::Path) -> String {
+/// Renders both panels.
+pub fn render(curves: &[TradeCurve]) -> String {
     let mut out = String::new();
-    let mut rows = Vec::new();
     let mut hrs: Vec<f64> = curves.iter().map(|c| c.base_hr).collect();
     hrs.dedup();
     for hr in hrs {
@@ -76,6 +76,12 @@ pub fn render(curves: &[TradeCurve], results_dir: &std::path::Path) -> String {
         out.push_str(&chart.render());
         out.push('\n');
     }
+    out
+}
+
+/// The figure's series as a typed `fig2.csv` artifact.
+pub fn artifact(curves: &[TradeCurve]) -> Artifact {
+    let mut rows = Vec::new();
     for c in curves {
         for &(beta, dhr) in &c.points {
             rows.push(vec![
@@ -86,25 +92,45 @@ pub fn render(curves: &[TradeCurve], results_dir: &std::path::Path) -> String {
             ]);
         }
     }
-    let csv_path = results_dir.join("fig2.csv");
-    if let Err(e) = write_csv(
-        &csv_path,
+    Artifact::csv(
+        "fig2.csv",
         &["base_hr", "line_bytes", "beta_m", "traded_hr_pct"],
-        &rows,
-    ) {
-        eprintln!("warning: could not write {}: {e}", csv_path.display());
-    }
-    out
+        rows,
+    )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 2"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "figure", "analytic"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        let curves = run(&[0.98, 0.90], &default_betas()).expect("canonical parameters are valid");
+        ExpReport {
+            section: render(&curves),
+            artifacts: vec![artifact(&curves)],
+        }
+    }
+}
+
+/// Entry point shared by the binary and the suite driver.
 ///
 /// # Panics
 ///
 /// Panics if the canonical parameters were invalid (they are not).
 pub fn main_report() -> String {
-    let curves = run(&[0.98, 0.90], &default_betas()).expect("canonical parameters are valid");
-    render(&curves, &crate::common::results_dir())
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]
@@ -160,12 +186,17 @@ mod tests {
     }
 
     #[test]
-    fn render_emits_two_panels() {
+    fn render_emits_two_panels_and_artifact_covers_all_points() {
         let curves = run(&[0.98, 0.90], &[2.0, 10.0, 20.0]).unwrap();
-        let tmp = std::env::temp_dir().join("fig2_test_results");
-        let text = render(&curves, &tmp);
+        let text = render(&curves);
         assert_eq!(text.matches("Figure 2").count(), 2);
-        assert!(tmp.join("fig2.csv").exists());
-        let _ = std::fs::remove_dir_all(&tmp);
+        let a = artifact(&curves);
+        assert_eq!(a.name, "fig2.csv");
+        match &a.kind {
+            report::ArtifactKind::Csv { rows, .. } => {
+                assert_eq!(rows.len(), 2 * LINES.len() * 3);
+            }
+            other => panic!("expected CSV artifact, got {other:?}"),
+        }
     }
 }

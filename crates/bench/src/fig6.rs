@@ -1,7 +1,8 @@
 //! EXP-F6 — Figure 6: validation against Smith's design-target optimal
 //! line sizes, four panels.
 
-use report::{write_csv, Chart, Table};
+use crate::registry::{ExpReport, Experiment, RunCtx};
+use report::{Artifact, Chart, Table};
 use smithval::fig6::CANDIDATE_LINES;
 use smithval::{validate_all_panels, DesignTargetModel, MissRatioModel, PanelValidation, PANELS};
 use tradeoff::TradeoffError;
@@ -12,12 +13,13 @@ pub fn default_betas() -> Vec<f64> {
 }
 
 /// Renders all four panels (reduced delay per 100 references vs β) plus
-/// the validation table, writing `fig6.csv` under `dir`.
+/// the validation table, returning the section and the typed
+/// `fig6.csv` artifact.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn report(model: &dyn MissRatioModel, dir: &std::path::Path) -> Result<String, TradeoffError> {
+pub fn report(model: &dyn MissRatioModel) -> Result<ExpReport, TradeoffError> {
     let betas = default_betas();
     let mut out = String::new();
     let mut rows = Vec::new();
@@ -49,15 +51,14 @@ pub fn report(model: &dyn MissRatioModel, dir: &std::path::Path) -> Result<Strin
     let validations = validate_all_panels(model)?;
     out.push_str(&validation_table(&validations));
 
-    let csv = dir.join("fig6.csv");
-    if let Err(e) = write_csv(
-        &csv,
-        &["panel", "line_bytes", "beta", "reduced_delay_x100"],
-        &rows,
-    ) {
-        eprintln!("warning: could not write {}: {e}", csv.display());
-    }
-    Ok(out)
+    Ok(ExpReport {
+        section: out,
+        artifacts: vec![Artifact::csv(
+            "fig6.csv",
+            &["panel", "line_bytes", "beta", "reduced_delay_x100"],
+            rows,
+        )],
+    })
 }
 
 /// The per-panel validation table.
@@ -81,14 +82,34 @@ pub fn validation_table(validations: &[PanelValidation]) -> String {
     t.render()
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 6"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "figure", "analytic", "validation"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        report(&DesignTargetModel::default()).expect("canonical model evaluates")
+    }
+}
+
+/// Entry point shared by the binary and the suite driver.
 ///
 /// # Panics
 ///
 /// Panics if the canonical model fails evaluation (it does not).
 pub fn main_report() -> String {
-    let model = DesignTargetModel::default();
-    report(&model, &crate::common::results_dir()).expect("canonical model evaluates")
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]
@@ -97,16 +118,16 @@ mod tests {
 
     #[test]
     fn report_contains_all_panels_and_validation() {
-        let tmp = std::env::temp_dir().join("fig6_test_results");
         let model = DesignTargetModel::default();
-        let text = report(&model, &tmp).unwrap();
+        let rep = report(&model).unwrap();
+        let text = &rep.section;
         for panel in &PANELS {
             assert!(text.contains(panel.name), "missing {}", panel.name);
         }
         assert!(text.contains("matches paper"));
         assert!(!text.contains("false"), "all panels must validate:\n{text}");
-        assert!(tmp.join("fig6.csv").exists());
-        let _ = std::fs::remove_dir_all(&tmp);
+        assert_eq!(rep.artifacts.len(), 1);
+        assert_eq!(rep.artifacts[0].name, "fig6.csv");
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Experiment harness: one module per table/figure of the paper.
 //!
 //! Every module exposes a `run(...)`-style function returning structured
-//! data plus a `render(...)` producing the terminal report; the
-//! `exp_*` binaries in `src/bin/` are thin wrappers that also drop a CSV
-//! per figure under `results/`. See `DESIGN.md` §4 for the experiment
-//! index and `EXPERIMENTS.md` for paper-vs-measured numbers.
+//! data plus a `render(...)` producing the terminal report, and
+//! registers itself in [`registry`] as an [`registry::Experiment`]
+//! returning a typed [`registry::ExpReport`] (section text plus
+//! artifacts). The generic `exp` binary and the `tradeoff experiments`
+//! CLI subcommand run any selection of the registry through the
+//! [`sched`] cross-experiment scheduler, which writes every artifact
+//! and a content-hashed `results/manifest.json`. See `DESIGN.md` §4 for
+//! the experiment index, §10 for the registry architecture, and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +32,9 @@ pub mod missdist;
 pub mod nb;
 pub mod phases;
 pub mod prefetch;
+pub mod registry;
 pub mod reuse;
+pub mod sched;
 pub mod sector;
 pub mod sweep;
 pub mod table23;

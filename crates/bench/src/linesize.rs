@@ -8,9 +8,10 @@
 //!    proxy feed the optimal-line selectors, closing the loop between
 //!    substrate and model.
 
-use report::{write_csv, Table};
+use crate::registry::{ExpReport, Experiment, RunCtx};
+use report::{Artifact, Table};
 use simcache::explore::hit_ratio_grid;
-use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::spec92::Spec92Program;
 use tradeoff::linesize::{
     miss_count_ratio, optimal_line_eq19, optimal_line_smith, required_hit_gain, FillTiming,
     LineCandidate,
@@ -55,11 +56,14 @@ pub fn simulated_selection(
     timing: &FillTiming,
 ) -> Result<(Vec<LineCandidate>, f64, f64), String> {
     let lines = [8u64, 16, 32, 64, 128];
+    // The trace comes from the shared store at the sweep seed, so this
+    // experiment and the design-space sweep share one materialisation.
+    let trace = crate::tracestore::spec_trace(program, crate::sweep::SWEEP_SEED, instructions);
     let points = hit_ratio_grid(
         &[cache_bytes],
         &lines,
         2,
-        || spec92_trace(program, 7).take(instructions),
+        || trace.iter().copied(),
         instructions as u64 / 5,
     )
     .map_err(|e| e.to_string())?;
@@ -77,12 +81,12 @@ pub fn simulated_selection(
     Ok((candidates, smith.line_bytes, ours.line_bytes))
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Builds the full section plus the typed `linesize.csv` artifact.
 ///
 /// # Panics
 ///
 /// Panics if the canonical parameters were invalid (they are not).
-pub fn main_report() -> String {
+pub fn report(instructions: usize) -> ExpReport {
     let mut out = String::new();
     out.push_str("Required hit-ratio gain ΔEHR over an 8-byte line (HR₀ = 95%, β = 1):\n");
     out.push_str(
@@ -99,7 +103,7 @@ pub fn main_report() -> String {
         Spec92Program::Doduc,
         Spec92Program::Ear,
     ] {
-        match simulated_selection(p, 8 * 1024, 60_000, &timing) {
+        match simulated_selection(p, 8 * 1024, instructions, &timing) {
             Ok((cands, smith, ours)) => {
                 let hrs: Vec<String> = cands
                     .iter()
@@ -129,13 +133,49 @@ pub fn main_report() -> String {
             }
         }
     }
-    let csv = crate::common::results_dir().join("linesize.csv");
-    if let Err(e) = write_csv(&csv, &["program", "line_bytes", "hit_ratio"], &rows_csv) {
-        eprintln!("warning: could not write {}: {e}", csv.display());
-    }
     out.push_str("Optimal line from *measured* hit ratios (8K two-way, c=7, β=1):\n");
     out.push_str(&t.render());
-    out
+    ExpReport {
+        section: out,
+        artifacts: vec![Artifact::csv(
+            "linesize.csv",
+            &["program", "line_bytes", "hit_ratio"],
+            rows_csv,
+        )],
+    }
+}
+
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "linesize"
+    }
+    fn title(&self) -> &'static str {
+        "Line-size analysis"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "measured", "analytic"]
+    }
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        &[crate::registry::traces::SWEEP7]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        report(ctx.instructions.min(60_000))
+    }
+}
+
+/// Entry point shared by the binary and the `run_all` driver.
+///
+/// # Panics
+///
+/// Panics if the canonical parameters were invalid (they are not).
+pub fn main_report() -> String {
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

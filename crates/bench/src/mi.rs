@@ -10,6 +10,7 @@
 //!    generalised Eq. 2, closing the loop for `w ∈ {1, 2, 4, 8}`.
 
 use crate::common::figure1_cache;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcpu::{predict_cycles_multiissue, Cpu, CpuConfig};
 use simmem::{BusWidth, MemoryTiming};
@@ -83,32 +84,55 @@ pub fn simulate_widths(program: Spec92Program, instructions: usize) -> Vec<Width
         .collect()
 }
 
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "mi"
+    }
+    fn title(&self) -> &'static str {
+        "Multi-issue extension"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let mut out = String::new();
+        out.push_str("Hit ratio traded per feature vs issue width (L=32, D=4, β=8, HR=95%):\n");
+        out.push_str(&analytic_table(8.0).expect("canonical parameters valid"));
+        out.push('\n');
+
+        let mut t = Table::new(["program", "w", "simulated", "Eq.2(w) predicted", "rel err"]);
+        for p in [Spec92Program::Ear, Spec92Program::Swm256] {
+            // The width ladder replays the trace once per w; the clamp
+            // keeps the suite's wall-clock in check.
+            for v in simulate_widths(p, ctx.instructions.min(60_000)) {
+                t.row([
+                    p.to_string(),
+                    v.width.to_string(),
+                    v.simulated.to_string(),
+                    format!("{:.0}", v.predicted),
+                    format!("{:.2e}", v.rel_error),
+                ]);
+            }
+        }
+        out.push_str("Generalised Eq. 2 vs issue-width simulation:\n");
+        out.push_str(&t.render());
+        ExpReport::text_only(out)
+    }
+}
+
 /// Entry point shared by the binary and the `run_all` driver.
 ///
 /// # Panics
 ///
 /// Panics if the canonical parameters were invalid (they are not).
 pub fn main_report() -> String {
-    let mut out = String::new();
-    out.push_str("Hit ratio traded per feature vs issue width (L=32, D=4, β=8, HR=95%):\n");
-    out.push_str(&analytic_table(8.0).expect("canonical parameters valid"));
-    out.push('\n');
-
-    let mut t = Table::new(["program", "w", "simulated", "Eq.2(w) predicted", "rel err"]);
-    for p in [Spec92Program::Ear, Spec92Program::Swm256] {
-        for v in simulate_widths(p, 60_000) {
-            t.row([
-                p.to_string(),
-                v.width.to_string(),
-                v.simulated.to_string(),
-                format!("{:.0}", v.predicted),
-                format!("{:.2e}", v.rel_error),
-            ]);
-        }
-    }
-    out.push_str("Generalised Eq. 2 vs issue-width simulation:\n");
-    out.push_str(&t.render());
-    out
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

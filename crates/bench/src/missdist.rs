@@ -11,7 +11,8 @@
 //! prints the measured distributions and correlates their medians with
 //! the measured `φ(BL)`.
 
-use crate::common::{figure1_cache, instructions_per_run};
+use crate::common::figure1_cache;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcpu::{Cpu, CpuConfig, SimResult, StallFeature};
 use simmem::{BusWidth, MemoryTiming};
@@ -95,9 +96,31 @@ pub fn render(rows: &[DistanceProfile]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "missdist"
+    }
+    fn title(&self) -> &'static str {
+        "Miss-distance profiles"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(8, ctx.instructions)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(8, instructions_per_run()))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! φ versus memory cycle time and MSHR count, and where NB would slot
 //! into the Figures 3–5 ranking.
 
-use crate::common::{instructions_per_run, phi_matrix, PhiPoint};
+use crate::common::{phi_matrix, PhiPoint};
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::{Chart, Table};
 use simcpu::StallFeature;
 use tradeoff::equiv::traded_hit_ratio;
@@ -108,13 +109,34 @@ pub fn report(instructions: usize) -> Result<String, TradeoffError> {
     ))
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "nb"
+    }
+    fn title(&self) -> &'static str {
+        "Non-blocking cache"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        &[crate::registry::traces::SPEC_L32]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(report(ctx.instructions).expect("canonical parameters valid"))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    report(instructions_per_run()).expect("canonical parameters valid")
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

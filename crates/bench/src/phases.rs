@@ -8,6 +8,7 @@
 //! aggregate profile smears the phases together (it still totals
 //! correctly — the model is linear — but misattributes where time goes).
 
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcache::CacheConfig;
 use simcpu::{CpuConfig, MissTimeline, SimResult, StallFeature, TimelineCpu};
@@ -169,9 +170,31 @@ pub fn render(windows: &[PhaseWindow]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "phases"
+    }
+    fn title(&self) -> &'static str {
+        "Per-phase profiles"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(8)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(8))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 //!
 //! which lines up directly against the Figure 3–5 curves.
 
-use crate::common::{figure1_cache, instructions_per_run};
+use crate::common::figure1_cache;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcpu::{Cpu, CpuConfig, Prefetch, SimResult};
 use simmem::{BusWidth, MemoryTiming};
@@ -113,13 +114,31 @@ pub fn report(beta: u64, instructions: usize) -> Result<String, TradeoffError> {
     ))
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "prefetch"
+    }
+    fn title(&self) -> &'static str {
+        "Prefetch pricing"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(report(8, ctx.instructions).expect("canonical parameters valid"))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    report(8, instructions_per_run()).expect("canonical parameters valid")
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

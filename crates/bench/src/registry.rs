@@ -1,0 +1,211 @@
+//! The unified experiment registry.
+//!
+//! Every table, figure and extension of the reproduction is one
+//! [`Experiment`]: a typed entry with a stable id, the title the suite
+//! report prints, filter tags, the trace-store working sets it touches,
+//! and a `run` that returns a *structured* [`ExpReport`] — the rendered
+//! terminal section plus typed artifacts (CSV rows, JSON metrics) —
+//! instead of writing files as a side effect.
+//!
+//! [`all`] lists the registry in the canonical suite order (the order
+//! the original `run_all` driver printed); [`crate::sched`] executes a
+//! selection of it with cross-experiment parallelism. One generic `exp`
+//! binary plus the `tradeoff experiments` CLI subcommand replace the
+//! historical per-figure `exp_*` binaries.
+
+use report::Artifact;
+use std::path::Path;
+
+/// Shared inputs for one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Instruction budget per SPEC92 proxy run. Modules with heavier
+    /// inner loops may clamp it (they document the clamp).
+    pub instructions: usize,
+}
+
+impl RunCtx {
+    /// The canonical context: `REPRO_INSTRUCTIONS` or the 120 000
+    /// default, exactly what the committed `results/` artifacts use.
+    pub fn standard() -> RunCtx {
+        RunCtx {
+            instructions: crate::common::instructions_per_run(),
+        }
+    }
+
+    /// A context with an explicit instruction budget (tests, quick runs).
+    pub fn with_instructions(instructions: usize) -> RunCtx {
+        RunCtx { instructions }
+    }
+}
+
+/// The structured outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// The rendered terminal section (byte-identical to the historical
+    /// per-binary output).
+    pub section: String,
+    /// Typed artifacts destined for the results directory.
+    pub artifacts: Vec<Artifact>,
+}
+
+impl ExpReport {
+    /// A report with no artifacts.
+    pub fn text_only(section: String) -> ExpReport {
+        ExpReport {
+            section,
+            artifacts: Vec::new(),
+        }
+    }
+}
+
+/// One registered experiment.
+pub trait Experiment: Sync {
+    /// Stable identifier (`fig1`, `sweep`, …) used by the CLI and the
+    /// generic `exp` binary.
+    fn id(&self) -> &'static str;
+
+    /// Section title, exactly as the suite report prints it.
+    fn title(&self) -> &'static str;
+
+    /// Filter tags (`paper`, `figure`, `extension`, `measured`, …).
+    fn tags(&self) -> &'static [&'static str];
+
+    /// Keys of the shared [`crate::tracestore`] working sets this
+    /// experiment reads. The scheduler runs one holder of a key to
+    /// completion before starting the others, so they hit the store
+    /// warm instead of extracting the same traces concurrently.
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// The `bench` module implementing this experiment (for the
+    /// registry-completeness audit); implementations return
+    /// `module_path!()`.
+    fn module(&self) -> &'static str;
+
+    /// Runs the experiment, returning the rendered section and its
+    /// typed artifacts. Must be deterministic for a given `ctx`.
+    fn run(&self, ctx: &RunCtx) -> ExpReport;
+}
+
+/// Shared trace-store working-set keys (see
+/// [`Experiment::depends_on_traces`]).
+pub mod traces {
+    /// SPEC92 proxy timelines at the Figure-1 geometry (8 KB two-way,
+    /// 32-byte lines, seed [`crate::tracestore::SPEC_SEED`]).
+    pub const SPEC_L32: &str = "spec@l32";
+    /// SPEC92 proxy timelines at the 8-byte-line variant of the
+    /// Figure-1 cache.
+    pub const SPEC_L8: &str = "spec@l8";
+    /// Raw SPEC92 proxy traces at the sweep seed
+    /// ([`crate::sweep::SWEEP_SEED`]), shared by the design-space sweep
+    /// and the line-size experiment.
+    pub const SWEEP7: &str = "sweep@7";
+}
+
+/// Every experiment, in the canonical suite (report) order.
+pub fn all() -> Vec<&'static dyn Experiment> {
+    vec![
+        &crate::table23::Exp,
+        &crate::fig1::Exp,
+        &crate::fig2::Exp,
+        &crate::unified::EXP3,
+        &crate::unified::EXP4,
+        &crate::unified::EXP5,
+        &crate::fig6::Exp,
+        &crate::example1::Exp,
+        &crate::xover::Exp,
+        &crate::linesize::Exp,
+        &crate::validate::Exp,
+        &crate::mi::Exp,
+        &crate::prefetch::Exp,
+        &crate::writemiss::Exp,
+        &crate::alpha::Exp,
+        &crate::l2::Exp,
+        &crate::cost::Exp,
+        &crate::missdist::Exp,
+        &crate::phases::Exp,
+        &crate::sector::Exp,
+        &crate::victim::Exp,
+        &crate::assoc::Exp,
+        &crate::context::Exp,
+        &crate::assumptions::Exp,
+        &crate::nb::Exp,
+        &crate::reuse::Exp,
+        &crate::sweep::Exp,
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    all().into_iter().find(|e| e.id() == id)
+}
+
+/// Experiments whose id or tag set matches `filter` (registry order).
+/// An empty filter or `all` selects everything.
+pub fn matching(filter: &str) -> Vec<&'static dyn Experiment> {
+    if filter.is_empty() || filter == "all" {
+        return all();
+    }
+    all()
+        .into_iter()
+        .filter(|e| e.id() == filter || e.tags().contains(&filter))
+        .collect()
+}
+
+/// Writes a report's artifacts under `dir`, warning (not failing) on
+/// I/O errors — the historical behaviour of the per-figure binaries.
+pub fn write_artifacts_warn(dir: &Path, artifacts: &[Artifact]) {
+    for a in artifacts {
+        let path = dir.join(&a.name);
+        if let Err(e) = report::write_artifact(&path, &a.render()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Runs one experiment at the standard context, writes its artifacts to
+/// the results directory, and returns the section — the behaviour every
+/// module's legacy `main_report()` keeps exposing.
+pub fn main_report(exp: &dyn Experiment) -> String {
+    let report = exp.run(&RunCtx::standard());
+    write_artifacts_warn(&crate::common::results_dir(), &report.artifacts);
+    report.section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_and_findable() {
+        let mut seen = HashSet::new();
+        for e in all() {
+            assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+            assert!(find(e.id()).is_some(), "{} not findable", e.id());
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn filters_select_by_id_and_tag() {
+        assert_eq!(matching("fig1").len(), 1);
+        assert_eq!(matching("all").len(), all().len());
+        assert_eq!(matching("").len(), all().len());
+        let figures = matching("figure");
+        assert!(figures.len() >= 6, "fig1..fig6 carry the figure tag");
+        assert!(figures.iter().all(|e| e.tags().contains(&"figure")));
+    }
+
+    #[test]
+    fn trace_keys_use_known_constants() {
+        let known = [traces::SPEC_L32, traces::SPEC_L8, traces::SWEEP7];
+        for e in all() {
+            for key in e.depends_on_traces() {
+                assert!(known.contains(key), "{}: unknown trace key {key}", e.id());
+            }
+        }
+    }
+}

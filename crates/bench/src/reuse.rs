@@ -6,7 +6,7 @@
 //! fully-associative capacity needed for 90 % / 95 % hit ratios, and the
 //! Mattson-predicted hit ratio at the paper's 8 KB operating point.
 
-use crate::common::instructions_per_run;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::{chart::sparkline, Table};
 use simtrace::reuse::ReuseProfile;
 use simtrace::spec92::{spec92_trace, Spec92Program};
@@ -76,11 +76,33 @@ pub fn render(rows: &[ReuseRow]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "reuse"
+    }
+    fn title(&self) -> &'static str {
+        "Reuse-distance fingerprints"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        // The exact stack algorithm is quadratic in hot-set size; a modest
+        // instruction budget keeps this experiment snappy.
+        ExpReport::text_only(render(&run(ctx.instructions.min(60_000))))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    // The exact stack algorithm is quadratic in hot-set size; a modest
-    // instruction budget keeps this experiment snappy.
-    render(&run(instructions_per_run().min(60_000)))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

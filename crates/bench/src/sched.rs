@@ -1,0 +1,391 @@
+//! Cross-experiment scheduler.
+//!
+//! PR 1/2 made individual experiments parallel *inside* (the
+//! [`crate::exec`] pool fans points over cores) and cheap to re-point
+//! (the [`crate::tracestore`] memoises traces and timelines). This
+//! module adds the layer above: whole experiments run concurrently over
+//! a worker pool, subject to one ordering constraint — experiments that
+//! declare the same shared trace-store working set
+//! ([`Experiment::depends_on_traces`]) do not *extract* it
+//! concurrently. The first holder of a key runs to completion (warming
+//! the store); every later holder then hits the memoised entries. Keys
+//! nobody shares impose no ordering at all.
+//!
+//! The suite document is assembled in registry order regardless of
+//! completion order, so serial and `--jobs N` runs are byte-identical
+//! (asserted by `tests/manifest.rs`).
+
+use crate::registry::{self, Experiment, RunCtx};
+use crate::tracestore::{self, StoreCounts};
+use report::manifest::{self, Manifest};
+use report::Artifact;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a suite run should execute.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Concurrent experiments; `0` or `1` means serial.
+    pub jobs: usize,
+    /// The per-experiment run context.
+    pub ctx: RunCtx,
+}
+
+impl SuiteOptions {
+    /// Serial execution at the standard context.
+    pub fn serial() -> SuiteOptions {
+        SuiteOptions {
+            jobs: 1,
+            ctx: RunCtx::standard(),
+        }
+    }
+}
+
+/// One experiment's result plus its observability record.
+#[derive(Debug, Clone)]
+pub struct ExpOutcome {
+    /// Experiment id.
+    pub id: &'static str,
+    /// Section title.
+    pub title: &'static str,
+    /// Rendered terminal section.
+    pub section: String,
+    /// Typed artifacts the experiment produced.
+    pub artifacts: Vec<Artifact>,
+    /// Wall-clock time of the `run` call.
+    pub wall: Duration,
+    /// Trace-store activity during the run (exact when serial; under
+    /// `--jobs N` concurrent experiments share the global counters, so
+    /// per-experiment deltas are attributions, not isolates).
+    pub store: StoreCounts,
+}
+
+/// A completed suite run, outcomes in registry order.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// Per-experiment outcomes, in the order the selection was given.
+    pub outcomes: Vec<ExpOutcome>,
+    /// Wall-clock time of the whole suite.
+    pub wall: Duration,
+    /// Total trace-store activity across the suite.
+    pub store: StoreCounts,
+}
+
+impl SuiteRun {
+    /// The suite report: every section under its banner, byte-identical
+    /// to the historical serial `run_all` output.
+    pub fn document(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "================ {} ================\n{}\n",
+                o.title, o.section
+            ));
+        }
+        out
+    }
+
+    /// All artifacts produced by the suite, in outcome order.
+    pub fn artifacts(&self) -> Vec<Artifact> {
+        self.outcomes
+            .iter()
+            .flat_map(|o| o.artifacts.iter().cloned())
+            .collect()
+    }
+
+    /// The observability footer: per-experiment wall clock and
+    /// trace-store activity, plus suite totals. Printed to stderr by
+    /// the drivers so stdout stays deterministic.
+    pub fn footer(&self) -> String {
+        let mut t = report::Table::new(["experiment", "wall", "traces h/m", "timelines h/m"]);
+        for o in &self.outcomes {
+            t.row([
+                o.id.to_string(),
+                format!("{:.3}s", o.wall.as_secs_f64()),
+                format!("{}/{}", o.store.trace_hits, o.store.trace_misses),
+                format!("{}/{}", o.store.timeline_hits, o.store.timeline_misses),
+            ]);
+        }
+        format!(
+            "suite: {} experiments in {:.3}s; trace store: {}\n{}",
+            self.outcomes.len(),
+            self.wall.as_secs_f64(),
+            self.store.summary(),
+            t.render()
+        )
+    }
+}
+
+fn run_one(exp: &dyn Experiment, ctx: &RunCtx) -> ExpOutcome {
+    let before = tracestore::counters();
+    let start = Instant::now();
+    let report = exp.run(ctx);
+    let wall = start.elapsed();
+    ExpOutcome {
+        id: exp.id(),
+        title: exp.title(),
+        section: report.section,
+        artifacts: report.artifacts,
+        wall,
+        store: tracestore::counters().since(&before),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum KeyState {
+    Warming,
+    Warm,
+}
+
+struct SchedState {
+    started: Vec<bool>,
+    keys: HashMap<&'static str, KeyState>,
+}
+
+/// True when every shared trace key of `exp` is either warm or free to
+/// be claimed (no other in-flight experiment is extracting it).
+fn eligible(state: &SchedState, exp: &dyn Experiment) -> bool {
+    exp.depends_on_traces()
+        .iter()
+        .all(|k| state.keys.get(k) != Some(&KeyState::Warming))
+}
+
+/// Runs `exps` and returns their outcomes in input order.
+///
+/// # Panics
+///
+/// Propagates a panic from any experiment.
+pub fn run_suite(exps: &[&'static dyn Experiment], opts: &SuiteOptions) -> SuiteRun {
+    let suite_before = tracestore::counters();
+    let suite_start = Instant::now();
+    let outcomes: Vec<ExpOutcome> = if opts.jobs <= 1 || exps.len() <= 1 {
+        exps.iter().map(|e| run_one(*e, &opts.ctx)).collect()
+    } else {
+        run_parallel(exps, opts)
+    };
+    SuiteRun {
+        outcomes,
+        wall: suite_start.elapsed(),
+        store: tracestore::counters().since(&suite_before),
+    }
+}
+
+fn run_parallel(exps: &[&'static dyn Experiment], opts: &SuiteOptions) -> Vec<ExpOutcome> {
+    let workers = opts.jobs.min(exps.len());
+    let state = Mutex::new(SchedState {
+        started: vec![false; exps.len()],
+        keys: HashMap::new(),
+    });
+    let wake = Condvar::new();
+    let slots: Mutex<Vec<Option<ExpOutcome>>> = Mutex::new((0..exps.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let state = &state;
+                let wake = &wake;
+                let slots = &slots;
+                let ctx = &opts.ctx;
+                scope.spawn(move || loop {
+                    let claimed = {
+                        let mut st = state.lock().expect("scheduler state poisoned");
+                        loop {
+                            if st.started.iter().all(|&s| s) {
+                                break None;
+                            }
+                            let next =
+                                (0..exps.len()).find(|&i| !st.started[i] && eligible(&st, exps[i]));
+                            match next {
+                                Some(i) => {
+                                    st.started[i] = true;
+                                    for key in exps[i].depends_on_traces() {
+                                        st.keys.entry(key).or_insert(KeyState::Warming);
+                                    }
+                                    break Some(i);
+                                }
+                                // Everything unstarted is blocked on a
+                                // warming key; a completion will wake us.
+                                None => {
+                                    st = wake.wait(st).expect("scheduler state poisoned");
+                                }
+                            }
+                        }
+                    };
+                    let Some(i) = claimed else { break };
+                    let outcome = run_one(exps[i], ctx);
+                    slots.lock().expect("slots poisoned")[i] = Some(outcome);
+                    let mut st = state.lock().expect("scheduler state poisoned");
+                    for key in exps[i].depends_on_traces() {
+                        st.keys.insert(key, KeyState::Warm);
+                    }
+                    drop(st);
+                    wake.notify_all();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("scheduler worker panicked");
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("slots poisoned")
+        .into_iter()
+        .map(|o| o.expect("every experiment ran exactly once"))
+        .collect()
+}
+
+/// The outcome of a [`drive`] call.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// The run itself.
+    pub run: SuiteRun,
+    /// Manifest written alongside the artifacts (full-suite runs only).
+    pub manifest: Option<Manifest>,
+}
+
+/// The driver shared by the `exp` / `run_all` binaries and the
+/// `tradeoff experiments run` subcommand: select by filter, run with
+/// `jobs`-way parallelism, write artifacts under `results_dir`.
+///
+/// A full-registry selection also writes `run_all_report.txt` (the
+/// suite document) and `manifest.json` with per-artifact content
+/// hashes; filtered selections write only their own artifacts, leaving
+/// the committed manifest authoritative.
+///
+/// # Errors
+///
+/// Returns a message when the filter matches nothing or a write fails.
+pub fn drive(
+    filter: &str,
+    opts: &SuiteOptions,
+    results_dir: &Path,
+) -> Result<DriveOutcome, String> {
+    let selection = registry::matching(filter);
+    if selection.is_empty() {
+        return Err(format!("no experiment matches {filter:?} (try `list`)"));
+    }
+    let full = selection.len() == registry::all().len();
+    let run = run_suite(&selection, opts);
+    let mut artifacts = run.artifacts();
+    let manifest = if full {
+        artifacts.push(Artifact::text("run_all_report.txt", run.document()));
+        Some(
+            manifest::write_all(results_dir, &artifacts)
+                .map_err(|e| format!("writing {}: {e}", results_dir.display()))?,
+        )
+    } else {
+        for a in &artifacts {
+            let path = results_dir.join(&a.name);
+            report::write_artifact(&path, &a.render())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        None
+    };
+    Ok(DriveOutcome { run, manifest })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ExpReport;
+
+    struct Fake {
+        id: &'static str,
+        deps: &'static [&'static str],
+    }
+
+    impl Experiment for Fake {
+        fn id(&self) -> &'static str {
+            self.id
+        }
+        fn title(&self) -> &'static str {
+            self.id
+        }
+        fn tags(&self) -> &'static [&'static str] {
+            &["fake"]
+        }
+        fn depends_on_traces(&self) -> &'static [&'static str] {
+            self.deps
+        }
+        fn module(&self) -> &'static str {
+            module_path!()
+        }
+        fn run(&self, _ctx: &RunCtx) -> ExpReport {
+            // A tiny sleep widens the race window the warm-key
+            // constraint must close.
+            std::thread::sleep(Duration::from_millis(2));
+            ExpReport::text_only(format!("section {}\n", self.id))
+        }
+    }
+
+    static A: Fake = Fake {
+        id: "a",
+        deps: &["k"],
+    };
+    static B: Fake = Fake {
+        id: "b",
+        deps: &["k"],
+    };
+    static C: Fake = Fake { id: "c", deps: &[] };
+    static D: Fake = Fake {
+        id: "d",
+        deps: &["k"],
+    };
+
+    fn fakes() -> Vec<&'static dyn Experiment> {
+        vec![&A, &B, &C, &D]
+    }
+
+    #[test]
+    fn parallel_outcomes_keep_input_order() {
+        let opts = SuiteOptions {
+            jobs: 4,
+            ctx: RunCtx::with_instructions(100),
+        };
+        let run = run_suite(&fakes(), &opts);
+        let ids: Vec<_> = run.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, ["a", "b", "c", "d"]);
+        assert!(run
+            .document()
+            .contains("================ a ================"));
+    }
+
+    #[test]
+    fn serial_and_parallel_documents_match() {
+        let serial = run_suite(
+            &fakes(),
+            &SuiteOptions {
+                jobs: 1,
+                ctx: RunCtx::with_instructions(100),
+            },
+        );
+        let parallel = run_suite(
+            &fakes(),
+            &SuiteOptions {
+                jobs: 3,
+                ctx: RunCtx::with_instructions(100),
+            },
+        );
+        assert_eq!(serial.document(), parallel.document());
+    }
+
+    #[test]
+    fn footer_lists_every_experiment() {
+        let run = run_suite(
+            &fakes(),
+            &SuiteOptions {
+                jobs: 1,
+                ctx: RunCtx::with_instructions(100),
+            },
+        );
+        let footer = run.footer();
+        for id in ["a", "b", "c", "d"] {
+            assert!(footer.contains(id), "footer missing {id}:\n{footer}");
+        }
+        assert!(footer.contains("trace store:"));
+    }
+}

@@ -9,7 +9,7 @@
 //! conventional small lines, conventional large lines, and the sector
 //! organisation — and prices their silicon with the cost model.
 
-use crate::common::instructions_per_run;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcache::{Cache, CacheConfig, SectorCache, SectorConfig};
 use simtrace::spec92::{spec92_trace, Spec92Program};
@@ -172,13 +172,31 @@ pub fn report(n: usize) -> Result<String, TradeoffError> {
     Ok(out)
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "sector"
+    }
+    fn title(&self) -> &'static str {
+        "Sector caches"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(report(ctx.instructions).expect("canonical parameters valid"))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    report(instructions_per_run()).expect("canonical parameters valid")
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 //! cores, with each workload's trace materialised once and shared
 //! read-only by all of its jobs.
 
-use crate::common::{instructions_per_run, results_dir};
 use crate::exec;
-use report::{write_csv, Table};
+use crate::registry::{ExpReport, Experiment, RunCtx};
+use report::{Artifact, Table};
 use simcache::explore::HitRatioPoint;
 use simcache::stackdist::StackDistSweep;
 use simtrace::spec92::Spec92Program;
@@ -168,9 +168,8 @@ pub fn best_line(sweep: &WorkloadSweep, cache_bytes: u64) -> Option<u64> {
         .map(|p| p.line_bytes)
 }
 
-/// Renders the sweep as a best-line-per-capacity table and writes the
-/// full grid to `sweep.csv` under `dir`.
-pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String {
+/// Renders the sweep as a best-line-per-capacity table.
+pub fn render(results: &[WorkloadSweep], grid: &SweepGrid) -> String {
     let mut header = vec!["program".to_string()];
     header.extend(
         grid.cache_sizes
@@ -178,7 +177,6 @@ pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String
             .map(|c| format!("best L @ {}K", c / 1024)),
     );
     let mut t = Table::new(header);
-    let mut rows = Vec::new();
     for ws in results {
         let mut row = vec![ws.program.to_string()];
         for &c in &grid.cache_sizes {
@@ -188,6 +186,18 @@ pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String
             });
         }
         t.row(row);
+    }
+    format!(
+        "Hit-ratio-optimal line size per capacity ({} grid points/workload, single-pass sweep):\n{}",
+        grid.points(),
+        t.render()
+    )
+}
+
+/// The full measured grid as a typed `sweep.csv` artifact.
+pub fn artifact(results: &[WorkloadSweep]) -> Artifact {
+    let mut rows = Vec::new();
+    for ws in results {
         for p in &ws.points {
             rows.push(vec![
                 ws.program.to_string(),
@@ -198,9 +208,8 @@ pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String
             ]);
         }
     }
-    let csv = dir.join("sweep.csv");
-    if let Err(e) = write_csv(
-        &csv,
+    Artifact::csv(
+        "sweep.csv",
         &[
             "program",
             "cache_bytes",
@@ -208,14 +217,7 @@ pub fn render(results: &[WorkloadSweep], grid: &SweepGrid, dir: &Path) -> String
             "hit_ratio",
             "flush_ratio",
         ],
-        &rows,
-    ) {
-        eprintln!("warning: could not write {}: {e}", csv.display());
-    }
-    format!(
-        "Hit-ratio-optimal line size per capacity ({} grid points/workload, single-pass sweep):\n{}",
-        grid.points(),
-        t.render()
+        rows,
     )
 }
 
@@ -250,14 +252,41 @@ pub fn measured_validation(results: &[WorkloadSweep]) -> String {
     )
 }
 
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "sweep"
+    }
+    fn title(&self) -> &'static str {
+        "Design-space sweep"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured", "engine"]
+    }
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        &[crate::registry::traces::SWEEP7]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let instructions = ctx.instructions;
+        let grid = SweepGrid::figure6(instructions as u64 / 5);
+        let results = run_sweep(&Spec92Program::ALL, &grid, instructions);
+        let mut out = render(&results, &grid);
+        out.push_str(&measured_validation(&results));
+        ExpReport {
+            section: out,
+            artifacts: vec![artifact(&results)],
+        }
+    }
+}
+
 /// Entry point shared by the binary and the `run_all` driver.
 pub fn main_report() -> String {
-    let instructions = instructions_per_run();
-    let grid = SweepGrid::figure6(instructions as u64 / 5);
-    let results = run_sweep(&Spec92Program::ALL, &grid, instructions);
-    let mut out = render(&results, &grid, &results_dir());
-    out.push_str(&measured_validation(&results));
-    out
+    crate::registry::main_report(&Exp)
 }
 
 /// Timing comparison between the per-configuration replay and the
@@ -357,16 +386,18 @@ mod tests {
     }
 
     #[test]
-    fn render_writes_csv_and_lists_programs() {
-        let tmp = std::env::temp_dir().join("sweep_test_results");
-        std::fs::create_dir_all(&tmp).unwrap();
+    fn render_lists_programs_and_artifact_covers_grid() {
         let grid = small_grid();
         let results = run_sweep(&[Spec92Program::Ear], &grid, 2_000);
-        let text = render(&results, &grid, &tmp);
+        let text = render(&results, &grid);
         assert!(text.contains("ear"));
         assert!(text.contains("best L @ 1K"));
-        assert!(tmp.join("sweep.csv").exists());
-        let _ = std::fs::remove_dir_all(&tmp);
+        let a = artifact(&results);
+        assert_eq!(a.name, "sweep.csv");
+        match &a.kind {
+            report::ArtifactKind::Csv { rows, .. } => assert_eq!(rows.len(), grid.points()),
+            other => panic!("expected CSV artifact, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! EXP-T2 / EXP-T3 — Tables 2 and 3: stalling-factor bounds and the
 //! per-feature miss-traffic ratios of the write-allocate model.
 
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use tradeoff::equiv::miss_traffic_ratio;
 use tradeoff::stall::StallKind;
@@ -103,17 +104,35 @@ pub fn table3() -> Result<String, TradeoffError> {
     Ok(t.render())
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "table23"
+    }
+    fn title(&self) -> &'static str {
+        "Tables 2 and 3"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "table", "analytic"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(format!(
+            "Table 2 (L/D = 8):\n{}\nTable 3 (write allocate):\n{}",
+            table2(8.0),
+            table3().expect("canonical parameters valid")
+        ))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    format!(
-        "Table 2 (L/D = 8):\n{}\nTable 3 (write allocate):\n{}",
-        table2(8.0),
-        table3().expect("canonical parameters valid")
-    )
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -23,10 +23,62 @@ use simcpu::MissTimeline;
 use simtrace::spec92::{spec92_trace, Spec92Program};
 use simtrace::Instr;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Seed used by every `run_spec`-style experiment.
 pub const SPEC_SEED: u64 = 0xDEAD_BEEF;
+
+static TRACE_HITS: AtomicU64 = AtomicU64::new(0);
+static TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
+static TIMELINE_HITS: AtomicU64 = AtomicU64::new(0);
+static TIMELINE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the store's hit/miss counters — the scheduler's first
+/// observability hook: a "hit" hands back a memoised allocation, a
+/// "miss" pays a trace generation or a cache-simulation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounts {
+    /// Trace lookups served from the store.
+    pub trace_hits: u64,
+    /// Trace lookups that (re)generated instructions.
+    pub trace_misses: u64,
+    /// Timeline lookups served from the store.
+    pub timeline_hits: u64,
+    /// Timeline lookups that ran a cache-simulation pass.
+    pub timeline_misses: u64,
+}
+
+impl StoreCounts {
+    /// Counter increments since an `earlier` snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &StoreCounts) -> StoreCounts {
+        StoreCounts {
+            trace_hits: self.trace_hits - earlier.trace_hits,
+            trace_misses: self.trace_misses - earlier.trace_misses,
+            timeline_hits: self.timeline_hits - earlier.timeline_hits,
+            timeline_misses: self.timeline_misses - earlier.timeline_misses,
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "traces {} hit / {} miss, timelines {} hit / {} miss",
+            self.trace_hits, self.trace_misses, self.timeline_hits, self.timeline_misses
+        )
+    }
+}
+
+/// The current process-wide counter values.
+pub fn counters() -> StoreCounts {
+    StoreCounts {
+        trace_hits: TRACE_HITS.load(Ordering::Relaxed),
+        trace_misses: TRACE_MISSES.load(Ordering::Relaxed),
+        timeline_hits: TIMELINE_HITS.load(Ordering::Relaxed),
+        timeline_misses: TIMELINE_MISSES.load(Ordering::Relaxed),
+    }
+}
 
 /// A shared trace prefix: cheap to clone, derefs to the instructions.
 #[derive(Debug, Clone)]
@@ -74,6 +126,7 @@ fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
 /// most once per (program, seed) process-wide.
 pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle {
     if !memoise() {
+        TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
         return TraceHandle {
             data: generate(program, seed, len),
             len,
@@ -85,6 +138,9 @@ pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle 
         .or_insert_with(|| Arc::new(Vec::new()));
     if entry.len() < len {
         *entry = generate(program, seed, len);
+        TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        TRACE_HITS.fetch_add(1, Ordering::Relaxed);
     }
     TraceHandle {
         data: Arc::clone(entry),
@@ -102,6 +158,7 @@ pub fn spec_timeline(
     cache: &CacheConfig,
 ) -> Arc<MissTimeline> {
     if !memoise() {
+        TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
         let trace = spec_trace(program, seed, len);
         return Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
     }
@@ -111,8 +168,10 @@ pub fn spec_timeline(
         .expect("timeline store poisoned")
         .get(&key)
     {
+        TIMELINE_HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(tl);
     }
+    TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
     // Extract outside the lock: concurrent workers may duplicate the
     // pass (first insertion wins) but never serialise behind it.
     let trace = spec_trace(program, seed, len);

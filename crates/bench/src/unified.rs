@@ -12,8 +12,9 @@
 //! The BNL φ is *measured* per β_m by trace-driven simulation, exactly as
 //! the paper does, then fed to the analytic equivalence.
 
-use crate::common::{average_phi, instructions_per_run, results_dir};
-use report::{write_csv, Chart};
+use crate::common::average_phi;
+use crate::registry::{ExpReport, Experiment, RunCtx};
+use report::{Artifact, Chart};
 use simcpu::StallFeature;
 use tradeoff::equiv::traded_hit_ratio;
 use tradeoff::{HitRatio, Machine, SystemConfig, TradeoffError};
@@ -113,8 +114,8 @@ pub fn default_betas() -> Vec<u64> {
     vec![2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20]
 }
 
-/// Renders a unified figure and writes its CSV under `dir`.
-pub fn render(cfg: UnifiedConfig, curves: &[FeatureCurve], dir: &std::path::Path) -> String {
+/// Renders a unified figure's chart.
+pub fn render(cfg: UnifiedConfig, curves: &[FeatureCurve]) -> String {
     let mut chart = Chart::new(
         format!(
             "Figure {} — unified tradeoff (L={}, D=4, q=2, base HR 95%, α=0.5)",
@@ -125,29 +126,79 @@ pub fn render(cfg: UnifiedConfig, curves: &[FeatureCurve], dir: &std::path::Path
         60,
         16,
     );
-    let mut rows = Vec::new();
     for c in curves {
         chart.series(c.name.clone(), c.points.clone());
-        for &(beta, dhr) in &c.points {
-            rows.push(vec![c.name.clone(), format!("{beta}"), format!("{dhr:.4}")]);
-        }
-    }
-    let csv = dir.join(format!("fig{}.csv", cfg.figure));
-    if let Err(e) = write_csv(&csv, &["feature", "beta_m", "traded_hr_pct"], &rows) {
-        eprintln!("warning: could not write {}: {e}", csv.display());
     }
     chart.render()
 }
 
-/// Produces the full report for one figure.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// A figure's series as its typed `fig{N}.csv` artifact.
+pub fn artifact(cfg: UnifiedConfig, curves: &[FeatureCurve]) -> Artifact {
+    let mut rows = Vec::new();
+    for c in curves {
+        for &(beta, dhr) in &c.points {
+            rows.push(vec![c.name.clone(), format!("{beta}"), format!("{dhr:.4}")]);
+        }
+    }
+    Artifact::csv(
+        format!("fig{}.csv", cfg.figure),
+        &["feature", "beta_m", "traded_hr_pct"],
+        rows,
+    )
+}
+
+/// Registry entry for one unified figure.
+pub struct Exp(pub UnifiedConfig);
+
+/// Figure 3's registry entry.
+pub static EXP3: Exp = Exp(FIG3);
+/// Figure 4's registry entry.
+pub static EXP4: Exp = Exp(FIG4);
+/// Figure 5's registry entry.
+pub static EXP5: Exp = Exp(FIG5);
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        match self.0.figure {
+            3 => "fig3",
+            4 => "fig4",
+            _ => "fig5",
+        }
+    }
+    fn title(&self) -> &'static str {
+        match self.0.figure {
+            3 => "Figure 3",
+            4 => "Figure 4",
+            _ => "Figure 5",
+        }
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "figure", "measured"]
+    }
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        if self.0.line_bytes == 8 {
+            &[crate::registry::traces::SPEC_L8]
+        } else {
+            &[crate::registry::traces::SPEC_L32]
+        }
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        let curves =
+            run(self.0, &default_betas(), ctx.instructions).expect("canonical parameters valid");
+        ExpReport {
+            section: render(self.0, &curves),
+            artifacts: vec![artifact(self.0, &curves)],
+        }
+    }
+}
+
+/// Produces the full report for one figure, writing its CSV to the
+/// results directory (the historical entry point).
 pub fn main_report(cfg: UnifiedConfig) -> String {
-    let curves =
-        run(cfg, &default_betas(), instructions_per_run()).expect("canonical parameters valid");
-    render(cfg, &curves, &results_dir())
+    crate::registry::main_report(&Exp(cfg))
 }
 
 #[cfg(test)]
@@ -205,12 +256,27 @@ mod tests {
     }
 
     #[test]
-    fn render_writes_figure_csv() {
+    fn render_and_artifact_name_track_the_figure() {
         let curves = run(FIG3, &[2, 8], 5_000).unwrap();
-        let tmp = std::env::temp_dir().join("unified_test_results");
-        let text = render(FIG3, &curves, &tmp);
+        let text = render(FIG3, &curves);
         assert!(text.contains("Figure 3"));
-        assert!(tmp.join("fig3.csv").exists());
-        let _ = std::fs::remove_dir_all(&tmp);
+        assert_eq!(artifact(FIG3, &curves).name, "fig3.csv");
+        assert_eq!(artifact(FIG5, &curves).name, "fig5.csv");
+    }
+
+    #[test]
+    fn registry_entries_cover_three_figures() {
+        use crate::registry::Experiment as _;
+        assert_eq!(EXP3.id(), "fig3");
+        assert_eq!(EXP4.id(), "fig4");
+        assert_eq!(EXP5.id(), "fig5");
+        assert_eq!(
+            EXP3.depends_on_traces(),
+            &[crate::registry::traces::SPEC_L8]
+        );
+        assert_eq!(
+            EXP5.depends_on_traces(),
+            &[crate::registry::traces::SPEC_L32]
+        );
     }
 }

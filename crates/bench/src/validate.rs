@@ -3,6 +3,7 @@
 //! verified *in the simulator*.
 
 use crate::common::run_spec;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcpu::{predict_cycles, validation_error, StallFeature};
 use simtrace::spec92::Spec92Program;
@@ -75,9 +76,34 @@ pub fn render(rows: &[ValidationRow]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "validate"
+    }
+    fn title(&self) -> &'static str {
+        "Model validation"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "measured", "validation"]
+    }
+    fn depends_on_traces(&self) -> &'static [&'static str] {
+        &[crate::registry::traces::SPEC_L32]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(ctx.instructions)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(crate::common::instructions_per_run()))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! the same axis as the Figure 3–5 feature curves and as doubling the
 //! associativity.
 
-use crate::common::instructions_per_run;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcache::{Cache, CacheConfig, VictimCache};
 use simtrace::spec92::{spec92_trace, Spec92Program};
@@ -79,9 +79,31 @@ pub fn render(rows: &[VictimRow]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "victim"
+    }
+    fn title(&self) -> &'static str {
+        "Victim buffers"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(8 * 1024, 4, ctx.instructions)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(8 * 1024, 4, instructions_per_run()))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

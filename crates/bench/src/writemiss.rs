@@ -9,7 +9,8 @@
 //! measures both on every proxy and confirms the model tracks each run
 //! exactly.
 
-use crate::common::{figure1_cache, instructions_per_run};
+use crate::common::figure1_cache;
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use simcache::WriteMiss;
 use simcpu::{validation_error, Cpu, CpuConfig, SimResult};
@@ -85,9 +86,31 @@ pub fn render(rows: &[PolicyComparison]) -> String {
     )
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "writemiss"
+    }
+    fn title(&self) -> &'static str {
+        "Write-miss policy ablation"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["extension", "measured"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, ctx: &RunCtx) -> ExpReport {
+        ExpReport::text_only(render(&run(8, ctx.instructions)))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    render(&run(8, instructions_per_run()))
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

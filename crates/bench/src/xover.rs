@@ -1,6 +1,7 @@
 //! EXP-X1 — Section 5.3's crossover points: where pipelined memory
 //! overtakes the other features.
 
+use crate::registry::{ExpReport, Experiment, RunCtx};
 use report::Table;
 use tradeoff::crossover::{find_crossover, pipelined_vs_double_bus, pipelined_vs_write_buffers};
 use tradeoff::{Machine, SystemConfig, TradeoffError};
@@ -72,14 +73,33 @@ pub fn render(rows: &[Crossover]) -> String {
     format!("Crossover memory cycle times (α = 0.5):\n{}", t.render())
 }
 
-/// Entry point shared by the binary and the `run_all` driver.
-///
-/// # Panics
-///
-/// Panics if the canonical parameters were invalid (they are not).
+/// Registry entry for this experiment.
+pub struct Exp;
+
+impl Experiment for Exp {
+    fn id(&self) -> &'static str {
+        "xover"
+    }
+    fn title(&self) -> &'static str {
+        "Crossover points"
+    }
+    fn tags(&self) -> &'static [&'static str] {
+        &["paper", "analytic"]
+    }
+    fn module(&self) -> &'static str {
+        module_path!()
+    }
+    fn run(&self, _ctx: &RunCtx) -> ExpReport {
+        let rows =
+            run(&[2.0, 4.0, 8.0, 16.0], &[1.0, 2.0, 4.0]).expect("canonical parameters valid");
+        ExpReport::text_only(render(&rows))
+    }
+}
+
+/// Entry point shared by the binary and the suite driver (runs at
+/// the standard context and writes artifacts to the results dir).
 pub fn main_report() -> String {
-    let rows = run(&[2.0, 4.0, 8.0, 16.0], &[1.0, 2.0, 4.0]).expect("canonical parameters valid");
-    render(&rows)
+    crate::registry::main_report(&Exp)
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! Typed experiment artifacts.
+//!
+//! Experiments used to render their machine-readable outputs straight to
+//! disk (each module carried its own "write rows + header to
+//! `results/*.csv`" block). An [`Artifact`] instead carries the
+//! *structured* payload — CSV rows, a JSON document, or plain text — and
+//! rendering/writing happens exactly once, in the manifest writer
+//! ([`crate::manifest::write_all`]), so every byte that lands under
+//! `results/` is also content-hashed.
+
+use crate::csv::to_csv_string;
+
+/// The payload of one artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// Tabular series data, rendered as CSV.
+    Csv {
+        /// Column names.
+        header: Vec<String>,
+        /// Row cells, one `Vec` per row.
+        rows: Vec<Vec<String>>,
+    },
+    /// A pre-serialised JSON document.
+    Json(String),
+    /// Plain text (reports, logs).
+    Text(String),
+}
+
+/// One named experiment output destined for the results directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// File name relative to the results directory (e.g. `fig1.csv`).
+    pub name: String,
+    /// The typed payload.
+    pub kind: ArtifactKind,
+}
+
+impl Artifact {
+    /// A CSV artifact from a header and rows.
+    pub fn csv<S: Into<String> + Clone>(
+        name: impl Into<String>,
+        header: &[S],
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        Artifact {
+            name: name.into(),
+            kind: ArtifactKind::Csv {
+                header: header.iter().cloned().map(Into::into).collect(),
+                rows,
+            },
+        }
+    }
+
+    /// A plain-text artifact.
+    pub fn text(name: impl Into<String>, content: impl Into<String>) -> Self {
+        Artifact {
+            name: name.into(),
+            kind: ArtifactKind::Text(content.into()),
+        }
+    }
+
+    /// A JSON artifact from an already-serialised document.
+    pub fn json(name: impl Into<String>, content: impl Into<String>) -> Self {
+        Artifact {
+            name: name.into(),
+            kind: ArtifactKind::Json(content.into()),
+        }
+    }
+
+    /// Renders the payload to the exact bytes written to disk.
+    pub fn render(&self) -> String {
+        match &self.kind {
+            ArtifactKind::Csv { header, rows } => to_csv_string(header, rows),
+            ArtifactKind::Json(s) | ArtifactKind::Text(s) => s.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_artifact_renders_like_write_csv() {
+        let a = Artifact::csv(
+            "t.csv",
+            &["a", "b"],
+            vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(a.render(), "a,b\n1,2\n3,4\n");
+        assert_eq!(a.name, "t.csv");
+    }
+
+    #[test]
+    fn text_and_json_render_verbatim() {
+        assert_eq!(Artifact::text("r.txt", "hello\n").render(), "hello\n");
+        assert_eq!(Artifact::json("m.json", "{}\n").render(), "{}\n");
+    }
+}

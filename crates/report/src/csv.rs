@@ -40,11 +40,23 @@ pub fn write_csv<S: AsRef<str>>(
     header: &[S],
     rows: &[Vec<String>],
 ) -> io::Result<()> {
+    write_artifact(path, &to_csv_string(header, rows))
+}
+
+/// The single write entry point for experiment artifacts: writes
+/// already-rendered payload bytes, creating parent directories as
+/// needed. Both [`write_csv`] and the manifest writer
+/// ([`crate::manifest::write_all`]) funnel through here.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_artifact(path: impl AsRef<Path>, payload: &str) -> io::Result<()> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    fs::write(path, to_csv_string(header, rows))
+    fs::write(path, payload)
 }
 
 #[cfg(test)]

@@ -19,10 +19,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod chart;
 pub mod csv;
+pub mod hash;
+pub mod manifest;
 pub mod table;
 
+pub use artifact::{Artifact, ArtifactKind};
 pub use chart::Chart;
-pub use csv::write_csv;
+pub use csv::{write_artifact, write_csv};
+pub use hash::sha256_hex;
+pub use manifest::{Drift, Manifest, ManifestEntry, MANIFEST_NAME};
 pub use table::Table;

@@ -6,7 +6,7 @@
 //! an address block of several sub-blocks, each with its own valid/dirty
 //! bit, and misses fetch only the needed sub-block. This module provides
 //! a sector-cache simulator so the tradeoff methodology can price that
-//! design too (see the `exp_sector` experiment).
+//! design too (see the `sector` experiment).
 
 use crate::config::ConfigError;
 use crate::stats::CacheStats;

@@ -10,7 +10,9 @@
 //! * `simulate` — run a SPEC92 proxy through the cycle-accurate
 //!   simulator;
 //! * `design` — enumerate bus/buffer/pipeline configurations meeting a
-//!   mean-access-time target at minimum pin cost.
+//!   mean-access-time target at minimum pin cost;
+//! * `experiments` — list, run (serially or `--jobs N`-parallel) and
+//!   hash-verify the registered paper experiments.
 
 use report::Table;
 use simcache::CacheConfig;
@@ -46,14 +48,17 @@ pub fn parse_args(args: &[String]) -> Result<(String, Options), String> {
 }
 
 fn usage() -> String {
-    "usage: tradeoff <price|crossover|linesize|simulate|design> [--option value]...\n\
+    "usage: tradeoff <price|crossover|linesize|simulate|design|experiments> [--option value]...\n\
      \n\
-     price     --bus 4 --line 32 --beta 8 --hr 0.95 [--alpha 0.5] [--q 2] [--width 1]\n\
-     crossover --chunks 8 --q 2 [--alpha 0.5]\n\
-     linesize  --c 7 --beta 1 --bus 4 --curve 8:0.90,16:0.94,32:0.96,64:0.97\n\
-     simulate  --program ear [--instructions 100000] [--stall fs|bl|bnl1|bnl2|bnl3|nb]\n\
-     \u{20}         [--cache 8192] [--line 32] [--bus 4] [--beta 8]\n\
-     design    --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]"
+     price       --bus 4 --line 32 --beta 8 --hr 0.95 [--alpha 0.5] [--q 2] [--width 1]\n\
+     crossover   --chunks 8 --q 2 [--alpha 0.5]\n\
+     linesize    --c 7 --beta 1 --bus 4 --curve 8:0.90,16:0.94,32:0.96,64:0.97\n\
+     simulate    --program ear [--instructions 100000] [--stall fs|bl|bnl1|bnl2|bnl3|nb]\n\
+     \u{20}           [--cache 8192] [--line 32] [--bus 4] [--beta 8]\n\
+     design      --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]\n\
+     experiments list\n\
+     experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR]\n\
+     experiments verify [--results-dir DIR] [--manifest FILE]"
         .to_string()
 }
 
@@ -81,6 +86,9 @@ fn get_u64(opts: &Options, key: &str, default: Option<u64>) -> Result<u64, Strin
 ///
 /// Returns a user-facing message on bad arguments.
 pub fn run(args: &[String]) -> Result<String, String> {
+    if args.first().map(String::as_str) == Some("experiments") {
+        return experiments(&args[1..]);
+    }
     let (cmd, opts) = parse_args(args)?;
     match cmd.as_str() {
         "price" => price(&opts),
@@ -90,6 +98,75 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "design" => design(&opts),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+/// The `tradeoff experiments <list|run|verify>` subcommand over the
+/// bench registry.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments, unknown experiments
+/// or manifest drift.
+fn experiments(args: &[String]) -> Result<String, String> {
+    let (action, opts) = if args.is_empty() {
+        ("list".to_string(), Options::new())
+    } else {
+        parse_args(args)?
+    };
+    match action.as_str() {
+        "list" => {
+            let mut t = Table::new(["id", "tags", "shared traces", "title"]);
+            for e in bench::registry::all() {
+                t.row([
+                    e.id().to_string(),
+                    e.tags().join(","),
+                    e.depends_on_traces().join(","),
+                    e.title().to_string(),
+                ]);
+            }
+            Ok(t.render())
+        }
+        "run" => {
+            let filter = opts.get("filter").cloned().unwrap_or_default();
+            let jobs = get_u64(&opts, "jobs", Some(1))? as usize;
+            let dir = opts
+                .get("results-dir")
+                .map_or_else(bench::common::results_dir, std::path::PathBuf::from);
+            let sched_opts = bench::sched::SuiteOptions {
+                jobs,
+                ctx: bench::registry::RunCtx::standard(),
+            };
+            let outcome = bench::sched::drive(&filter, &sched_opts, &dir)?;
+            eprintln!("{}", outcome.run.footer());
+            Ok(outcome.run.document())
+        }
+        "verify" => {
+            let dir = opts
+                .get("results-dir")
+                .map_or_else(bench::common::results_dir, std::path::PathBuf::from);
+            let manifest_path = opts
+                .get("manifest")
+                .map_or_else(|| dir.join(report::MANIFEST_NAME), std::path::PathBuf::from);
+            let json = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("reading {}: {e}", manifest_path.display()))?;
+            let manifest = report::Manifest::parse(&json)?;
+            let drift = manifest.verify_dir(&dir);
+            if drift.is_empty() {
+                Ok(format!(
+                    "{} artifacts verified against {}\n",
+                    manifest.entries.len(),
+                    manifest_path.display()
+                ))
+            } else {
+                Err(drift
+                    .iter()
+                    .map(|d| format!("drift: {d}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
+        }
+        other => Err(format!("unknown experiments action {other:?}\n{}", usage())),
     }
 }
 
@@ -369,5 +446,35 @@ mod tests {
     fn help_and_unknown() {
         assert!(run(&argv("help")).unwrap().contains("usage"));
         assert!(run(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn experiments_list_shows_registry() {
+        let out = run(&argv("experiments list")).unwrap();
+        assert!(out.contains("fig1"));
+        assert!(out.contains("Design-space sweep"));
+        // Bare `experiments` defaults to the listing.
+        assert_eq!(run(&argv("experiments")).unwrap(), out);
+    }
+
+    #[test]
+    fn experiments_rejects_unknown_action_and_missing_manifest() {
+        assert!(run(&argv("experiments frobnicate")).is_err());
+        let err = run(&argv("experiments verify --results-dir /no/such/dir")).unwrap_err();
+        assert!(err.contains("reading"), "{err}");
+    }
+
+    #[test]
+    fn experiments_run_filtered_writes_artifacts() {
+        let dir = std::env::temp_dir().join("cli_experiments_run_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&argv(&format!(
+            "experiments run --filter fig2 --results-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("================ Figure 2 ================"));
+        assert!(dir.join("fig2.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

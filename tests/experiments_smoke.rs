@@ -30,12 +30,10 @@ fn figure2_report_renders_both_panels() {
 fn unified_figures_render() {
     for cfg in [FIG3, FIG4, FIG5] {
         let curves = bench::unified::run(cfg, &[2, 8], 5_000).expect("valid");
-        let text =
-            bench::unified::render(cfg, &curves, &std::env::temp_dir().join("smoke_results"));
+        let text = bench::unified::render(cfg, &curves);
         assert!(text.contains(&format!("Figure {}", cfg.figure)));
         assert!(text.contains("doubling bus"));
     }
-    let _ = std::fs::remove_dir_all(std::env::temp_dir().join("smoke_results"));
 }
 
 #[test]

@@ -1,0 +1,91 @@
+//! Manifest determinism: a serial and a `--jobs N` suite run hash to
+//! the same `manifest.json`, and a doctored artifact is detected.
+
+use bench::registry::RunCtx;
+use bench::sched::{drive, SuiteOptions};
+use report::{Manifest, MANIFEST_NAME};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("manifest_it_{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn serial_and_parallel_manifests_are_identical_and_verify() {
+    let ctx = RunCtx::with_instructions(2_000);
+    let serial_dir = tmp_dir("serial");
+    let parallel_dir = tmp_dir("parallel");
+
+    let serial = drive(
+        "all",
+        &SuiteOptions {
+            jobs: 1,
+            ctx: ctx.clone(),
+        },
+        &serial_dir,
+    )
+    .expect("serial run");
+    let parallel = drive("all", &SuiteOptions { jobs: 4, ctx }, &parallel_dir).expect("jobs run");
+
+    let m_serial = serial.manifest.expect("full runs write a manifest");
+    let m_parallel = parallel.manifest.expect("full runs write a manifest");
+    assert_eq!(m_serial.to_json(), m_parallel.to_json());
+
+    // The written files round-trip and hash-verify.
+    let json = fs::read_to_string(serial_dir.join(MANIFEST_NAME)).unwrap();
+    let parsed = Manifest::parse(&json).unwrap();
+    assert_eq!(parsed, m_serial);
+    assert!(parsed.verify_dir(&serial_dir).is_empty());
+    assert!(m_parallel.verify_dir(&parallel_dir).is_empty());
+
+    // The suite document itself is an artifact.
+    assert!(parsed
+        .entries
+        .iter()
+        .any(|e| e.name == "run_all_report.txt"));
+
+    // Doctor one CSV: verification must flag exactly that file.
+    fs::write(serial_dir.join("fig1.csv"), "stale,stale\n").unwrap();
+    let drift = parsed.verify_dir(&serial_dir);
+    assert_eq!(drift.len(), 1);
+    assert!(drift[0].to_string().starts_with("fig1.csv"));
+
+    let _ = fs::remove_dir_all(&serial_dir);
+    let _ = fs::remove_dir_all(&parallel_dir);
+}
+
+#[test]
+fn filtered_runs_write_artifacts_but_no_manifest() {
+    let dir = tmp_dir("filtered");
+    let outcome = drive(
+        "fig2",
+        &SuiteOptions {
+            jobs: 1,
+            ctx: RunCtx::with_instructions(2_000),
+        },
+        &dir,
+    )
+    .expect("filtered run");
+    assert!(outcome.manifest.is_none());
+    assert!(dir.join("fig2.csv").exists());
+    assert!(!dir.join(MANIFEST_NAME).exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_selection_is_an_error() {
+    let dir = tmp_dir("empty");
+    let err = drive(
+        "no-such-tag",
+        &SuiteOptions {
+            jobs: 1,
+            ctx: RunCtx::with_instructions(100),
+        },
+        &dir,
+    )
+    .unwrap_err();
+    assert!(err.contains("no experiment matches"));
+}

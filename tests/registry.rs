@@ -1,0 +1,125 @@
+//! Registry completeness: every bench experiment module is registered
+//! exactly once, ids are unique, and the suite document preserves the
+//! historical `run_all` section order byte for byte.
+
+use bench::registry::{self, RunCtx};
+use bench::sched::{run_suite, SuiteOptions};
+use std::collections::HashSet;
+
+/// The section order and titles of the seed `run_all` binary. The
+/// registry must keep printing the suite exactly like this.
+const SEED_ORDER: [(&str, &str); 27] = [
+    ("table23", "Tables 2 and 3"),
+    ("fig1", "Figure 1"),
+    ("fig2", "Figure 2"),
+    ("fig3", "Figure 3"),
+    ("fig4", "Figure 4"),
+    ("fig5", "Figure 5"),
+    ("fig6", "Figure 6"),
+    ("example1", "Example 1"),
+    ("xover", "Crossover points"),
+    ("linesize", "Line-size analysis"),
+    ("validate", "Model validation"),
+    ("mi", "Multi-issue extension"),
+    ("prefetch", "Prefetch pricing"),
+    ("writemiss", "Write-miss policy ablation"),
+    ("alpha", "Flush-ratio ablation"),
+    ("l2", "L2 extension"),
+    ("cost", "Pins vs silicon"),
+    ("missdist", "Miss-distance profiles"),
+    ("phases", "Per-phase profiles"),
+    ("sector", "Sector caches"),
+    ("victim", "Victim buffers"),
+    ("assoc", "Associativity & replacement"),
+    ("context", "Multiprogramming"),
+    ("assumptions", "Assumption audit"),
+    ("nb", "Non-blocking cache"),
+    ("reuse", "Reuse-distance fingerprints"),
+    ("sweep", "Design-space sweep"),
+];
+
+#[test]
+fn registry_matches_seed_order_and_titles() {
+    let all = registry::all();
+    assert_eq!(all.len(), SEED_ORDER.len());
+    for (e, (id, title)) in all.iter().zip(SEED_ORDER) {
+        assert_eq!(e.id(), id);
+        assert_eq!(e.title(), title);
+    }
+}
+
+#[test]
+fn ids_are_unique() {
+    let mut seen = HashSet::new();
+    for e in registry::all() {
+        assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+    }
+}
+
+#[test]
+fn every_experiment_module_is_registered_exactly_once() {
+    // Infrastructure modules carry no experiment; everything else in the
+    // bench crate must appear in the registry.
+    let infra = ["common", "exec", "tracestore", "registry", "sched"];
+    let lib = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/src/lib.rs"),
+    )
+    .expect("bench lib.rs readable");
+    let declared: Vec<&str> = lib
+        .lines()
+        .filter_map(|l| l.strip_prefix("pub mod "))
+        .map(|m| m.trim_end_matches(';'))
+        .filter(|m| !infra.contains(m))
+        .collect();
+    assert!(
+        declared.len() >= 24,
+        "unexpected module count: {declared:?}"
+    );
+
+    let registered: Vec<String> = registry::all()
+        .iter()
+        .map(|e| {
+            e.module()
+                .strip_prefix("bench::")
+                .expect("module path rooted in bench")
+                .to_string()
+        })
+        .collect();
+    for m in &declared {
+        let count = registered.iter().filter(|r| r == m).count();
+        // `unified` registers one entry per figure; every other module
+        // maps to exactly one experiment.
+        let expected = if *m == "unified" { 3 } else { 1 };
+        assert_eq!(count, expected, "module {m} registered {count} times");
+    }
+    assert_eq!(registered.len(), registry::all().len());
+}
+
+#[test]
+fn serial_and_parallel_suite_documents_are_identical() {
+    // A reduced instruction budget keeps this affordable while still
+    // exercising the warm-key scheduling across real experiments; the
+    // shared-trace subset covers every declared store key.
+    let selection: Vec<_> = registry::all()
+        .into_iter()
+        .filter(|e| !e.depends_on_traces().is_empty())
+        .collect();
+    assert!(
+        selection.len() >= 6,
+        "fig1/3/4/5, validate, nb, linesize, sweep"
+    );
+    let ctx = RunCtx::with_instructions(2_000);
+    let serial = run_suite(
+        &selection,
+        &SuiteOptions {
+            jobs: 1,
+            ctx: ctx.clone(),
+        },
+    );
+    let parallel = run_suite(&selection, &SuiteOptions { jobs: 4, ctx });
+    assert_eq!(serial.document(), parallel.document());
+    let footer = parallel.footer();
+    for e in &selection {
+        assert!(footer.contains(e.id()), "footer missing {}", e.id());
+    }
+}
