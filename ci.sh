@@ -3,11 +3,13 @@
 #
 #   ./ci.sh          tier-1 (release build + full test suite) + fmt +
 #                    clippy + manifest (committed results/ hash-verified
-#                    against a fresh parallel suite run)
+#                    against a fresh parallel suite run) + faults (canned
+#                    fault plan degrades the suite instead of killing it)
 #   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
 #                    grid) and BENCH_phi.json (figure-1 timeline engine)
 #                    from the criterion benches (slow; perf-sensitive PRs)
 #   ./ci.sh manifest run only the manifest staleness check
+#   ./ci.sh faults   run only the fault-injection degradation check
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,9 +29,43 @@ manifest_check() {
     rm -rf "$tmp"
 }
 
+faults_check() {
+    echo "==> faults: canned fault plan must degrade, not abort, the suite"
+    local tmp out status
+    tmp="$(mktemp -d)"
+    # One panic (fig2) and one hang caught by the watchdog (victim): the
+    # keep-going parallel run must complete the other 25 experiments,
+    # record per-experiment statuses in the manifest, and exit nonzero.
+    set +e
+    REPRO_FAULTS="run:fig2:panic,run:victim:delay60000" \
+    REPRO_EXP_TIMEOUT=2 REPRO_INSTRUCTIONS=2000 \
+        cargo run --release -q -p bench --bin exp -- run \
+        --keep-going --jobs 4 --results-dir "$tmp" > "$tmp/stdout.txt" 2> "$tmp/stderr.txt"
+    status=$?
+    set -e
+    [[ "$status" -ne 0 ]] || { echo "FAIL: degraded run exited 0"; exit 1; }
+    grep -q '"status": "failed"' "$tmp/manifest.json" \
+        || { echo "FAIL: manifest missing failed status"; exit 1; }
+    grep -q '"status": "timed-out"' "$tmp/manifest.json" \
+        || { echo "FAIL: manifest missing timed-out status"; exit 1; }
+    out="$(grep -c '"status": "ok"' "$tmp/manifest.json")"
+    [[ "$out" -eq 25 ]] || { echo "FAIL: expected 25 ok statuses, got $out"; exit 1; }
+    grep -q "Suite failures" "$tmp/stdout.txt" \
+        || { echo "FAIL: suite document missing failure section"; exit 1; }
+    echo "    degraded run: exit $status, 25 ok / 1 failed / 1 timed-out"
+    rm -rf "$tmp"
+}
+
 if [[ "${1:-}" == "manifest" ]]; then
     cargo build --release
     manifest_check
+    echo "CI green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "faults" ]]; then
+    cargo build --release
+    faults_check
     echo "CI green."
     exit 0
 fi
@@ -47,6 +83,7 @@ echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 manifest_check
+faults_check
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"

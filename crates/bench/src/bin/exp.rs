@@ -2,28 +2,45 @@
 //! replacing the historical per-figure `exp_*` binaries.
 //!
 //! ```text
-//! exp list                 # id, tags, shared traces, title
+//! exp list [filter]        # id, tags, shared traces, title
 //! exp <id>                 # run one experiment, print its section
-//! exp run [--filter F] [--jobs N] [--results-dir DIR]
+//! exp run [--filter F] [--jobs N] [--results-dir DIR] [--keep-going]
 //! ```
 //!
 //! `run` over the full registry also writes `run_all_report.txt` and
 //! `manifest.json` next to the artifacts; the observability footer goes
 //! to stderr so stdout stays deterministic.
+//!
+//! With `--keep-going`, a panicking, hung or persistently failing
+//! experiment is recorded as a typed failure and the rest of the suite
+//! still runs; the manifest then carries a per-experiment status
+//! section. `REPRO_EXP_TIMEOUT=secs` arms the per-experiment watchdog
+//! and `REPRO_FAULTS=site:exp:kind[:times],...` arms deterministic
+//! fault injection (see `DESIGN.md` §11).
+//!
+//! Exit codes: `0` success, `1` one or more experiments failed, `2` bad
+//! usage (including a filter that matches nothing), `3` an artifact
+//! could not be written.
 
 use bench::registry::{self, RunCtx};
 use bench::sched::{drive, SuiteOptions};
+use bench::Error;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp list\n       exp <id>\n       exp run [--filter <tag|id>] [--jobs N] [--results-dir DIR]"
+        "usage: exp list [filter]\n       exp <id>\n       exp run [--filter <tag|id>] [--jobs N] [--results-dir DIR] [--keep-going]\n\
+         exit codes: 0 ok, 1 experiment failure, 2 bad usage, 3 artifact write failure"
     );
     std::process::exit(2);
 }
 
-fn list() {
-    for e in registry::all() {
+fn list(filter: &str) {
+    let selection = registry::matching_or_err(filter).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    for e in selection {
         println!(
             "{:<12} [{}]{} {}",
             e.id(),
@@ -41,6 +58,7 @@ fn list() {
 fn run(args: &[String]) {
     let mut filter = String::new();
     let mut jobs = 1usize;
+    let mut keep_going = false;
     let mut results_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -52,25 +70,31 @@ fn run(args: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--keep-going" => keep_going = true,
             "--results-dir" => {
                 results_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
             }
             _ => usage(),
         }
     }
-    let opts = SuiteOptions {
-        jobs,
-        ctx: RunCtx::standard(),
-    };
+    let opts = SuiteOptions::new(jobs, RunCtx::standard()).keep_going(keep_going);
     let dir = results_dir.unwrap_or_else(bench::common::results_dir);
     match drive(&filter, &opts, &dir) {
         Ok(outcome) => {
             print!("{}", outcome.run.document());
             eprintln!("{}", outcome.run.footer());
+            if outcome.run.has_failures() {
+                eprintln!("{}", outcome.run.failure_summary());
+                std::process::exit(1);
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(match e {
+                Error::NoMatch { .. } => 2,
+                Error::Experiment { .. } => 1,
+                Error::Write { .. } => 3,
+            });
         }
     }
 }
@@ -78,13 +102,13 @@ fn run(args: &[String]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        None | Some("list") => list(),
+        None | Some("list") => list(args.get(1).map_or("", String::as_str)),
         Some("run") => run(&args[1..]),
         Some(id) => match registry::find(id) {
             Some(exp) => println!("{}", registry::main_report(exp)),
             None => {
                 eprintln!("error: no experiment with id {id:?} (try `exp list`)");
-                std::process::exit(1);
+                std::process::exit(2);
             }
         },
     }

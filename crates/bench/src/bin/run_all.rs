@@ -4,30 +4,40 @@
 //! results directory.
 //!
 //! `REPRO_JOBS=N` runs up to `N` experiments concurrently; the document
-//! is byte-identical to the serial run either way. The per-experiment
-//! wall-clock and trace-store footer goes to stderr so stdout stays
-//! deterministic.
+//! is byte-identical to the serial run either way. `REPRO_KEEP_GOING=1`
+//! records failed experiments and completes the rest instead of
+//! stopping at the first failure. The per-experiment wall-clock and
+//! trace-store footer goes to stderr so stdout stays deterministic.
+//!
+//! Exit codes: `0` success, `1` one or more experiments failed, `3` an
+//! artifact could not be written.
 
 use bench::registry::RunCtx;
 use bench::sched::{drive, SuiteOptions};
+use bench::Error;
 
 fn main() {
     let jobs = std::env::var("REPRO_JOBS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
-    let opts = SuiteOptions {
-        jobs,
-        ctx: RunCtx::standard(),
-    };
+    let keep_going = std::env::var("REPRO_KEEP_GOING").is_ok_and(|v| v == "1");
+    let opts = SuiteOptions::new(jobs, RunCtx::standard()).keep_going(keep_going);
     match drive("all", &opts, &bench::common::results_dir()) {
         Ok(outcome) => {
             print!("{}", outcome.run.document());
             eprintln!("{}", outcome.run.footer());
+            if outcome.run.has_failures() {
+                eprintln!("{}", outcome.run.failure_summary());
+                std::process::exit(1);
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(match e {
+                Error::Write { .. } => 3,
+                _ => 1,
+            });
         }
     }
 }

@@ -7,6 +7,7 @@
 //! one core does not serialise the rest, and results come back in input
 //! order.
 
+use crate::fault;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -37,7 +38,9 @@ pub fn worker_count(jobs: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job after the pool drains.
+/// Propagates a panic from any job after the pool drains, preserving
+/// the original payload — so the scheduler's panic containment still
+/// sees a typed [`fault::TransientUnwind`] raised inside a worker.
 pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
@@ -49,12 +52,17 @@ where
         return items.iter().map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
+    // Workers inherit the spawner's current-experiment so targeted
+    // fault injection reaches extractions that fan out over the pool.
+    let exp = fault::current();
     let parts: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let f = &f;
+                let exp = exp.clone();
                 scope.spawn(move || {
+                    let _scope = fault::enter_shared(exp);
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -67,7 +75,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("executor worker panicked"))
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut slots: Vec<Option<O>> = Vec::with_capacity(items.len());

@@ -11,8 +11,17 @@
 //! the experiment index, §10 for the registry architecture, and
 //! `EXPERIMENTS.md` for paper-vs-measured numbers.
 
+//!
+//! The pipeline is fault-isolated: experiments run under panic
+//! containment with optional watchdog deadlines and bounded retries
+//! ([`sched`]), every failure path is exercisable deterministically via
+//! [`fault`] injection (`REPRO_FAULTS`), and degraded suites record
+//! per-experiment statuses in the manifest. See `DESIGN.md` §11.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use error::Error;
 
 pub mod alpha;
 pub mod assoc;
@@ -20,8 +29,10 @@ pub mod assumptions;
 pub mod common;
 pub mod context;
 pub mod cost;
+pub mod error;
 pub mod example1;
 pub mod exec;
+pub mod fault;
 pub mod fig1;
 pub mod fig2;
 pub mod fig6;

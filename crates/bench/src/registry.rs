@@ -154,6 +154,24 @@ pub fn matching(filter: &str) -> Vec<&'static dyn Experiment> {
         .collect()
 }
 
+/// [`matching`], but an unknown filter is a typed [`crate::Error`]
+/// instead of an empty selection — every consumer (the `exp` binary's
+/// `list`/`run`, the `tradeoff experiments` CLI) treats a filter that
+/// selects nothing as bad usage, not silent success.
+///
+/// # Errors
+///
+/// [`crate::Error::NoMatch`] when nothing matches.
+pub fn matching_or_err(filter: &str) -> Result<Vec<&'static dyn Experiment>, crate::Error> {
+    let selection = matching(filter);
+    if selection.is_empty() {
+        return Err(crate::Error::NoMatch {
+            filter: filter.to_string(),
+        });
+    }
+    Ok(selection)
+}
+
 /// Writes a report's artifacts under `dir`, warning (not failing) on
 /// I/O errors — the historical behaviour of the per-figure binaries.
 pub fn write_artifacts_warn(dir: &Path, artifacts: &[Artifact]) {
@@ -197,6 +215,13 @@ mod tests {
         let figures = matching("figure");
         assert!(figures.len() >= 6, "fig1..fig6 carry the figure tag");
         assert!(figures.iter().all(|e| e.tags().contains(&"figure")));
+    }
+
+    #[test]
+    fn unknown_filters_are_typed_errors() {
+        assert_eq!(matching_or_err("fig1").unwrap().len(), 1);
+        let err = matching_or_err("no-such-filter").unwrap_err();
+        assert!(err.to_string().contains("no experiment matches"));
     }
 
     #[test]

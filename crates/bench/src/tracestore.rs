@@ -18,13 +18,15 @@
 //! regenerates from scratch — useful for memory-constrained runs and for
 //! A/B-testing the cache itself).
 
+use crate::error::lock_recovering;
+use crate::fault::{self, Site};
 use simcache::CacheConfig;
 use simcpu::MissTimeline;
 use simtrace::spec92::{spec92_trace, Spec92Program};
 use simtrace::Instr;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Seed used by every `run_spec`-style experiment.
 pub const SPEC_SEED: u64 = 0xDEAD_BEEF;
@@ -33,6 +35,26 @@ static TRACE_HITS: AtomicU64 = AtomicU64::new(0);
 static TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
 static TIMELINE_HITS: AtomicU64 = AtomicU64::new(0);
 static TIMELINE_MISSES: AtomicU64 = AtomicU64::new(0);
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times a store lock was recovered from poison (a worker
+/// panicked — or was fault-injected — while holding it).
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
+
+/// Locks a store map, recovering from poison: a holder that died
+/// mid-insert may have left a half-written entry, so the recovered map
+/// is cleared and every entry recomputed on demand — one panicked
+/// worker must never wedge later experiments.
+fn lock_store<K, V>(m: &Mutex<HashMap<K, V>>) -> MutexGuard<'_, HashMap<K, V>> {
+    let (mut guard, recovered) = lock_recovering(m);
+    if recovered {
+        guard.clear();
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+    }
+    guard
+}
 
 /// A snapshot of the store's hit/miss counters — the scheduler's first
 /// observability hook: a "hit" hands back a memoised allocation, a
@@ -126,17 +148,20 @@ fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
 /// most once per (program, seed) process-wide.
 pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle {
     if !memoise() {
+        fault::check_or_unwind(Site::Extract);
         TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
         return TraceHandle {
             data: generate(program, seed, len),
             len,
         };
     }
-    let mut store = traces().lock().expect("trace store poisoned");
+    let mut store = lock_store(traces());
+    fault::check_or_unwind(Site::Lock);
     let entry = store
         .entry((program, seed))
         .or_insert_with(|| Arc::new(Vec::new()));
     if entry.len() < len {
+        fault::check_or_unwind(Site::Extract);
         *entry = generate(program, seed, len);
         TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
     } else {
@@ -158,31 +183,23 @@ pub fn spec_timeline(
     cache: &CacheConfig,
 ) -> Arc<MissTimeline> {
     if !memoise() {
+        fault::check_or_unwind(Site::Extract);
         TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
         let trace = spec_trace(program, seed, len);
         return Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
     }
     let key = (program, seed, len, *cache);
-    if let Some(tl) = timelines()
-        .lock()
-        .expect("timeline store poisoned")
-        .get(&key)
-    {
+    if let Some(tl) = lock_store(timelines()).get(&key) {
         TIMELINE_HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(tl);
     }
+    fault::check_or_unwind(Site::Extract);
     TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
     // Extract outside the lock: concurrent workers may duplicate the
     // pass (first insertion wins) but never serialise behind it.
     let trace = spec_trace(program, seed, len);
     let tl = Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
-    Arc::clone(
-        timelines()
-            .lock()
-            .expect("timeline store poisoned")
-            .entry(key)
-            .or_insert(tl),
-    )
+    Arc::clone(lock_store(timelines()).entry(key).or_insert(tl))
 }
 
 #[cfg(test)]

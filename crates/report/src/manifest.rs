@@ -28,11 +28,25 @@ pub struct ManifestEntry {
     pub sha256: String,
 }
 
+/// One experiment's execution status in a degraded suite run
+/// (`ok` / `retried(n)` / `failed` / `timed-out`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusEntry {
+    /// Experiment id.
+    pub id: String,
+    /// Status keyword.
+    pub status: String,
+}
+
 /// A content-addressed inventory of a results directory.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     /// Entries sorted by name.
     pub entries: Vec<ManifestEntry>,
+    /// Per-experiment statuses, in suite order. Empty for a fully
+    /// clean run — and then absent from the JSON, so clean manifests
+    /// are byte-identical to the pre-status schema.
+    pub statuses: Vec<StatusEntry>,
 }
 
 /// One detected divergence between a manifest and reality.
@@ -82,13 +96,43 @@ impl Manifest {
             })
             .collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
-        Manifest { entries }
+        Manifest {
+            entries,
+            statuses: Vec::new(),
+        }
+    }
+
+    /// Attaches per-experiment statuses (suite order, not sorted). Pass
+    /// an empty vector to keep the manifest in its clean-run shape.
+    #[must_use]
+    pub fn with_statuses(mut self, statuses: Vec<StatusEntry>) -> Manifest {
+        self.statuses = statuses;
+        self
     }
 
     /// Serialises the manifest as deterministic JSON (one entry per
-    /// line, entries sorted by name, trailing newline).
+    /// line, entries sorted by name, trailing newline). A degraded run
+    /// additionally records an `"experiments"` status section; a clean
+    /// manifest omits it and serialises byte-identically to the
+    /// pre-status schema.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"artifacts\": [\n");
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        if !self.statuses.is_empty() {
+            out.push_str("  \"experiments\": [\n");
+            for (i, s) in self.statuses.iter().enumerate() {
+                let comma = if i + 1 == self.statuses.len() {
+                    ""
+                } else {
+                    ","
+                };
+                out.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"status\": \"{}\"}}{comma}\n",
+                    s.id, s.status
+                ));
+            }
+            out.push_str("  ],\n");
+        }
+        out.push_str("  \"artifacts\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
             out.push_str(&format!(
@@ -122,20 +166,31 @@ impl Manifest {
             }
         }
         let mut entries = Vec::new();
-        for line in json.lines().filter(|l| l.contains("\"name\"")) {
-            let name = field(line, "name").ok_or(format!("bad manifest line: {line}"))?;
-            let bytes = field(line, "bytes")
-                .and_then(|v| v.parse().ok())
-                .ok_or(format!("bad byte count: {line}"))?;
-            let sha256 = field(line, "sha256").ok_or(format!("bad sha256: {line}"))?;
-            entries.push(ManifestEntry {
-                name: name.to_string(),
-                bytes,
-                sha256: sha256.to_string(),
-            });
+        let mut statuses = Vec::new();
+        for line in json.lines() {
+            if line.contains("\"name\"") {
+                let name = field(line, "name").ok_or(format!("bad manifest line: {line}"))?;
+                let bytes = field(line, "bytes")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("bad byte count: {line}"))?;
+                let sha256 = field(line, "sha256").ok_or(format!("bad sha256: {line}"))?;
+                entries.push(ManifestEntry {
+                    name: name.to_string(),
+                    bytes,
+                    sha256: sha256.to_string(),
+                });
+            } else if line.contains("\"id\"") {
+                let id = field(line, "id").ok_or(format!("bad status line: {line}"))?;
+                let status = field(line, "status").ok_or(format!("bad status: {line}"))?;
+                statuses.push(StatusEntry {
+                    id: id.to_string(),
+                    status: status.to_string(),
+                });
+            }
         }
         entries.sort_by(|a, b| a.name.cmp(&b.name));
-        Ok(Manifest { entries })
+        // Statuses keep their written (suite) order.
+        Ok(Manifest { entries, statuses })
     }
 
     /// Re-hashes every listed artifact under `dir` and reports drift.
@@ -230,5 +285,35 @@ mod tests {
         let a = Manifest::from_artifacts(&sample());
         let b = Manifest::from_artifacts(&sample());
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn empty_statuses_leave_the_json_unchanged() {
+        let m = Manifest::from_artifacts(&sample());
+        let clean = m.to_json();
+        assert_eq!(m.clone().with_statuses(Vec::new()).to_json(), clean);
+        assert!(!clean.contains("experiments"));
+    }
+
+    #[test]
+    fn statuses_round_trip_in_suite_order() {
+        let statuses = vec![
+            StatusEntry {
+                id: "zeta".into(),
+                status: "ok".into(),
+            },
+            StatusEntry {
+                id: "alpha".into(),
+                status: "timed-out".into(),
+            },
+        ];
+        let m = Manifest::from_artifacts(&sample()).with_statuses(statuses.clone());
+        let json = m.to_json();
+        assert!(json.contains("\"experiments\": ["));
+        assert!(json.contains("{\"id\": \"alpha\", \"status\": \"timed-out\"}"));
+        let parsed = Manifest::parse(&json).unwrap();
+        assert_eq!(parsed, m);
+        // Suite order is preserved, not sorted.
+        assert_eq!(parsed.statuses[0].id, "zeta");
     }
 }

@@ -1,0 +1,100 @@
+//! Property tests for the `.din` streaming parser: malformed input of
+//! any shape must surface as a typed [`DinError`], never a panic —
+//! hostile or truncated trace files degrade a run, they don't abort it.
+
+use proptest::prelude::*;
+use simtrace::din::{DinError, DinReader};
+use std::io::BufReader;
+
+/// Drains the parser over arbitrary bytes; the property under test is
+/// simply that this returns (no panic, no hang) with every record
+/// either parsed or a typed error.
+fn drain(bytes: &[u8]) -> (usize, usize) {
+    let mut ok = 0;
+    let mut err = 0;
+    for item in DinReader::new(BufReader::new(bytes)) {
+        match item {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                // Every error renders a message naming the cause.
+                assert!(!e.to_string().is_empty());
+                err += 1;
+            }
+        }
+    }
+    (ok, err)
+}
+
+/// Fragments that stress the tokenizer: valid records, junk labels,
+/// overlong hex, NULs, bare tokens, comments, blank space.
+fn line_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u8..3, any::<u64>()).prop_map(|(l, a)| format!("{l} {a:x}")),
+        (any::<u8>(), any::<u64>()).prop_map(|(l, a)| format!("{l} {a:x}")),
+        any::<u64>().prop_map(|a| format!("9 {a:x}")),
+        // 17+ hex digits overflow u64::from_str_radix.
+        any::<u64>().prop_map(|a| format!("2 fffffffffffffffff{a:x}")),
+        Just("2 0xzz".to_string()),
+        Just("justtoken".to_string()),
+        Just("# comment".to_string()),
+        Just(String::new()),
+        Just("   ".to_string()),
+        Just("2\u{0}400 12".to_string()),
+        Just("\u{0}\u{0}".to_string()),
+    ]
+}
+
+proptest! {
+    /// Arbitrary raw bytes (including invalid UTF-8 and NULs) never
+    /// panic the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        drain(&bytes);
+    }
+
+    /// Arbitrary compositions of record-shaped lines never panic, and
+    /// well-formed records among them still parse.
+    #[test]
+    fn line_soup_never_panics(lines in proptest::collection::vec(line_fragment(), 0..40)) {
+        let text = lines.join("\n");
+        let (ok, err) = drain(text.as_bytes());
+        let well_formed = lines.iter().filter(|l| {
+            let mut p = l.split_whitespace();
+            matches!(
+                (p.next(), p.next()),
+                (Some("0" | "1" | "2"), Some(a))
+                    if u64::from_str_radix(a.trim_start_matches("0x"), 16).is_ok()
+            )
+        }).count();
+        prop_assert!(ok >= well_formed, "parsed {ok} (+{err} errors), expected at least {well_formed}");
+    }
+}
+
+#[test]
+fn known_bad_inputs_are_typed_errors() {
+    let parse = |text: &[u8]| -> Result<Vec<_>, DinError> {
+        DinReader::new(BufReader::new(text)).collect()
+    };
+    // Label out of range.
+    assert!(matches!(
+        parse(b"7 400\n").unwrap_err(),
+        DinError::BadLabel { line: 1, .. }
+    ));
+    // Hex overflow: 17 f's exceed u64.
+    assert!(matches!(
+        parse(b"2 fffffffffffffffff\n").unwrap_err(),
+        DinError::Malformed { line: 1, .. }
+    ));
+    // Missing address token.
+    assert!(matches!(
+        parse(b"2\n").unwrap_err(),
+        DinError::Malformed { line: 1, .. }
+    ));
+    // Embedded NUL bytes are not whitespace and corrupt the tokens.
+    assert!(parse(b"2\x00400\n").is_err());
+    // Invalid UTF-8 surfaces as an I/O error from the line reader.
+    assert!(matches!(
+        parse(b"2 400\n\xff\xfe\n").unwrap_err(),
+        DinError::Io(_)
+    ));
+}

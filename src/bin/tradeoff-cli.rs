@@ -1,15 +1,21 @@
 //! The `tradeoff` command-line tool: price features, locate crossovers,
 //! pick line sizes, simulate proxies and search memory-system designs.
 //!
-//! See `tradeoff-cli help` for usage.
+//! See `tradeoff-cli help` for usage. Exit codes: `0` success, `1` one
+//! or more experiments failed (a `--keep-going` run still prints the
+//! partial suite document first), `2` bad usage, `3` manifest drift or
+//! artifact write failure.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match unified_tradeoff::cli::run(&args) {
+    match unified_tradeoff::cli::run_cli(&args) {
         Ok(report) => println!("{report}"),
-        Err(message) => {
-            eprintln!("{message}");
-            std::process::exit(2);
+        Err(err) => {
+            if let Some(partial) = err.partial_output() {
+                println!("{partial}");
+            }
+            eprintln!("{}", err.message());
+            std::process::exit(err.exit_code());
         }
     }
 }

@@ -27,6 +27,55 @@ use tradeoff::{mean_access_time, HitRatio, Machine, SystemConfig};
 /// A parsed `--key value` option map.
 pub type Options = BTreeMap<String, String>;
 
+/// A typed CLI failure carrying the exit code the binary maps it to.
+///
+/// The scheme matches the `exp` binary: `2` for bad usage (unknown
+/// subcommand, malformed options, filters matching nothing), `1` for
+/// experiment failures in a degraded run, `3` for manifest drift or an
+/// artifact that could not be written.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage — exit 2.
+    Usage(String),
+    /// One or more experiments failed — exit 1. `document` holds the
+    /// partial suite report to print on stdout before the summary.
+    Failure {
+        /// Partial suite document (may be empty for strict runs).
+        document: String,
+        /// One-line-per-failure summary for stderr.
+        summary: String,
+    },
+    /// Manifest drift or artifact write failure — exit 3.
+    Drift(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Failure { .. } => 1,
+            CliError::Usage(_) => 2,
+            CliError::Drift(_) => 3,
+        }
+    }
+
+    /// The user-facing message (stderr).
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Drift(m) => m,
+            CliError::Failure { summary, .. } => summary,
+        }
+    }
+
+    /// Partial output to print on stdout before the message, if any.
+    pub fn partial_output(&self) -> Option<&str> {
+        match self {
+            CliError::Failure { document, .. } if !document.is_empty() => Some(document),
+            _ => None,
+        }
+    }
+}
+
 /// Splits raw arguments into a subcommand and its `--key value` options.
 ///
 /// # Errors
@@ -57,8 +106,10 @@ fn usage() -> String {
      \u{20}           [--cache 8192] [--line 32] [--bus 4] [--beta 8]\n\
      design      --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]\n\
      experiments list\n\
-     experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR]\n\
-     experiments verify [--results-dir DIR] [--manifest FILE]"
+     experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR] [--keep-going]\n\
+     experiments verify [--results-dir DIR] [--manifest FILE]\n\
+     \n\
+     exit codes: 0 ok, 1 experiment failure, 2 bad usage, 3 manifest drift"
         .to_string()
 }
 
@@ -82,22 +133,55 @@ fn get_u64(opts: &Options, key: &str, default: Option<u64>) -> Result<u64, Strin
 
 /// Runs one CLI invocation and returns its report.
 ///
+/// Thin wrapper over [`run_cli`] that flattens the typed error to its
+/// message — the shape the unit tests (and any library callers) use.
+///
 /// # Errors
 ///
 /// Returns a user-facing message on bad arguments.
 pub fn run(args: &[String]) -> Result<String, String> {
+    run_cli(args).map_err(|e| e.message().to_string())
+}
+
+/// Runs one CLI invocation, keeping the typed [`CliError`] so the
+/// binary can map failures to distinct exit codes.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on bad arguments, [`CliError::Failure`] when
+/// experiments fail, [`CliError::Drift`] on manifest drift or write
+/// errors.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     if args.first().map(String::as_str) == Some("experiments") {
         return experiments(&args[1..]);
     }
-    let (cmd, opts) = parse_args(args)?;
+    let plain = |r: Result<String, String>| r.map_err(CliError::Usage);
+    let (cmd, opts) = parse_args(args).map_err(CliError::Usage)?;
     match cmd.as_str() {
-        "price" => price(&opts),
-        "crossover" => crossover(&opts),
-        "linesize" => linesize(&opts),
-        "simulate" => simulate(&opts),
-        "design" => design(&opts),
+        "price" => plain(price(&opts)),
+        "crossover" => plain(crossover(&opts)),
+        "linesize" => plain(linesize(&opts)),
+        "simulate" => plain(simulate(&opts)),
+        "design" => plain(design(&opts)),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// Maps a [`bench::Error`] from the suite driver to the CLI's typed
+/// error: no-match filters are usage, experiment failures are failures,
+/// write errors are drift-class (the results directory is suspect).
+fn from_bench(e: bench::Error) -> CliError {
+    match e {
+        bench::Error::NoMatch { .. } => CliError::Usage(e.to_string()),
+        bench::Error::Experiment { .. } => CliError::Failure {
+            document: String::new(),
+            summary: e.to_string(),
+        },
+        bench::Error::Write { .. } => CliError::Drift(e.to_string()),
     }
 }
 
@@ -106,13 +190,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
 ///
 /// # Errors
 ///
-/// Returns a user-facing message on bad arguments, unknown experiments
-/// or manifest drift.
-fn experiments(args: &[String]) -> Result<String, String> {
+/// Returns a typed error on bad arguments, unknown experiments or
+/// manifest drift.
+fn experiments(args: &[String]) -> Result<String, CliError> {
+    // `--keep-going` is a bare flag; the option grammar is strictly
+    // `--key value` pairs, so strip it before parsing.
+    let keep_going = args.iter().any(|a| a == "--keep-going");
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--keep-going")
+        .cloned()
+        .collect();
     let (action, opts) = if args.is_empty() {
         ("list".to_string(), Options::new())
     } else {
-        parse_args(args)?
+        parse_args(&args).map_err(CliError::Usage)?
     };
     match action.as_str() {
         "list" => {
@@ -129,16 +221,21 @@ fn experiments(args: &[String]) -> Result<String, String> {
         }
         "run" => {
             let filter = opts.get("filter").cloned().unwrap_or_default();
-            let jobs = get_u64(&opts, "jobs", Some(1))? as usize;
+            let jobs = get_u64(&opts, "jobs", Some(1)).map_err(CliError::Usage)? as usize;
             let dir = opts
                 .get("results-dir")
                 .map_or_else(bench::common::results_dir, std::path::PathBuf::from);
-            let sched_opts = bench::sched::SuiteOptions {
-                jobs,
-                ctx: bench::registry::RunCtx::standard(),
-            };
-            let outcome = bench::sched::drive(&filter, &sched_opts, &dir)?;
+            let sched_opts =
+                bench::sched::SuiteOptions::new(jobs, bench::registry::RunCtx::standard())
+                    .keep_going(keep_going);
+            let outcome = bench::sched::drive(&filter, &sched_opts, &dir).map_err(from_bench)?;
             eprintln!("{}", outcome.run.footer());
+            if outcome.run.has_failures() {
+                return Err(CliError::Failure {
+                    document: outcome.run.document(),
+                    summary: outcome.run.failure_summary(),
+                });
+            }
             Ok(outcome.run.document())
         }
         "verify" => {
@@ -148,9 +245,10 @@ fn experiments(args: &[String]) -> Result<String, String> {
             let manifest_path = opts
                 .get("manifest")
                 .map_or_else(|| dir.join(report::MANIFEST_NAME), std::path::PathBuf::from);
-            let json = std::fs::read_to_string(&manifest_path)
-                .map_err(|e| format!("reading {}: {e}", manifest_path.display()))?;
-            let manifest = report::Manifest::parse(&json)?;
+            let json = std::fs::read_to_string(&manifest_path).map_err(|e| {
+                CliError::Usage(format!("reading {}: {e}", manifest_path.display()))
+            })?;
+            let manifest = report::Manifest::parse(&json).map_err(CliError::Usage)?;
             let drift = manifest.verify_dir(&dir);
             if drift.is_empty() {
                 Ok(format!(
@@ -159,14 +257,19 @@ fn experiments(args: &[String]) -> Result<String, String> {
                     manifest_path.display()
                 ))
             } else {
-                Err(drift
-                    .iter()
-                    .map(|d| format!("drift: {d}"))
-                    .collect::<Vec<_>>()
-                    .join("\n"))
+                Err(CliError::Drift(
+                    drift
+                        .iter()
+                        .map(|d| format!("drift: {d}"))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                ))
             }
         }
-        other => Err(format!("unknown experiments action {other:?}\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown experiments action {other:?}\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -462,6 +565,39 @@ mod tests {
         assert!(run(&argv("experiments frobnicate")).is_err());
         let err = run(&argv("experiments verify --results-dir /no/such/dir")).unwrap_err();
         assert!(err.contains("reading"), "{err}");
+    }
+
+    #[test]
+    fn cli_errors_map_to_distinct_exit_codes() {
+        let usage = run_cli(&argv("frobnicate")).unwrap_err();
+        assert_eq!(usage.exit_code(), 2);
+        // A filter matching nothing is bad usage, not an empty success.
+        let nomatch = run_cli(&argv("experiments run --filter no-such-tag")).unwrap_err();
+        assert_eq!(nomatch.exit_code(), 2);
+        assert!(nomatch.message().contains("no experiment matches"));
+        let drift = CliError::Drift("x".into());
+        assert_eq!(drift.exit_code(), 3);
+        assert!(drift.partial_output().is_none());
+        let failure = CliError::Failure {
+            document: "partial\n".into(),
+            summary: "fig2: failed".into(),
+        };
+        assert_eq!(failure.exit_code(), 1);
+        assert_eq!(failure.partial_output(), Some("partial\n"));
+        assert_eq!(failure.message(), "fig2: failed");
+    }
+
+    #[test]
+    fn keep_going_flag_is_accepted() {
+        let dir = std::env::temp_dir().join("cli_keep_going_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&argv(&format!(
+            "experiments run --keep-going --filter fig2 --results-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("================ Figure 2 ================"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

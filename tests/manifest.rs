@@ -19,16 +19,8 @@ fn serial_and_parallel_manifests_are_identical_and_verify() {
     let serial_dir = tmp_dir("serial");
     let parallel_dir = tmp_dir("parallel");
 
-    let serial = drive(
-        "all",
-        &SuiteOptions {
-            jobs: 1,
-            ctx: ctx.clone(),
-        },
-        &serial_dir,
-    )
-    .expect("serial run");
-    let parallel = drive("all", &SuiteOptions { jobs: 4, ctx }, &parallel_dir).expect("jobs run");
+    let serial = drive("all", &SuiteOptions::new(1, ctx.clone()), &serial_dir).expect("serial run");
+    let parallel = drive("all", &SuiteOptions::new(4, ctx), &parallel_dir).expect("jobs run");
 
     let m_serial = serial.manifest.expect("full runs write a manifest");
     let m_parallel = parallel.manifest.expect("full runs write a manifest");
@@ -62,10 +54,7 @@ fn filtered_runs_write_artifacts_but_no_manifest() {
     let dir = tmp_dir("filtered");
     let outcome = drive(
         "fig2",
-        &SuiteOptions {
-            jobs: 1,
-            ctx: RunCtx::with_instructions(2_000),
-        },
+        &SuiteOptions::new(1, RunCtx::with_instructions(2_000)),
         &dir,
     )
     .expect("filtered run");
@@ -80,12 +69,9 @@ fn empty_selection_is_an_error() {
     let dir = tmp_dir("empty");
     let err = drive(
         "no-such-tag",
-        &SuiteOptions {
-            jobs: 1,
-            ctx: RunCtx::with_instructions(100),
-        },
+        &SuiteOptions::new(1, RunCtx::with_instructions(100)),
         &dir,
     )
     .unwrap_err();
-    assert!(err.contains("no experiment matches"));
+    assert!(err.to_string().contains("no experiment matches"));
 }

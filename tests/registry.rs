@@ -60,7 +60,15 @@ fn ids_are_unique() {
 fn every_experiment_module_is_registered_exactly_once() {
     // Infrastructure modules carry no experiment; everything else in the
     // bench crate must appear in the registry.
-    let infra = ["common", "exec", "tracestore", "registry", "sched"];
+    let infra = [
+        "common",
+        "error",
+        "exec",
+        "fault",
+        "tracestore",
+        "registry",
+        "sched",
+    ];
     let lib = std::fs::read_to_string(
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/src/lib.rs"),
     )
@@ -109,14 +117,8 @@ fn serial_and_parallel_suite_documents_are_identical() {
         "fig1/3/4/5, validate, nb, linesize, sweep"
     );
     let ctx = RunCtx::with_instructions(2_000);
-    let serial = run_suite(
-        &selection,
-        &SuiteOptions {
-            jobs: 1,
-            ctx: ctx.clone(),
-        },
-    );
-    let parallel = run_suite(&selection, &SuiteOptions { jobs: 4, ctx });
+    let serial = run_suite(&selection, &SuiteOptions::new(1, ctx.clone()));
+    let parallel = run_suite(&selection, &SuiteOptions::new(4, ctx));
     assert_eq!(serial.document(), parallel.document());
     let footer = parallel.footer();
     for e in &selection {
