@@ -5,11 +5,15 @@
 #                    clippy + manifest (committed results/ hash-verified
 #                    against a fresh parallel suite run) + faults (canned
 #                    fault plan degrades the suite instead of killing it)
+#                    + stream (1 M-instruction streaming smoke with an
+#                    RSS ceiling and a materialised oracle comparison)
 #   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
-#                    grid) and BENCH_phi.json (figure-1 timeline engine)
+#                    grid), BENCH_phi.json (figure-1 timeline engine) and
+#                    BENCH_stream.json (5 M-instruction chunked pipeline)
 #                    from the criterion benches (slow; perf-sensitive PRs)
 #   ./ci.sh manifest run only the manifest staleness check
 #   ./ci.sh faults   run only the fault-injection degradation check
+#   ./ci.sh stream   run only the streaming smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -56,6 +60,15 @@ faults_check() {
     rm -rf "$tmp"
 }
 
+stream_check() {
+    echo "==> stream: 1 M-instruction chunked pipeline, bounded RSS + oracle"
+    # The streamed folds must stay byte-identical to the materialise-
+    # then-scan oracle, and peak RSS must stay far below the 24 MB a
+    # materialised 1 M-instruction trace would pin (the binary checks
+    # VmHWM before its oracle pass materialises anything).
+    cargo run --release -q -p bench --bin stream_smoke --         --instructions 1000000 --rss-limit-mb 64
+}
+
 if [[ "${1:-}" == "manifest" ]]; then
     cargo build --release
     manifest_check
@@ -66,6 +79,13 @@ fi
 if [[ "${1:-}" == "faults" ]]; then
     cargo build --release
     faults_check
+    echo "CI green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "stream" ]]; then
+    cargo build --release
+    stream_check
     echo "CI green."
     exit 0
 fi
@@ -84,6 +104,7 @@ cargo clippy --all-targets -- -D warnings
 
 manifest_check
 faults_check
+stream_check
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"
@@ -92,6 +113,9 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-1 timeline-engine benchmark (writes BENCH_phi.json)"
     cargo bench -p bench --bench phi
     cat BENCH_phi.json
+    echo "==> perf: streaming chunked-pipeline benchmark (writes BENCH_stream.json)"
+    cargo bench -p bench --bench stream
+    cat BENCH_stream.json
 fi
 
 echo "CI green."

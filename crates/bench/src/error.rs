@@ -200,7 +200,7 @@ mod tests {
         assert_eq!(*guard, 7);
         drop(guard);
         // Poison is cleared: the next lock is clean.
-        let (_, recovered) = lock_recovering(&m);
+        let (_guard, recovered) = lock_recovering(&m);
         assert!(!recovered);
     }
 }

@@ -47,6 +47,7 @@ pub mod registry;
 pub mod reuse;
 pub mod sched;
 pub mod sector;
+pub mod stream;
 pub mod sweep;
 pub mod table23;
 pub mod tracestore;

@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn unknown_filters_are_typed_errors() {
         assert_eq!(matching_or_err("fig1").unwrap().len(), 1);
-        let err = matching_or_err("no-such-filter").unwrap_err();
+        let err = matching_or_err("no-such-filter")
+            .map(|m| m.len())
+            .unwrap_err();
         assert!(err.to_string().contains("no experiment matches"));
     }
 

@@ -289,13 +289,26 @@ impl SuiteRun {
                 format!("{}/{}", o.store.timeline_hits, o.store.timeline_misses),
             ]);
         }
-        format!(
+        let mut out = format!(
             "suite: {} experiments in {:.3}s; trace store: {}\n{}",
             self.outcomes.len(),
             self.wall.as_secs_f64(),
             self.store.summary(),
             t.render()
-        )
+        );
+        // Byte accounting of what is still materialised: per-entry
+        // sizes plus the total the REPRO_TRACE_BUDGET cap acts on.
+        let entries = tracestore::resident_entries();
+        out.push_str(&format!(
+            "trace store resident: {} bytes in {} traces",
+            tracestore::bytes_resident(),
+            entries.len()
+        ));
+        for (name, seed, bytes) in entries {
+            out.push_str(&format!("\n  {name}@{seed:#x}: {bytes} bytes"));
+        }
+        out.push('\n');
+        out
     }
 }
 
@@ -745,6 +758,10 @@ mod tests {
         }
         assert!(footer.contains("trace store:"));
         assert!(footer.contains("ok"));
+        assert!(
+            footer.contains("trace store resident:") && footer.contains("bytes in"),
+            "footer must report resident trace bytes:\n{footer}"
+        );
     }
 
     #[test]

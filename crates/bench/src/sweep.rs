@@ -4,17 +4,17 @@
 //! the whole (cache size × line size) grid for each workload?" — used
 //! to cost one full trace replay per grid point. The sweep engine
 //! answers it with one [`StackDistSweep`] pass per line size
-//! (`O(|lines| · N)` instead of `O(|sizes| · |lines| · N)`), and the
-//! [`crate::exec`] pool fans the workload × line-size jobs across
-//! cores, with each workload's trace materialised once and shared
-//! read-only by all of its jobs.
+//! (`O(|lines| · N)` instead of `O(|sizes| · |lines| · N)`), fed by the
+//! chunked [`stream`] pipeline: the trace is generated (or folded from
+//! the store) in bounded blocks and broadcast to every line-size sink,
+//! so the sweep runs paper-scale traces without paper-scale memory.
 
-use crate::exec;
 use crate::registry::{ExpReport, Experiment, RunCtx};
+use crate::stream;
 use report::{Artifact, Table};
 use simcache::explore::HitRatioPoint;
 use simcache::stackdist::StackDistSweep;
-use simtrace::spec92::Spec92Program;
+use simtrace::spec92::{spec92_trace, Spec92Program};
 use smithval::TableModel;
 use std::path::Path;
 
@@ -81,9 +81,13 @@ pub struct WorkloadSweep {
     pub points: Vec<HitRatioPoint>,
 }
 
-/// Sweeps the grid for every workload: traces are materialised once per
-/// workload (in parallel), then every (workload, line size) pair
-/// becomes one single-pass sweep job on the executor pool.
+/// Sweeps the grid for every workload, streaming: each workload's trace
+/// is chunked ([`stream`]) into one [`StackDistSweep`] sink per line
+/// size — already-materialised traces are folded in place
+/// ([`stream::fold_slice`]), cold ones run the generate→fold pipeline
+/// ([`stream::broadcast`]) without ever pinning the full trace, so peak
+/// trace-resident memory is a few `REPRO_STREAM_CHUNK` blocks no matter
+/// how long the trace is.
 ///
 /// # Panics
 ///
@@ -93,27 +97,34 @@ pub fn run_sweep(
     grid: &SweepGrid,
     instructions: usize,
 ) -> Vec<WorkloadSweep> {
-    let traces: Vec<crate::tracestore::TraceHandle> = exec::parallel_map(programs, |&p| {
-        crate::tracestore::spec_trace(p, SWEEP_SEED, instructions)
-    });
-
-    let jobs: Vec<(usize, u64)> = (0..programs.len())
-        .flat_map(|pi| grid.line_sizes.iter().map(move |&l| (pi, l)))
+    let chunk = stream::chunk_instructions();
+    let sweeps: Vec<Vec<StackDistSweep>> = programs
+        .iter()
+        .map(|&program| {
+            let sinks: Vec<StackDistSweep> = grid
+                .line_sizes
+                .iter()
+                .map(|&line_bytes| {
+                    StackDistSweep::new_range(
+                        line_bytes,
+                        grid.min_sets(line_bytes).trailing_zeros(),
+                        grid.max_sets(line_bytes).trailing_zeros(),
+                        grid.assoc,
+                        grid.warmup,
+                    )
+                    .expect("valid grid line size")
+                })
+                .collect();
+            match crate::tracestore::resident_trace(program, SWEEP_SEED, instructions) {
+                Some(trace) => stream::fold_slice(trace.instrs(), chunk, sinks),
+                None => stream::broadcast(
+                    spec92_trace(program, SWEEP_SEED).take(instructions),
+                    chunk,
+                    sinks,
+                ),
+            }
+        })
         .collect();
-    let sweeps: Vec<StackDistSweep> = exec::parallel_map(&jobs, |&(pi, line_bytes)| {
-        let mut sweep = StackDistSweep::new_range(
-            line_bytes,
-            grid.min_sets(line_bytes).trailing_zeros(),
-            grid.max_sets(line_bytes).trailing_zeros(),
-            grid.assoc,
-            grid.warmup,
-        )
-        .expect("valid grid line size");
-        for instr in traces[pi].iter() {
-            sweep.process(*instr);
-        }
-        sweep
-    });
 
     programs
         .iter()
@@ -122,7 +133,7 @@ pub fn run_sweep(
             let mut points = Vec::with_capacity(grid.points());
             for &cache_bytes in &grid.cache_sizes {
                 for (li, &line_bytes) in grid.line_sizes.iter().enumerate() {
-                    let sweep = &sweeps[pi * grid.line_sizes.len() + li];
+                    let sweep = &sweeps[pi][li];
                     let sets = cache_bytes / (line_bytes * u64::from(grid.assoc));
                     let stats = sweep.stats(sets.trailing_zeros(), grid.assoc);
                     points.push(HitRatioPoint {

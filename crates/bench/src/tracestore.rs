@@ -14,16 +14,27 @@
 //! keeps the longest materialisation per (program, seed) and hands out
 //! prefix views.
 //!
+//! Timelines are extracted *streamingly*: a cold lookup folds the
+//! chunked generator straight into a [`simcpu::MissTimelineBuilder`]
+//! without ever materialising the trace, so fold-only experiments keep
+//! at most one chunk of instructions resident (`REPRO_STREAM_CHUNK`,
+//! see `DESIGN.md` §12). Only [`spec_trace`] pins full traces, and
+//! those materialisations are byte-accounted ([`bytes_resident`]) and
+//! capped: set `REPRO_TRACE_BUDGET` (bytes, with optional `k`/`m`/`g`
+//! suffix) to evict least-recently-used traces above the cap.
+//!
 //! Set `REPRO_TRACE_CACHE=0` to disable memoisation (every call then
 //! regenerates from scratch — useful for memory-constrained runs and for
 //! A/B-testing the cache itself).
 
 use crate::error::lock_recovering;
 use crate::fault::{self, Site};
+use crate::stream;
 use simcache::CacheConfig;
-use simcpu::MissTimeline;
+use simcpu::{MissTimeline, MissTimelineBuilder};
+use simtrace::chunk::spec92_chunks;
 use simtrace::spec92::{spec92_trace, Spec92Program};
-use simtrace::Instr;
+use simtrace::{Instr, INSTR_BYTES};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -127,11 +138,53 @@ fn memoise() -> bool {
     std::env::var("REPRO_TRACE_CACHE").map_or(true, |v| v != "0")
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` (×1024) suffix,
+/// case-insensitively: `"8m"` → 8 MiB.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match t.as_bytes()[t.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mult)
+        }
+        None => (t.as_str(), 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// The `REPRO_TRACE_BUDGET` cap on materialised trace bytes, if set.
+fn trace_budget() -> Option<u64> {
+    parse_bytes(&std::env::var("REPRO_TRACE_BUDGET").ok()?)
+}
+
 type TraceKey = (Spec92Program, u64);
 type TimelineKey = (Spec92Program, u64, usize, CacheConfig);
 
-fn traces() -> &'static Mutex<HashMap<TraceKey, Arc<Vec<Instr>>>> {
-    static STORE: OnceLock<Mutex<HashMap<TraceKey, Arc<Vec<Instr>>>>> = OnceLock::new();
+/// A materialised trace plus its LRU stamp for budget eviction.
+struct TraceEntry {
+    data: Arc<Vec<Instr>>,
+    last_use: u64,
+}
+
+impl TraceEntry {
+    fn bytes(&self) -> u64 {
+        (self.data.len() * INSTR_BYTES) as u64
+    }
+}
+
+/// Monotonic use counter stamping [`TraceEntry::last_use`].
+static TICK: AtomicU64 = AtomicU64::new(0);
+
+fn tick() -> u64 {
+    TICK.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+fn traces() -> &'static Mutex<HashMap<TraceKey, TraceEntry>> {
+    static STORE: OnceLock<Mutex<HashMap<TraceKey, TraceEntry>>> = OnceLock::new();
     STORE.get_or_init(Mutex::default)
 }
 
@@ -142,6 +195,72 @@ fn timelines() -> &'static Mutex<HashMap<TimelineKey, Arc<MissTimeline>>> {
 
 fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
     Arc::new(spec92_trace(program, seed).take(len).collect())
+}
+
+/// Evicts least-recently-used traces (other than `keep`, which the
+/// caller is handing out right now) until the store fits the
+/// `REPRO_TRACE_BUDGET` cap. Outstanding [`TraceHandle`]s keep their
+/// `Arc` backing alive; eviction only drops the store's reference.
+fn enforce_budget(store: &mut HashMap<TraceKey, TraceEntry>, keep: TraceKey) {
+    enforce_budget_with(store, keep, trace_budget());
+}
+
+fn enforce_budget_with(
+    store: &mut HashMap<TraceKey, TraceEntry>,
+    keep: TraceKey,
+    budget: Option<u64>,
+) {
+    let Some(budget) = budget else { return };
+    let mut total: u64 = store.values().map(TraceEntry::bytes).sum();
+    while total > budget {
+        let victim = store
+            .iter()
+            .filter(|(k, _)| **k != keep)
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| *k);
+        let Some(victim) = victim else { break };
+        if let Some(evicted) = store.remove(&victim) {
+            total -= evicted.bytes();
+        }
+    }
+}
+
+/// Bytes of trace data currently materialised in the store.
+pub fn bytes_resident() -> u64 {
+    lock_store(traces()).values().map(TraceEntry::bytes).sum()
+}
+
+/// The materialised traces — `(program name, seed, bytes)` in
+/// deterministic (name, seed) order — for the scheduler footer.
+pub fn resident_entries() -> Vec<(&'static str, u64, u64)> {
+    let store = lock_store(traces());
+    let mut entries: Vec<_> = store
+        .iter()
+        .map(|((program, seed), e)| (program.name(), *seed, e.bytes()))
+        .collect();
+    drop(store);
+    entries.sort_unstable();
+    entries
+}
+
+/// A `len`-instruction prefix view of an already-materialised trace, if
+/// the store holds one — the zero-cost path streaming folds probe
+/// before regenerating. Counts a trace hit (and refreshes the LRU
+/// stamp) only when it returns a handle.
+pub fn resident_trace(program: Spec92Program, seed: u64, len: usize) -> Option<TraceHandle> {
+    if !memoise() {
+        return None;
+    }
+    let mut store = lock_store(traces());
+    let entry = store
+        .get_mut(&(program, seed))
+        .filter(|e| e.data.len() >= len)?;
+    entry.last_use = tick();
+    TRACE_HITS.fetch_add(1, Ordering::Relaxed);
+    Some(TraceHandle {
+        data: Arc::clone(&entry.data),
+        len,
+    })
 }
 
 /// The first `len` instructions of a SPEC92 proxy trace, materialised at
@@ -157,25 +276,54 @@ pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle 
     }
     let mut store = lock_store(traces());
     fault::check_or_unwind(Site::Lock);
-    let entry = store
-        .entry((program, seed))
-        .or_insert_with(|| Arc::new(Vec::new()));
-    if entry.len() < len {
+    let key = (program, seed);
+    let entry = store.entry(key).or_insert_with(|| TraceEntry {
+        data: Arc::new(Vec::new()),
+        last_use: 0,
+    });
+    if entry.data.len() < len {
         fault::check_or_unwind(Site::Extract);
-        *entry = generate(program, seed, len);
+        entry.data = generate(program, seed, len);
         TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
     } else {
         TRACE_HITS.fetch_add(1, Ordering::Relaxed);
     }
-    TraceHandle {
-        data: Arc::clone(entry),
+    entry.last_use = tick();
+    let handle = TraceHandle {
+        data: Arc::clone(&entry.data),
         len,
+    };
+    enforce_budget(&mut store, key);
+    handle
+}
+
+/// Streams the proxy trace through a timeline builder without pinning
+/// it: an already-materialised trace is folded in place, a cold one is
+/// generated chunk by chunk (at most one `REPRO_STREAM_CHUNK` block
+/// resident at a time).
+fn extract_streaming(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    cache: &CacheConfig,
+) -> MissTimeline {
+    let chunk = stream::chunk_instructions();
+    let mut builder = MissTimelineBuilder::new(*cache);
+    if let Some(trace) = resident_trace(program, seed, len) {
+        for block in trace.chunks(chunk) {
+            builder.process_slice(block);
+        }
+    } else {
+        spec92_chunks(program, seed, len, chunk)
+            .for_each_chunk(|block| builder.process_slice(block));
     }
+    builder.finish()
 }
 
 /// The [`MissTimeline`] of a SPEC92 proxy prefix under `cache`,
 /// extracted at most once per (program, seed, length, cache geometry)
-/// process-wide.
+/// process-wide. Extraction streams the trace ([`extract_streaming`]) —
+/// a timeline lookup never materialises instructions.
 pub fn spec_timeline(
     program: Spec92Program,
     seed: u64,
@@ -185,20 +333,22 @@ pub fn spec_timeline(
     if !memoise() {
         fault::check_or_unwind(Site::Extract);
         TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
-        let trace = spec_trace(program, seed, len);
-        return Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
+        return Arc::new(extract_streaming(program, seed, len, cache));
     }
     let key = (program, seed, len, *cache);
-    if let Some(tl) = lock_store(timelines()).get(&key) {
-        TIMELINE_HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(tl);
+    {
+        let store = lock_store(timelines());
+        fault::check_or_unwind(Site::Lock);
+        if let Some(tl) = store.get(&key) {
+            TIMELINE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(tl);
+        }
     }
     fault::check_or_unwind(Site::Extract);
     TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
     // Extract outside the lock: concurrent workers may duplicate the
     // pass (first insertion wins) but never serialise behind it.
-    let trace = spec_trace(program, seed, len);
-    let tl = Arc::new(MissTimeline::extract(*cache, trace.iter().copied()));
+    let tl = Arc::new(extract_streaming(program, seed, len, cache));
     Arc::clone(lock_store(timelines()).entry(key).or_insert(tl))
 }
 
@@ -242,5 +392,97 @@ mod tests {
         );
         let direct = MissTimeline::extract(cache, spec92_trace(Spec92Program::Ear, 42).take(4_000));
         assert_eq!(*first, direct);
+    }
+
+    #[test]
+    fn byte_suffixes_parse() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("4k"), Some(4096));
+        assert_eq!(parse_bytes("2M"), Some(2 << 20));
+        assert_eq!(parse_bytes(" 1g "), Some(1 << 30));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("twelve"), None);
+        assert_eq!(parse_bytes("k"), None);
+    }
+
+    fn entry(n_instrs: usize, last_use: u64) -> TraceEntry {
+        TraceEntry {
+            data: Arc::new(vec![Instr::plain(0u64); n_instrs]),
+            last_use,
+        }
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let a = (Spec92Program::Nasa7, 1);
+        let b = (Spec92Program::Ear, 2);
+        let c = (Spec92Program::Doduc, 3);
+        let mut store = HashMap::new();
+        store.insert(a, entry(100, 5)); // 2400 B, most recent
+        store.insert(b, entry(100, 1)); // 2400 B, oldest
+        store.insert(c, entry(100, 3)); // 2400 B
+                                        // Budget for two entries: the oldest (b) goes first.
+        enforce_budget_with(&mut store, a, Some(4_800));
+        assert!(store.contains_key(&a) && store.contains_key(&c));
+        assert!(!store.contains_key(&b));
+        // Unset budget never evicts.
+        enforce_budget_with(&mut store, a, None);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn budget_never_evicts_the_trace_being_handed_out() {
+        let a = (Spec92Program::Nasa7, 1);
+        let b = (Spec92Program::Ear, 2);
+        let mut store = HashMap::new();
+        store.insert(a, entry(1_000, 1)); // oldest AND just-used
+        store.insert(b, entry(1_000, 2));
+        // Budget fits nothing: everything but `keep` is evicted.
+        enforce_budget_with(&mut store, a, Some(0));
+        assert!(store.contains_key(&a), "the handed-out trace must survive");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn resident_probe_sees_only_materialised_prefixes() {
+        let seed = 0x5EED_0001; // unique to this test: no cross-test interference
+        let program = Spec92Program::Wave5;
+        assert!(resident_trace(program, seed, 100).is_none());
+        let full = spec_trace(program, seed, 2_000);
+        let probe = resident_trace(program, seed, 1_500).expect("prefix is resident");
+        assert_eq!(&full.instrs()[..1_500], probe.instrs());
+        assert!(
+            resident_trace(program, seed, 3_000).is_none(),
+            "longer than materialised must miss"
+        );
+    }
+
+    #[test]
+    fn byte_accounting_tracks_materialisations() {
+        let seed = 0x5EED_0002;
+        let before = bytes_resident();
+        let _t = spec_trace(Spec92Program::Hydro2d, seed, 1_000);
+        let after = bytes_resident();
+        assert_eq!(after - before, (1_000 * INSTR_BYTES) as u64);
+        assert!(resident_entries()
+            .iter()
+            .any(|&(name, s, bytes)| name == "hydro2d"
+                && s == seed
+                && bytes == (1_000 * INSTR_BYTES) as u64));
+    }
+
+    #[test]
+    fn streaming_extraction_matches_whole_trace_extraction() {
+        let cache = figure1_cache(32);
+        let seed = 0x5EED_0003;
+        // Cold path: nothing resident, generation is chunked.
+        let cold = extract_streaming(Spec92Program::Swm256, seed, 6_000, &cache);
+        let direct =
+            MissTimeline::extract(cache, spec92_trace(Spec92Program::Swm256, seed).take(6_000));
+        assert_eq!(cold, direct);
+        // Warm path: folds the resident slice instead.
+        let _pin = spec_trace(Spec92Program::Swm256, seed, 6_000);
+        let warm = extract_streaming(Spec92Program::Swm256, seed, 6_000, &cache);
+        assert_eq!(warm, direct);
     }
 }

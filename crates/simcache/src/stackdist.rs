@@ -20,8 +20,10 @@
 //! hit-or-miss via `d_k < A`, and no tracked associativity exceeds
 //! `max_assoc` — so only the top `max_assoc` positions of each set's
 //! LRU stack are ever observable, and the engine stores exactly those:
-//! per level, per set, a small contiguous array of `(line, threshold)`
-//! entries in MRU order. An access scans the row (capped distance
+//! per level, per set, a small contiguous run of resident lines in MRU
+//! order, with clean thresholds in a parallel array (structure-of-
+//! arrays: the depth scan touches lines only). An access scans the row
+//! (capped distance
 //! `max_assoc` means "missed everywhere"), shifts the shallower entries
 //! down one slot, and reinserts `x` at the front — one or two cache
 //! lines touched per level, no pointer chasing, no hash lookups. Each
@@ -174,22 +176,20 @@ impl Counters {
     }
 }
 
-/// One stack position of one set: the resident line and its clean
-/// threshold `M_k` (the line is dirty in `(2^k, A)` iff `A > m`;
-/// thresholds at or above `max_assoc` mean "clean everywhere tracked").
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line: u64,
-    m: u16,
-}
-
-const EMPTY_ENTRY: Entry = Entry {
-    line: 0,
-    m: EMPTY_M,
-};
+/// Instructions per block of the slice-processing fast path: the
+/// reference-extraction pre-pass runs over fixed-width `chunks_exact`
+/// blocks (no data-dependent control flow), which the stable-Rust
+/// autovectorizer turns into straight-line SIMD-friendly code.
+const BLOCK: usize = 32;
 
 /// A single-pass exact sweep over every power-of-two LRU configuration
 /// at one line size. See the [module docs](self) for the algorithm.
+///
+/// The per-set stacks are stored structure-of-arrays: the depth scan —
+/// the hottest loop of the whole sweep — touches only the contiguous
+/// `u64` line array (8 bytes/slot instead of a 16-byte interleaved
+/// entry), and the clean thresholds live in a parallel `u16` array read
+/// only on the writeback walk and the reinsert.
 #[derive(Debug, Clone)]
 pub struct StackDistSweep {
     line_bytes: u64,
@@ -199,10 +199,15 @@ pub struct StackDistSweep {
     max_assoc: u32,
     warmup: u64,
     instrs: u64,
-    /// Truncated per-set LRU stacks: level `k = kmin + lvl` keeps its
-    /// set `s`'s top `max_assoc` positions, MRU first, at
-    /// `rows[lvl][s * max_assoc..][..max_assoc]`.
-    rows: Vec<Vec<Entry>>,
+    /// Truncated per-set LRU stacks, lines only: level `k = kmin + lvl`
+    /// keeps its set `s`'s top `max_assoc` resident lines, MRU first,
+    /// at `lines[lvl][s * max_assoc..][..max_assoc]`.
+    lines: Vec<Vec<u64>>,
+    /// Clean thresholds `M_k` parallel to `lines` (the line is dirty in
+    /// `(2^k, A)` iff `A > m`; `EMPTY_M` marks an unoccupied slot;
+    /// live thresholds at or above `max_assoc` mean "clean everywhere
+    /// tracked").
+    marks: Vec<Vec<u16>>,
     totals: Counters,
     /// Totals frozen when `instrs` reached `warmup` (the moment
     /// `measure_dcache` resets its statistics).
@@ -272,8 +277,11 @@ impl StackDistSweep {
             max_assoc,
             warmup,
             instrs: 0,
-            rows: (min_sets_log2..=max_sets_log2)
-                .map(|k| vec![EMPTY_ENTRY; (1usize << k) * max_assoc as usize])
+            lines: (min_sets_log2..=max_sets_log2)
+                .map(|k| vec![0u64; (1usize << k) * max_assoc as usize])
+                .collect(),
+            marks: (min_sets_log2..=max_sets_log2)
+                .map(|k| vec![EMPTY_M; (1usize << k) * max_assoc as usize])
                 .collect(),
             totals: Counters::new(levels, max_assoc),
             warm_base: None,
@@ -332,31 +340,103 @@ impl StackDistSweep {
         }
     }
 
+    /// Feeds a block of instructions — the streaming-chunk entry point,
+    /// bit-identical to calling [`StackDistSweep::process`] per
+    /// instruction (including the exact warm-up snapshot instant, which
+    /// may fall inside the slice).
+    ///
+    /// The slice path amortises the warm-up bookkeeping out of the
+    /// inner loop and extracts references blockwise ahead of the stack
+    /// walk, so the per-access state machine runs on compacted
+    /// (kind, line) pairs instead of 24-byte instructions.
+    pub fn process_slice(&mut self, instrs: &[Instr]) {
+        let mut rest = instrs;
+        // The warm-up boundary splits the slice: the snapshot must be
+        // taken exactly when the instruction count reaches `warmup`.
+        if self.warm_base.is_none() && self.warmup > self.instrs {
+            let until = (self.warmup - self.instrs) as usize;
+            if until <= rest.len() {
+                let (head, tail) = rest.split_at(until);
+                self.burst(head);
+                self.warm_base = Some(self.totals.clone());
+                rest = tail;
+            }
+        }
+        self.burst(rest);
+    }
+
+    /// Processes a warm-up-free run of instructions. The extraction
+    /// pre-pass has no data-dependent control flow over each
+    /// `chunks_exact` block, so it autovectorizes on stable Rust; the
+    /// stack walk then consumes the compacted reference stream.
+    fn burst(&mut self, instrs: &[Instr]) {
+        let shift = self.line_shift;
+        let mut lines = [0u64; BLOCK];
+        let mut kinds = [0u8; BLOCK]; // 0 = none, 1 = load, 2 = store
+        let mut blocks = instrs.chunks_exact(BLOCK);
+        for block in blocks.by_ref() {
+            for (i, instr) in block.iter().enumerate() {
+                match instr.mem {
+                    Some(m) => {
+                        lines[i] = m.addr.raw() >> shift;
+                        kinds[i] = 1 + m.op.is_store() as u8;
+                    }
+                    None => kinds[i] = 0,
+                }
+            }
+            for i in 0..BLOCK {
+                match kinds[i] {
+                    0 => {}
+                    1 => self.access(MemOp::Load, lines[i]),
+                    _ => self.access(MemOp::Store, lines[i]),
+                }
+            }
+        }
+        for instr in blocks.remainder() {
+            if let Some(m) = instr.mem {
+                self.access(m.op, m.addr.raw() >> shift);
+            }
+        }
+        self.instrs += instrs.len() as u64;
+    }
+
     fn access(&mut self, op: MemOp, x: u64) {
-        let stride = self.rows.len();
+        let levels = self.lines.len();
         let max_a = self.max_assoc as usize;
         let Counters { hist, wb } = &mut self.totals;
         let hist = &mut hist[op_index(op)];
 
-        for lvl in 0..stride {
+        for lvl in 0..levels {
             let k = self.kmin + lvl as u32;
             let set = (x & ((1u64 << k) - 1)) as usize;
-            let row = &mut self.rows[lvl][set * max_a..(set + 1) * max_a];
+            let base = set * max_a;
+            let row_lines = &mut self.lines[lvl][base..base + max_a];
+            let row_marks = &mut self.marks[lvl][base..base + max_a];
 
-            // Scan the row from the MRU end: position j is the line
-            // evicted from config (2^k sets, j + 1 ways) if this access
-            // misses there (depth ≥ j + 1), so charge its clean
-            // threshold on the way down. Empty slots (m = EMPTY_M)
-            // never match and never write back.
-            let mut depth = max_a; // Capped distance; max_a = "miss everywhere".
-            for (j, e) in row.iter().enumerate() {
-                if e.line == x && e.m != EMPTY_M {
-                    depth = j;
-                    break;
+            // Depth scan: the MRU slot is checked first (the dominant,
+            // perfectly-predicted case), then the rest of the row in a
+            // branch-light reverse pass — no early exit, so the
+            // contiguous equality scan over the line array vectorizes;
+            // the lowest matching position wins. Empty slots
+            // (m = EMPTY_M) never match.
+            let depth = if row_lines[0] == x && row_marks[0] != EMPTY_M {
+                0
+            } else {
+                let mut d = max_a; // Capped distance; max_a = "miss everywhere".
+                for j in (1..max_a).rev() {
+                    if row_lines[j] == x && row_marks[j] != EMPTY_M {
+                        d = j;
+                    }
                 }
-                if j >= usize::from(e.m) {
-                    wb[lvl * max_a + j] += 1;
-                }
+                d
+            };
+
+            // Position j < depth is the line evicted from config
+            // (2^k sets, j + 1 ways) by this access (which misses
+            // there, since depth ≥ j + 1): charge its clean threshold.
+            // Branchless — empty slots never satisfy j ≥ EMPTY_M.
+            for j in 0..depth {
+                wb[lvl * max_a + j] += u64::from(j >= usize::from(row_marks[j]));
             }
 
             // MRU shortcut: MRU in this set implies MRU in every
@@ -366,14 +446,14 @@ impl StackDistSweep {
             // store's thresholds change (a load's `max(m, 0)` is a
             // no-op).
             if depth == 0 {
-                for l2 in lvl..stride {
+                for l2 in lvl..levels {
                     hist[l2 * (max_a + 1)] += 1;
                 }
                 if op == MemOp::Store {
-                    for (l2, rows) in self.rows.iter_mut().enumerate().skip(lvl) {
+                    for (l2, marks) in self.marks.iter_mut().enumerate().skip(lvl) {
                         let k2 = self.kmin + l2 as u32;
                         let set2 = (x & ((1u64 << k2) - 1)) as usize;
-                        rows[set2 * max_a].m = 0;
+                        marks[set2 * max_a] = 0;
                     }
                 }
                 return;
@@ -387,11 +467,14 @@ impl StackDistSweep {
             // tracked" — indistinguishable from a cold fetch).
             let m = match op {
                 MemOp::Store => 0,
-                MemOp::Load if depth < max_a => row[depth].m.max(depth as u16),
+                MemOp::Load if depth < max_a => row_marks[depth].max(depth as u16),
                 MemOp::Load => max_a as u16,
             };
-            row.copy_within(..depth.min(max_a - 1), 1);
-            row[0] = Entry { line: x, m };
+            let shifted = depth.min(max_a - 1);
+            row_lines.copy_within(..shifted, 1);
+            row_marks.copy_within(..shifted, 1);
+            row_lines[0] = x;
+            row_marks[0] = m;
         }
     }
 
@@ -744,6 +827,39 @@ mod tests {
             Err(SweepQueryError::SetsOutOfRange { .. })
         ));
         assert_eq!(narrow.min_sets(), 8);
+    }
+
+    #[test]
+    fn process_slice_matches_per_instruction_processing() {
+        let trace: Vec<Instr> = PatternTrace::new(
+            ZipfWorkingSet::new(0, 8 * 1024, 8, 1.1, 0.3),
+            TraceShape::default(),
+            17,
+        )
+        .take(9_000)
+        .collect();
+        // Warm-up falls inside a chunk; chunk sizes straddle the BLOCK
+        // width so both the chunks_exact path and the remainder run.
+        for chunk in [1usize, 13, BLOCK, 200, 4_096, 9_000] {
+            let mut scalar = StackDistSweep::new(32, 5, 4, 2_500).unwrap();
+            for i in &trace {
+                scalar.process(*i);
+            }
+            let mut sliced = StackDistSweep::new(32, 5, 4, 2_500).unwrap();
+            for piece in trace.chunks(chunk) {
+                sliced.process_slice(piece);
+            }
+            assert_eq!(sliced.instructions(), scalar.instructions());
+            for k in 0..=5 {
+                for a in 1..=4 {
+                    assert_eq!(
+                        sliced.stats(k, a),
+                        scalar.stats(k, a),
+                        "chunk={chunk} 2^{k} sets × {a} ways"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

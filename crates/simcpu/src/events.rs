@@ -75,17 +75,143 @@ impl Echo {
     }
 }
 
+/// Streaming timeline extraction: feed instructions (or whole chunks)
+/// as they are generated, then [`finish`](MissTimelineBuilder::finish).
+///
+/// This is the chunked-pipeline face of [`MissTimeline::extract`]: the
+/// builder carries the live cache state between chunks, so feeding the
+/// same stream in any chunking produces a bit-identical timeline — and
+/// a 50 M-instruction trace never needs to exist in memory; only the
+/// O(misses) events and O(conflictable hits) echoes accumulate.
+#[derive(Debug, Clone)]
+pub struct MissTimelineBuilder {
+    cache: CacheConfig,
+    sim: Cache,
+    events: Vec<MissEvent>,
+    echo_instrs: Vec<u64>,
+    echo_addrs: Vec<Addr>,
+    echo_stores: Vec<bool>,
+    prelude: Vec<Echo>,
+    miss_distance_hist: [u64; 20],
+    last_fill_instr: Option<u64>,
+    instructions: u64,
+}
+
+impl MissTimelineBuilder {
+    /// Starts an extraction under `cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MissTimeline::supports_cache`] rejects `cache`.
+    pub fn new(cache: CacheConfig) -> Self {
+        assert!(
+            MissTimeline::supports_cache(&cache),
+            "timeline extraction needs a write-back write-allocate cache"
+        );
+        MissTimelineBuilder {
+            cache,
+            sim: Cache::new(cache),
+            events: Vec::new(),
+            echo_instrs: Vec::new(),
+            echo_addrs: Vec::new(),
+            echo_stores: Vec::new(),
+            prelude: Vec::new(),
+            miss_distance_hist: [0u64; 20],
+            last_fill_instr: None,
+            instructions: 0,
+        }
+    }
+
+    /// Feeds one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream holds ≥ 2³² hit accesses (the echo index is
+    /// compact).
+    pub fn process(&mut self, instr: &Instr) {
+        self.instructions += 1;
+        let Some(mref) = instr.mem else { return };
+        let out = self.sim.access(mref.op, mref.addr);
+        if out.filled {
+            if let Some(last) = self.last_fill_instr {
+                self.miss_distance_hist[SimResult::distance_bucket(self.instructions - last)] += 1;
+            }
+            self.last_fill_instr = Some(self.instructions);
+            let echo_start =
+                u32::try_from(self.echo_instrs.len()).expect("echo index fits in 32 bits");
+            self.events.push(MissEvent {
+                instr: self.instructions,
+                addr: mref.addr,
+                store: mref.op.is_store(),
+                writeback: out.writeback.is_some(),
+                echo_start,
+            });
+        } else {
+            debug_assert!(out.hit, "a write-allocate access either hits or fills");
+            if self.events.is_empty() {
+                // Hits before the first fill can never stall.
+                self.prelude.push(Echo::from_ref(
+                    self.instructions,
+                    mref.addr,
+                    mref.op.is_store(),
+                ));
+            } else {
+                self.echo_instrs.push(self.instructions);
+                self.echo_addrs.push(mref.addr);
+                self.echo_stores.push(mref.op.is_store());
+            }
+        }
+    }
+
+    /// Feeds one chunk — the unit a streaming pipeline delivers.
+    pub fn process_slice(&mut self, instrs: &[Instr]) {
+        for instr in instrs {
+            self.process(instr);
+        }
+    }
+
+    /// Instructions fed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Seals the extraction into an immutable [`MissTimeline`].
+    pub fn finish(self) -> MissTimeline {
+        MissTimeline {
+            cache: self.cache,
+            instructions: self.instructions,
+            events: self.events,
+            echo_instrs: self.echo_instrs,
+            echo_addrs: self.echo_addrs,
+            echo_stores: self.echo_stores,
+            prelude: self.prelude,
+            stats: *self.sim.stats(),
+            miss_distance_hist: self.miss_distance_hist,
+        }
+    }
+}
+
 /// The complete timing-relevant record of one (trace, cache config)
 /// pair: extract once, replay for every timing model.
+///
+/// Echoes are stored structure-of-arrays: the replay's fence scan reads
+/// only the sorted instruction-index array (enabling the binary-search
+/// window cut in [`TimelineCpu::run`]), addresses are touched only for
+/// echoes that actually stall-check, and the store flags only by the
+/// marks walk — 17 bytes per echo instead of a 24-byte record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MissTimeline {
     cache: CacheConfig,
     instructions: u64,
     events: Vec<MissEvent>,
-    /// Echoes of event `i` occupy
-    /// `echoes[events[i].echo_start .. events[i+1].echo_start]`
+    /// Echo instruction indices (ascending); event `i`'s echoes occupy
+    /// `echo_instrs[events[i].echo_start .. events[i+1].echo_start]`
     /// (through the end of the list for the last event).
-    echoes: Vec<Echo>,
+    echo_instrs: Vec<u64>,
+    /// Echo byte addresses, parallel to `echo_instrs`.
+    echo_addrs: Vec<Addr>,
+    /// Echo store flags, parallel to `echo_instrs`.
+    echo_stores: Vec<bool>,
     /// Hits before the first fill; they can never stall.
     prelude: Vec<Echo>,
     stats: CacheStats,
@@ -102,60 +228,19 @@ impl MissTimeline {
     }
 
     /// Runs `trace` through the cache exactly once and records the
-    /// timeline.
+    /// timeline. Equivalent to driving a [`MissTimelineBuilder`] over
+    /// the same stream (the streaming form for chunked pipelines).
     ///
     /// # Panics
     ///
     /// Panics if [`MissTimeline::supports_cache`] rejects `cache`, or if
     /// the trace holds ≥ 2³² hit accesses (the echo index is compact).
     pub fn extract(cache: CacheConfig, trace: impl IntoIterator<Item = Instr>) -> Self {
-        assert!(
-            Self::supports_cache(&cache),
-            "timeline extraction needs a write-back write-allocate cache"
-        );
-        let mut sim = Cache::new(cache);
-        let mut events: Vec<MissEvent> = Vec::new();
-        let mut echoes: Vec<Echo> = Vec::new();
-        let mut prelude: Vec<Echo> = Vec::new();
-        let mut miss_distance_hist = [0u64; 20];
-        let mut last_fill_instr = None;
-        let mut instructions = 0u64;
+        let mut builder = MissTimelineBuilder::new(cache);
         for instr in trace {
-            instructions += 1;
-            let Some(mref) = instr.mem else { continue };
-            let out = sim.access(mref.op, mref.addr);
-            if out.filled {
-                if let Some(last) = last_fill_instr {
-                    miss_distance_hist[SimResult::distance_bucket(instructions - last)] += 1;
-                }
-                last_fill_instr = Some(instructions);
-                let echo_start = u32::try_from(echoes.len()).expect("echo index fits in 32 bits");
-                events.push(MissEvent {
-                    instr: instructions,
-                    addr: mref.addr,
-                    store: mref.op.is_store(),
-                    writeback: out.writeback.is_some(),
-                    echo_start,
-                });
-            } else {
-                debug_assert!(out.hit, "a write-allocate access either hits or fills");
-                let echo = Echo::from_ref(instructions, mref.addr, mref.op.is_store());
-                if events.is_empty() {
-                    prelude.push(echo);
-                } else {
-                    echoes.push(echo);
-                }
-            }
+            builder.process(&instr);
         }
-        MissTimeline {
-            cache,
-            instructions,
-            events,
-            echoes,
-            prelude,
-            stats: *sim.stats(),
-            miss_distance_hist,
-        }
+        builder.finish()
     }
 
     /// The cache configuration the timeline was extracted under.
@@ -212,6 +297,55 @@ impl MissTimeline {
         TimelineCpu::new(self, *cfg)
             .expect("unsupported configuration for timeline replay")
             .run()
+    }
+
+    /// Replays the timeline under every configuration in one walk of
+    /// the event stream, returning the configs' exact [`SimResult`]s in
+    /// order.
+    ///
+    /// Bit-identical to calling [`MissTimeline::replay`] per config but
+    /// far cheaper for a batch: a paper-scale timeline is tens of
+    /// megabytes of events and echoes, so per-point replay is bound by
+    /// re-streaming that data from memory once per configuration. The
+    /// batched walk touches each event exactly once and advances every
+    /// config's (small, cache-resident) replay state while the event
+    /// and its echo window are hot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unsupported configuration's reason, as
+    /// [`TimelineCpu::new`] would (caller should fall back to
+    /// [`Cpu::run`](crate::Cpu::run) for that point).
+    pub fn replay_batch(&self, cfgs: &[CpuConfig]) -> Result<Vec<SimResult>, String> {
+        let replayers: Vec<TimelineCpu> = cfgs
+            .iter()
+            .map(|&cfg| TimelineCpu::new(self, cfg))
+            .collect::<Result<_, _>>()?;
+        let mut states: Vec<ReplayState> =
+            replayers.iter().map(|r| ReplayState::new(&r.cfg)).collect();
+        let echo_instrs = &self.echo_instrs;
+        let echo_addrs = &self.echo_addrs;
+        for (i, event) in self.events.iter().enumerate() {
+            let start = event.echo_start as usize;
+            let end = self
+                .events
+                .get(i + 1)
+                .map_or(echo_instrs.len(), |next| next.echo_start as usize);
+            for (r, st) in replayers.iter().zip(&mut states) {
+                st.process_event(&r.cfg, r.mshrs(), event);
+                if r.cfg.stall != StallFeature::FullStall {
+                    st.scan_echoes(r.cfg.stall, echo_instrs, echo_addrs, start, end);
+                }
+            }
+        }
+        Ok(replayers
+            .iter()
+            .zip(&mut states)
+            .map(|(r, st)| {
+                st.advance(self.instructions);
+                r.result(st, self.stats, self.miss_distance_hist)
+            })
+            .collect())
     }
 }
 
@@ -339,12 +473,12 @@ impl ReplayState {
         }
     }
 
-    /// One hit access at `echo.instr`: base cycle plus any fill-conflict
-    /// stall.
-    fn process_echo(&mut self, stall: StallFeature, echo: &Echo) {
-        self.advance(echo.instr);
+    /// One hit access at instruction `instr`: base cycle plus any
+    /// fill-conflict stall.
+    fn process_echo(&mut self, stall: StallFeature, instr: u64, addr: Addr) {
+        self.advance(instr);
         self.retire_fills();
-        self.conflict_stall(stall, echo.addr, true);
+        self.conflict_stall(stall, addr, true);
     }
 
     /// One fill event: conflict stall, MSHR wait, fill launch, resume
@@ -412,6 +546,50 @@ impl ReplayState {
     fn fill_fence(&self) -> u64 {
         self.fills.back().map_or(0, FillSchedule::complete_at)
     }
+
+    /// Walks one event's echo window, stall-checking only echoes that
+    /// can still conflict with an in-flight fill.
+    ///
+    /// An echo stall-checks only while a fill is in flight: echo `e`
+    /// stalls iff `cycle + (e.instr − instr) < fence`. Between stalls
+    /// the lag (`cycle − instr`) is constant, so the whole eligible
+    /// window is one binary-search cut on the sorted echo index array;
+    /// a stall grows the lag, shrinking the cutoff, and the walk
+    /// resumes with a fresh cut. Fills only retire during echoes, so
+    /// the fence never moves.
+    fn scan_echoes(
+        &mut self,
+        stall: StallFeature,
+        echo_instrs: &[u64],
+        echo_addrs: &[Addr],
+        start: usize,
+        end: usize,
+    ) {
+        let fence = self.fill_fence();
+        let mut j = start;
+        while j < end && fence > self.cycle {
+            let cutoff = self.instr + (fence - self.cycle);
+            let upto = j + echo_instrs[j..end].partition_point(|&e| e < cutoff);
+            if upto == j {
+                break;
+            }
+            let lag = self.cycle - self.instr;
+            let mut next = upto;
+            for jj in j..upto {
+                self.process_echo(stall, echo_instrs[jj], echo_addrs[jj]);
+                if self.cycle - self.instr != lag {
+                    next = jj + 1;
+                    break;
+                }
+            }
+            // Lag unchanged: every echo past the cut fails the
+            // original per-echo break condition too.
+            if next == upto && self.cycle - self.instr == lag {
+                break;
+            }
+            j = next;
+        }
+    }
 }
 
 impl<'a> TimelineCpu<'a> {
@@ -441,13 +619,15 @@ impl<'a> TimelineCpu<'a> {
         Ok(TimelineCpu { timeline, cfg })
     }
 
-    fn echo_range(&self, index: usize) -> &[Echo] {
+    fn echo_bounds(&self, index: usize) -> (usize, usize) {
         let events = &self.timeline.events;
         let start = events[index].echo_start as usize;
         let end = events
             .get(index + 1)
-            .map_or(self.timeline.echoes.len(), |next| next.echo_start as usize);
-        &self.timeline.echoes[start..end]
+            .map_or(self.timeline.echo_instrs.len(), |next| {
+                next.echo_start as usize
+            });
+        (start, end)
     }
 
     fn mshrs(&self) -> usize {
@@ -463,20 +643,14 @@ impl<'a> TimelineCpu<'a> {
         let mshrs = self.mshrs();
         // FS never stalls an in-between hit (the fill always completed
         // at resume time), so its echoes need no walking at all.
-        let scan_echoes = self.cfg.stall != StallFeature::FullStall;
+        let scan = self.cfg.stall != StallFeature::FullStall;
+        let echo_instrs = &self.timeline.echo_instrs;
+        let echo_addrs = &self.timeline.echo_addrs;
         for (i, event) in self.timeline.events.iter().enumerate() {
             st.process_event(&self.cfg, mshrs, event);
-            if !scan_echoes {
-                continue;
-            }
-            let fence = st.fill_fence();
-            for echo in self.echo_range(i) {
-                // Arrived after every fill completed: no stall possible,
-                // for this echo or any later one of the window.
-                if st.cycle + (echo.instr - st.instr) >= fence {
-                    break;
-                }
-                st.process_echo(self.cfg.stall, echo);
+            if scan {
+                let (start, end) = self.echo_bounds(i);
+                st.scan_echoes(self.cfg.stall, echo_instrs, echo_addrs, start, end);
             }
         }
         st.advance(self.timeline.instructions);
@@ -542,9 +716,14 @@ impl<'a> TimelineCpu<'a> {
             stats.fills += 1;
             stats.writebacks += u64::from(event.writeback);
             after_ref(&st, &stats, &hist, &mut refs);
-            for echo in self.echo_range(i) {
-                st.process_echo(self.cfg.stall, echo);
-                if echo.store {
+            let (start, end) = self.echo_bounds(i);
+            for j in start..end {
+                st.process_echo(
+                    self.cfg.stall,
+                    self.timeline.echo_instrs[j],
+                    self.timeline.echo_addrs[j],
+                );
+                if self.timeline.echo_stores[j] {
                     stats.store_hits += 1;
                 } else {
                     stats.load_hits += 1;
@@ -683,6 +862,39 @@ mod tests {
             distinct.len() > 10,
             "timing points must differ: {distinct:?}"
         );
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_to_per_config_replay() {
+        let tl = MissTimeline::extract(cache(), trace(Spec92Program::Nasa7));
+        let mut cfgs = Vec::new();
+        for stall in all_stalls() {
+            for beta in [2u64, 8, 30] {
+                for bus in [4u64, 16] {
+                    cfgs.push(
+                        CpuConfig::baseline(
+                            cache(),
+                            MemoryTiming::new(BusWidth::new(bus).unwrap(), beta),
+                        )
+                        .with_stall(stall),
+                    );
+                }
+            }
+        }
+        let batched = tl.replay_batch(&cfgs).unwrap();
+        assert_eq!(batched.len(), cfgs.len());
+        for (cfg, fast) in cfgs.iter().zip(&batched) {
+            assert_eq!(*fast, tl.replay(cfg), "{:?}", cfg.stall);
+        }
+    }
+
+    #[test]
+    fn batched_replay_rejects_unsupported_configs_wholesale() {
+        let tl = MissTimeline::extract(cache(), trace(Spec92Program::Ear));
+        let good = CpuConfig::baseline(cache(), MemoryTiming::new(BusWidth::new(4).unwrap(), 8));
+        let bad = good.with_issue_width(2);
+        assert!(tl.replay_batch(&[good, bad]).is_err());
+        assert!(tl.replay_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

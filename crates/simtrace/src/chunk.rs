@@ -1,0 +1,225 @@
+//! Bounded-memory chunked trace generation.
+//!
+//! The paper's evaluation runs ~50 M instructions per program; at the
+//! pinned 24 bytes/instruction (see [`crate::instr`]) a materialised
+//! trace of that length costs 1.2 GB — and the methodology only ever
+//! consumes *folds* of the stream (hit ratios, flush ratios, miss
+//! timelines), never random access. [`ChunkedTrace`] turns any
+//! deterministic generator into a sequence of bounded blocks so a
+//! 50 M–1 B instruction trace is produced in `chunk_len`-sized pieces
+//! with one reusable buffer, instead of one `Vec<Instr>`.
+//!
+//! # Determinism contract
+//!
+//! The proxy generators are stateful lazy streams seeded once, so a
+//! chunk's content is a function of the *carried resume state* — the
+//! generator after the previous chunk — not of the chunk index alone.
+//! Two consequences, both asserted by `tests/chunk_properties.rs`:
+//!
+//! * **Bit-identity**: concatenating the chunks of
+//!   [`spec92_chunks`](crate::chunk::spec92_chunks) reproduces the
+//!   monolithic `spec92_trace(p, seed).take(n)` stream exactly, for any
+//!   chunk size — and the chunk size may change between chunks.
+//! * **Derivable resume points**: because the stream is prefix-stable,
+//!   the state before chunk `i` (of fixed size `c`) is derivable from
+//!   `(seed, chunk_index)` by fast-forwarding `i · c` instructions
+//!   ([`ChunkedTrace::start_at`]); carrying the live iterator forward
+//!   is the `O(1)` way to resume and produces the same bytes.
+//!
+//! Consumers fold chunks in order (`StackDistSweep::process_slice`,
+//! `MissTimelineBuilder::process_slice`, or any slice loop); because
+//! every consumer of one stream sees the identical ordered chunk
+//! sequence, chunked and parallel folds are bit-identical to the
+//! monolithic path (see `bench::stream`).
+
+use crate::instr::Instr;
+use crate::mix::MixtureTrace;
+use crate::spec92::{spec92_trace, Spec92Program};
+
+/// Default instructions per chunk: 64 Ki instructions ≈ 1.5 MB of
+/// buffered trace — large enough to amortise per-chunk overhead, small
+/// enough that a handful of in-flight chunks stay cache- and
+/// RSS-friendly.
+pub const DEFAULT_CHUNK_INSTRUCTIONS: usize = 64 * 1024;
+
+/// Adapts a deterministic instruction stream into bounded chunks.
+///
+/// The wrapped iterator *is* the resume state: after `next_chunk_into`
+/// returns, the `ChunkedTrace` is positioned exactly after the chunk it
+/// produced, so continuing (with the same or a different chunk size)
+/// extends the stream without gaps or repeats.
+///
+/// ```
+/// use simtrace::chunk::ChunkedTrace;
+/// use simtrace::spec92::{spec92_trace, Spec92Program};
+///
+/// let mono: Vec<_> = spec92_trace(Spec92Program::Ear, 7).take(10_000).collect();
+/// let mut chunks = ChunkedTrace::new(spec92_trace(Spec92Program::Ear, 7).take(10_000), 4096);
+/// let mut streamed = Vec::new();
+/// let mut buf = Vec::new();
+/// while chunks.next_chunk_into(&mut buf) {
+///     streamed.extend_from_slice(&buf);
+/// }
+/// assert_eq!(streamed, mono);
+/// assert_eq!(chunks.produced(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkedTrace<I> {
+    source: I,
+    chunk_len: usize,
+    produced: u64,
+}
+
+impl<I: Iterator<Item = Instr>> ChunkedTrace<I> {
+    /// Wraps `source`, emitting chunks of at most `chunk_len`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn new(source: I, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk length must be at least 1");
+        ChunkedTrace {
+            source,
+            chunk_len,
+            produced: 0,
+        }
+    }
+
+    /// Wraps `source` positioned `skip` instructions in: the resume
+    /// state of chunk `skip / chunk_len` when `skip` is a multiple of
+    /// the chunk size. Fast-forwarding costs `O(skip)` generation (the
+    /// streams are sequential by construction); callers resuming a live
+    /// pipeline should carry the `ChunkedTrace` itself instead.
+    pub fn start_at(source: I, chunk_len: usize, skip: u64) -> Self {
+        let mut chunked = Self::new(source, chunk_len);
+        for _ in 0..skip {
+            if chunked.source.next().is_none() {
+                break;
+            }
+        }
+        chunked
+    }
+
+    /// The configured chunk length.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Changes the chunk length for subsequent chunks. The produced
+    /// stream is unaffected — only its partitioning changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn set_chunk_len(&mut self, chunk_len: usize) {
+        assert!(chunk_len > 0, "chunk length must be at least 1");
+        self.chunk_len = chunk_len;
+    }
+
+    /// Instructions emitted across all chunks so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Fills `buf` with the next chunk (clearing it first) and returns
+    /// `true`, or returns `false` when the stream is exhausted (leaving
+    /// `buf` empty). The final chunk may be shorter than `chunk_len`.
+    pub fn next_chunk_into(&mut self, buf: &mut Vec<Instr>) -> bool {
+        buf.clear();
+        buf.extend(self.source.by_ref().take(self.chunk_len));
+        self.produced += buf.len() as u64;
+        !buf.is_empty()
+    }
+
+    /// Folds every remaining chunk through `f`, reusing one buffer.
+    pub fn for_each_chunk(mut self, mut f: impl FnMut(&[Instr])) {
+        let mut buf = Vec::with_capacity(self.chunk_len);
+        while self.next_chunk_into(&mut buf) {
+            f(&buf);
+        }
+    }
+}
+
+/// The chunk source every streaming consumer of a SPEC92 proxy uses:
+/// `len` instructions of `spec92_trace(program, seed)` in `chunk_len`
+/// blocks, bit-identical to the materialised trace.
+pub fn spec92_chunks(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    chunk_len: usize,
+) -> ChunkedTrace<std::iter::Take<crate::gen::PatternTrace<MixtureTrace>>> {
+    ChunkedTrace::new(spec92_trace(program, seed).take(len), chunk_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mono(n: usize) -> Vec<Instr> {
+        spec92_trace(Spec92Program::Nasa7, 42).take(n).collect()
+    }
+
+    #[test]
+    fn chunks_concatenate_to_the_monolithic_trace() {
+        let want = mono(10_000);
+        for chunk_len in [1, 7, 1024, 10_000, 65_536] {
+            let mut got = Vec::new();
+            spec92_chunks(Spec92Program::Nasa7, 42, 10_000, chunk_len)
+                .for_each_chunk(|c| got.extend_from_slice(c));
+            assert_eq!(got, want, "chunk_len={chunk_len}");
+        }
+    }
+
+    #[test]
+    fn produced_counts_every_instruction() {
+        let mut chunks = spec92_chunks(Spec92Program::Ear, 1, 5_000, 999);
+        let mut buf = Vec::new();
+        let mut n = 0usize;
+        while chunks.next_chunk_into(&mut buf) {
+            assert!(buf.len() <= 999);
+            n += buf.len();
+        }
+        assert_eq!(n, 5_000);
+        assert_eq!(chunks.produced(), 5_000);
+        assert!(!chunks.next_chunk_into(&mut buf), "stream stays exhausted");
+    }
+
+    #[test]
+    fn start_at_matches_a_drained_prefix() {
+        let want = mono(6_000);
+        let mut resumed = ChunkedTrace::start_at(
+            spec92_trace(Spec92Program::Nasa7, 42).take(6_000),
+            512,
+            2_048,
+        );
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        while resumed.next_chunk_into(&mut buf) {
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, want[2_048..]);
+    }
+
+    #[test]
+    fn chunk_size_may_change_mid_stream() {
+        let want = mono(4_000);
+        let mut chunks = spec92_chunks(Spec92Program::Nasa7, 42, 4_000, 100);
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        assert!(chunks.next_chunk_into(&mut buf));
+        got.extend_from_slice(&buf);
+        chunks.set_chunk_len(1_733);
+        while chunks.next_chunk_into(&mut buf) {
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length")]
+    fn zero_chunk_len_is_rejected() {
+        let _ = ChunkedTrace::new(std::iter::empty::<Instr>(), 0);
+    }
+}

@@ -40,12 +40,19 @@ impl fmt::Display for MemOp {
 }
 
 /// A single data memory reference: operation, byte address and operand size.
+///
+/// The layout is pinned at 16 bytes (`repr(C)`, widest field first):
+/// 8 bytes of address, one byte each for the operation and the operand
+/// size, six bytes of padding. `MemOp` has only two valid bit patterns,
+/// so `Option<MemRef>` niche-packs the access kind — `None` lives in a
+/// spare `op` encoding and costs no extra byte (asserted below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(C)]
 pub struct MemRef {
-    /// Load or store.
-    pub op: MemOp,
     /// Byte address of the first byte touched.
     pub addr: Addr,
+    /// Load or store.
+    pub op: MemOp,
     /// Operand size in bytes (1, 2, 4 or 8).
     pub size: u8,
 }
@@ -129,6 +136,21 @@ impl Instr {
     }
 }
 
+/// Trace bytes per instruction. Streaming-pipeline memory budgets
+/// (`bench::tracestore` byte accounting, `REPRO_TRACE_BUDGET`) assume
+/// this exact figure, so the layout is asserted at compile time.
+pub const INSTR_BYTES: usize = 24;
+
+// Static layout assertions: `MemRef` packs into 16 bytes, the access
+// kind rides in `MemOp`'s niche (an `Option` wrapper is free), and an
+// `Instr` is therefore exactly `pc` + `Option<MemRef>` = 24 bytes.
+// Growing any of these silently would inflate every materialised trace
+// and invalidate the store's byte accounting — fail the build instead.
+const _: () = assert!(std::mem::size_of::<MemRef>() == 16);
+const _: () = assert!(std::mem::size_of::<Option<MemRef>>() == 16);
+const _: () = assert!(std::mem::size_of::<Instr>() == INSTR_BYTES);
+const _: () = assert!(std::mem::align_of::<Instr>() == 8);
+
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.mem {
@@ -160,6 +182,18 @@ mod tests {
         assert!(j.is_store() && !j.is_load());
         let k = Instr::plain(8u64);
         assert!(!k.is_load() && !k.is_store());
+    }
+
+    #[test]
+    fn layout_is_pinned() {
+        // The const asserts above already fail the build on drift; this
+        // test states the contract where a failure names the numbers.
+        assert_eq!(std::mem::size_of::<Instr>(), INSTR_BYTES);
+        assert_eq!(
+            std::mem::size_of::<Option<MemRef>>(),
+            std::mem::size_of::<MemRef>(),
+            "the access kind must stay niche-packed"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod chunk;
 pub mod din;
 pub mod encode;
 pub mod gen;
@@ -42,7 +43,8 @@ pub mod spec92;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr};
-pub use instr::{Instr, MemOp, MemRef};
+pub use chunk::ChunkedTrace;
+pub use instr::{Instr, MemOp, MemRef, INSTR_BYTES};
 pub use mix::{MixtureBuilder, MixtureTrace};
 pub use phases::{Phase, PhasedPattern};
 pub use reuse::ReuseProfile;

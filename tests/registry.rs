@@ -68,6 +68,7 @@ fn every_experiment_module_is_registered_exactly_once() {
         "tracestore",
         "registry",
         "sched",
+        "stream",
     ];
     let lib = std::fs::read_to_string(
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/src/lib.rs"),
