@@ -7,13 +7,18 @@
 #                    fault plan degrades the suite instead of killing it)
 #                    + stream (1 M-instruction streaming smoke with an
 #                    RSS ceiling and a materialised oracle comparison)
+#                    + analytic (closed-form backend bit-exact on FA LRU,
+#                    within tolerance on the comparison grid)
 #   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
-#                    grid), BENCH_phi.json (figure-1 timeline engine) and
+#                    grid), BENCH_phi.json (figure-1 timeline engine),
 #                    BENCH_stream.json (5 M-instruction chunked pipeline)
-#                    from the criterion benches (slow; perf-sensitive PRs)
+#                    and BENCH_analytic.json (closed-form miss-ratio
+#                    backend) from the criterion benches (slow;
+#                    perf-sensitive PRs)
 #   ./ci.sh manifest run only the manifest staleness check
 #   ./ci.sh faults   run only the fault-injection degradation check
 #   ./ci.sh stream   run only the streaming smoke
+#   ./ci.sh analytic run only the analytic-backend accuracy gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,7 +43,7 @@ faults_check() {
     local tmp out status
     tmp="$(mktemp -d)"
     # One panic (fig2) and one hang caught by the watchdog (victim): the
-    # keep-going parallel run must complete the other 25 experiments,
+    # keep-going parallel run must complete the other 26 experiments,
     # record per-experiment statuses in the manifest, and exit nonzero.
     set +e
     REPRO_FAULTS="run:fig2:panic,run:victim:delay60000" \
@@ -53,11 +58,22 @@ faults_check() {
     grep -q '"status": "timed-out"' "$tmp/manifest.json" \
         || { echo "FAIL: manifest missing timed-out status"; exit 1; }
     out="$(grep -c '"status": "ok"' "$tmp/manifest.json")"
-    [[ "$out" -eq 25 ]] || { echo "FAIL: expected 25 ok statuses, got $out"; exit 1; }
+    [[ "$out" -eq 26 ]] || { echo "FAIL: expected 26 ok statuses, got $out"; exit 1; }
     grep -q "Suite failures" "$tmp/stdout.txt" \
         || { echo "FAIL: suite document missing failure section"; exit 1; }
-    echo "    degraded run: exit $status, 25 ok / 1 failed / 1 timed-out"
+    echo "    degraded run: exit $status, 26 ok / 1 failed / 1 timed-out"
     rm -rf "$tmp"
+}
+
+analytic_check() {
+    echo "==> analytic: closed-form backend exactness and tolerance gates"
+    # Gate 1: fully-associative LRU answers must be bit-equal to live
+    # Cache replay (Mattson inclusion is exact, not approximate).
+    # Gate 2: the binomial set-conflict model must stay within the
+    # pinned tolerance of the stack-distance sweeps across the whole
+    # comparison grid, all six proxies. The binary exits nonzero on any
+    # violation.
+    cargo run --release -q -p bench --bin analytic_check
 }
 
 stream_check() {
@@ -90,6 +106,13 @@ if [[ "${1:-}" == "stream" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "analytic" ]]; then
+    cargo build --release
+    analytic_check
+    echo "CI green."
+    exit 0
+fi
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -105,6 +128,7 @@ cargo clippy --all-targets -- -D warnings
 manifest_check
 faults_check
 stream_check
+analytic_check
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"
@@ -116,6 +140,9 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: streaming chunked-pipeline benchmark (writes BENCH_stream.json)"
     cargo bench -p bench --bench stream
     cat BENCH_stream.json
+    echo "==> perf: closed-form miss-ratio backend benchmark (writes BENCH_analytic.json)"
+    cargo bench -p bench --bench analytic
+    cat BENCH_analytic.json
 fi
 
 echo "CI green."

@@ -24,12 +24,17 @@ use simcache::stackdist::StackDistSweep;
 use simcpu::{Cpu, CpuConfig, MissTimeline, MissTimelineBuilder, StallFeature};
 use simmem::{BusWidth, MemoryTiming};
 use simtrace::spec92::{spec92_trace, Spec92Program};
-use simtrace::Instr;
+use simtrace::{Instr, ReuseHistograms};
 use std::time::Instant;
 
 /// The streaming point: paper-scale, far beyond what the materialised
 /// benches (`sweep.rs`, `phi.rs`) run.
 const INSTRUCTIONS: usize = 5_000_000;
+/// The long streaming-only point: ~24 B × 50 M ≈ 1.2 GB materialised —
+/// past the box's memory budget, so there is no baseline leg; the
+/// record is the pipeline's sustained instruction rate with every
+/// production sink attached.
+const LARGE_INSTRUCTIONS: usize = 50_000_000;
 const SEED: u64 = 7;
 const PROGRAM: Spec92Program = Spec92Program::Nasa7;
 const LINES: [u64; 5] = [8, 16, 32, 64, 128];
@@ -168,6 +173,51 @@ fn streaming(n: usize, sizes: &[u64], chunk: usize) -> (Vec<HitRatioPoint>, Vec<
     (grid, phis)
 }
 
+/// The streaming-only long run: the same sweep + timeline sink set as
+/// [`streaming`], plus the analytic backend's multi-granularity
+/// reuse-distance histogram fold — one generation pass feeding every
+/// sink a production suite run uses, at a trace length the
+/// materialise-then-scan baseline cannot hold in memory.
+fn streaming_large(n: usize, sizes: &[u64], chunk: usize) {
+    let min_sets = |l: u64| {
+        sizes
+            .iter()
+            .map(|&c| c / (l * u64::from(ASSOC)))
+            .min()
+            .unwrap()
+    };
+    let max_sets = |l: u64| {
+        sizes
+            .iter()
+            .map(|&c| c / (l * u64::from(ASSOC)))
+            .max()
+            .unwrap()
+    };
+    let mut sinks: Vec<FoldSink> = LINES
+        .iter()
+        .map(|&l| {
+            FoldSink::Sweep(
+                StackDistSweep::new_range(
+                    l,
+                    min_sets(l).trailing_zeros(),
+                    max_sets(l).trailing_zeros(),
+                    ASSOC,
+                    n as u64 / 5,
+                )
+                .expect("valid sweep"),
+            )
+        })
+        .collect();
+    sinks.push(FoldSink::Timeline(MissTimelineBuilder::new(phi_cache())));
+    sinks.push(FoldSink::Hist(ReuseHistograms::new(
+        8,
+        128,
+        1 << 14,
+        n as u64 / 5,
+    )));
+    std::hint::black_box(stream::broadcast(trace(n), chunk, sinks));
+}
+
 /// Best-of-`reps` wall-clock seconds for one run of `f`.
 fn time_best(reps: u32, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -196,6 +246,9 @@ fn stream_comparison(c: &mut Criterion) {
     let streaming_secs = time_best(2, || {
         std::hint::black_box(streaming(INSTRUCTIONS, &sizes, chunk));
     });
+    let large_streaming_secs = time_best(1, || {
+        streaming_large(LARGE_INSTRUCTIONS, &sizes, chunk);
+    });
 
     let result = StreamBenchResult {
         grid_points: sizes.len() * LINES.len(),
@@ -204,10 +257,13 @@ fn stream_comparison(c: &mut Criterion) {
         chunk_instructions: chunk,
         baseline_secs,
         streaming_secs,
+        large_instructions: LARGE_INSTRUCTIONS,
+        large_streaming_secs,
     };
     println!(
         "streaming pipeline ({} grid + {} φ points, {} instr, {}-instr chunks): \
-         materialise-then-scan {:.3}s, streaming {:.3}s, speedup {:.1}x, {:.1} points/s",
+         materialise-then-scan {:.3}s, streaming {:.3}s, speedup {:.1}x, {:.1} points/s; \
+         {} instr streaming-only in {:.3}s ({:.0} instr/s)",
         result.grid_points,
         result.phi_points,
         result.instructions,
@@ -216,6 +272,9 @@ fn stream_comparison(c: &mut Criterion) {
         result.streaming_secs,
         result.speedup(),
         result.points_per_sec(),
+        result.large_instructions,
+        result.large_streaming_secs,
+        result.large_instr_per_sec(),
     );
     let json = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stream.json");
     if let Err(e) = result.write_json(&json) {

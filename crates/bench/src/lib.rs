@@ -36,6 +36,7 @@ pub mod fault;
 pub mod fig1;
 pub mod fig2;
 pub mod fig6;
+pub mod grid;
 pub mod l2;
 pub mod linesize;
 pub mod mi;

@@ -134,6 +134,7 @@ pub fn all() -> Vec<&'static dyn Experiment> {
         &crate::nb::Exp,
         &crate::reuse::Exp,
         &crate::sweep::Exp,
+        &crate::grid::Exp,
     ]
 }
 

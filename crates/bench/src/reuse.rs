@@ -93,9 +93,7 @@ impl Experiment for Exp {
         module_path!()
     }
     fn run(&self, ctx: &RunCtx) -> ExpReport {
-        // The exact stack algorithm is quadratic in hot-set size; a modest
-        // instruction budget keeps this experiment snappy.
-        ExpReport::text_only(render(&run(ctx.instructions.min(60_000))))
+        ExpReport::text_only(render(&run(ctx.instructions)))
     }
 }
 

@@ -279,6 +279,7 @@ impl SuiteRun {
             "wall",
             "traces h/m",
             "timelines h/m",
+            "hists h/m",
         ]);
         for o in &self.outcomes {
             t.row([
@@ -287,6 +288,7 @@ impl SuiteRun {
                 format!("{:.3}s", o.wall.as_secs_f64()),
                 format!("{}/{}", o.store.trace_hits, o.store.trace_misses),
                 format!("{}/{}", o.store.timeline_hits, o.store.timeline_misses),
+                format!("{}/{}", o.store.hist_hits, o.store.hist_misses),
             ]);
         }
         let mut out = format!(

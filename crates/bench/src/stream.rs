@@ -21,7 +21,7 @@ use crate::{exec, fault};
 use simcache::stackdist::StackDistSweep;
 use simcpu::{MissTimeline, MissTimelineBuilder};
 use simtrace::chunk::{ChunkedTrace, DEFAULT_CHUNK_INSTRUCTIONS};
-use simtrace::Instr;
+use simtrace::{Instr, ReuseHistograms};
 use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -76,6 +76,16 @@ impl ChunkSink for MissTimelineBuilder {
     }
 }
 
+impl ChunkSink for ReuseHistograms {
+    type Out = ReuseHistograms;
+    fn consume(&mut self, chunk: &[Instr]) {
+        self.process_slice(chunk);
+    }
+    fn finish(self) -> ReuseHistograms {
+        self
+    }
+}
+
 /// A heterogeneous sink for pipelines folding sweeps and timelines out
 /// of one generation pass (the `stream_smoke` / `BENCH_stream` shape).
 #[allow(clippy::large_enum_variant)]
@@ -85,6 +95,9 @@ pub enum FoldSink {
     Sweep(StackDistSweep),
     /// Folds into a [`MissTimeline`].
     Timeline(MissTimelineBuilder),
+    /// Folds into multi-granularity [`ReuseHistograms`] (the analytic
+    /// hit-ratio backend's input).
+    Hist(ReuseHistograms),
 }
 
 /// The result of one [`FoldSink`].
@@ -95,6 +108,8 @@ pub enum FoldOut {
     Sweep(StackDistSweep),
     /// A finished timeline.
     Timeline(MissTimeline),
+    /// Finished reuse-distance histograms.
+    Hist(ReuseHistograms),
 }
 
 impl FoldOut {
@@ -106,7 +121,7 @@ impl FoldOut {
     pub fn into_sweep(self) -> StackDistSweep {
         match self {
             FoldOut::Sweep(s) => s,
-            FoldOut::Timeline(_) => panic!("fold produced a timeline, expected a sweep"),
+            _ => panic!("fold did not produce a sweep"),
         }
     }
 
@@ -114,11 +129,23 @@ impl FoldOut {
     ///
     /// # Panics
     ///
-    /// Panics if this fold produced a sweep.
+    /// Panics if this fold did not produce a timeline.
     pub fn into_timeline(self) -> MissTimeline {
         match self {
             FoldOut::Timeline(t) => t,
-            FoldOut::Sweep(_) => panic!("fold produced a sweep, expected a timeline"),
+            _ => panic!("fold did not produce a timeline"),
+        }
+    }
+
+    /// Unwraps a histograms result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this fold did not produce histograms.
+    pub fn into_histograms(self) -> ReuseHistograms {
+        match self {
+            FoldOut::Hist(h) => h,
+            _ => panic!("fold did not produce histograms"),
         }
     }
 }
@@ -129,12 +156,14 @@ impl ChunkSink for FoldSink {
         match self {
             FoldSink::Sweep(s) => s.process_slice(chunk),
             FoldSink::Timeline(t) => t.process_slice(chunk),
+            FoldSink::Hist(h) => h.process_slice(chunk),
         }
     }
     fn finish(self) -> FoldOut {
         match self {
             FoldSink::Sweep(s) => FoldOut::Sweep(s),
             FoldSink::Timeline(t) => FoldOut::Timeline(t.finish()),
+            FoldSink::Hist(h) => FoldOut::Hist(h),
         }
     }
 }
@@ -264,6 +293,11 @@ pub struct StreamBenchResult {
     /// generation folded into sweeps + a timeline, then O(misses)
     /// replays).
     pub streaming_secs: f64,
+    /// Trace length of the long streaming-only run (the baseline
+    /// cannot materialise this many instructions in bounded memory).
+    pub large_instructions: usize,
+    /// Wall-clock seconds for the long streaming-only run.
+    pub large_streaming_secs: f64,
 }
 
 impl StreamBenchResult {
@@ -289,10 +323,15 @@ impl StreamBenchResult {
         self.points() as f64 / self.baseline_secs
     }
 
+    /// Instructions per second through the long streaming-only run.
+    pub fn large_instr_per_sec(&self) -> f64 {
+        self.large_instructions as f64 / self.large_streaming_secs
+    }
+
     /// Serialises the record as a small JSON document.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"benchmark\": \"streaming_pipeline\",\n  \"grid_points\": {},\n  \"phi_points\": {},\n  \"instructions\": {},\n  \"chunk_instructions\": {},\n  \"baseline_secs\": {:.6},\n  \"streaming_secs\": {:.6},\n  \"baseline_points_per_sec\": {:.1},\n  \"points_per_sec\": {:.1},\n  \"speedup\": {:.2}\n}}\n",
+            "{{\n  \"benchmark\": \"streaming_pipeline\",\n  \"grid_points\": {},\n  \"phi_points\": {},\n  \"instructions\": {},\n  \"chunk_instructions\": {},\n  \"baseline_secs\": {:.6},\n  \"streaming_secs\": {:.6},\n  \"baseline_points_per_sec\": {:.1},\n  \"points_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \"large_instructions\": {},\n  \"large_streaming_secs\": {:.6},\n  \"large_instr_per_sec\": {:.1}\n}}\n",
             self.grid_points,
             self.phi_points,
             self.instructions,
@@ -302,6 +341,9 @@ impl StreamBenchResult {
             self.baseline_points_per_sec(),
             self.points_per_sec(),
             self.speedup(),
+            self.large_instructions,
+            self.large_streaming_secs,
+            self.large_instr_per_sec(),
         )
     }
 
@@ -364,6 +406,30 @@ mod tests {
     }
 
     #[test]
+    fn histogram_sink_folds_chunk_invariantly() {
+        let mut whole = ReuseHistograms::new(8, 128, 4_096, 2_000);
+        let data: Vec<Instr> = source().collect();
+        whole.process_slice(&data);
+        for chunk in [333, 8_192, N] {
+            let out = broadcast(
+                source(),
+                chunk,
+                vec![FoldSink::Hist(ReuseHistograms::new(8, 128, 4_096, 2_000))],
+            );
+            let [hist]: [FoldOut; 1] = out.try_into().expect("one fold");
+            let hist = hist.into_histograms();
+            for line in whole.line_sizes() {
+                assert_eq!(
+                    hist.profile(line),
+                    whole.profile(line),
+                    "chunk={chunk} line={line}"
+                );
+                assert_eq!(hist.set_mass(line), whole.set_mass(line));
+            }
+        }
+    }
+
+    #[test]
     fn fold_slice_matches_broadcast() {
         let data: Vec<Instr> = source().collect();
         let via_slice = fold_slice(&data, 999, vec![sweep_sink()]);
@@ -382,10 +448,13 @@ mod tests {
             chunk_instructions: 65_536,
             baseline_secs: 10.0,
             streaming_secs: 2.0,
+            large_instructions: 50_000_000,
+            large_streaming_secs: 25.0,
         };
         assert_eq!(r.points(), 47);
         assert!((r.speedup() - 5.0).abs() < 1e-12);
         assert!((r.points_per_sec() - 23.5).abs() < 1e-9);
+        assert!((r.large_instr_per_sec() - 2_000_000.0).abs() < 1e-6);
         let json = r.to_json();
         for key in [
             "streaming_pipeline",
@@ -396,6 +465,9 @@ mod tests {
             "streaming_secs",
             "points_per_sec",
             "speedup",
+            "large_instructions",
+            "large_streaming_secs",
+            "large_instr_per_sec",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -34,7 +34,7 @@ use simcache::CacheConfig;
 use simcpu::{MissTimeline, MissTimelineBuilder};
 use simtrace::chunk::spec92_chunks;
 use simtrace::spec92::{spec92_trace, Spec92Program};
-use simtrace::{Instr, INSTR_BYTES};
+use simtrace::{Instr, ReuseHistograms, INSTR_BYTES};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -46,6 +46,8 @@ static TRACE_HITS: AtomicU64 = AtomicU64::new(0);
 static TRACE_MISSES: AtomicU64 = AtomicU64::new(0);
 static TIMELINE_HITS: AtomicU64 = AtomicU64::new(0);
 static TIMELINE_MISSES: AtomicU64 = AtomicU64::new(0);
+static HIST_HITS: AtomicU64 = AtomicU64::new(0);
+static HIST_MISSES: AtomicU64 = AtomicU64::new(0);
 static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
 /// How many times a store lock was recovered from poison (a worker
@@ -80,6 +82,10 @@ pub struct StoreCounts {
     pub timeline_hits: u64,
     /// Timeline lookups that ran a cache-simulation pass.
     pub timeline_misses: u64,
+    /// Histogram lookups served from the store.
+    pub hist_hits: u64,
+    /// Histogram lookups that ran a reuse-distance fold.
+    pub hist_misses: u64,
 }
 
 impl StoreCounts {
@@ -91,14 +97,21 @@ impl StoreCounts {
             trace_misses: self.trace_misses - earlier.trace_misses,
             timeline_hits: self.timeline_hits - earlier.timeline_hits,
             timeline_misses: self.timeline_misses - earlier.timeline_misses,
+            hist_hits: self.hist_hits - earlier.hist_hits,
+            hist_misses: self.hist_misses - earlier.hist_misses,
         }
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "traces {} hit / {} miss, timelines {} hit / {} miss",
-            self.trace_hits, self.trace_misses, self.timeline_hits, self.timeline_misses
+            "traces {} hit / {} miss, timelines {} hit / {} miss, histograms {} hit / {} miss",
+            self.trace_hits,
+            self.trace_misses,
+            self.timeline_hits,
+            self.timeline_misses,
+            self.hist_hits,
+            self.hist_misses
         )
     }
 }
@@ -110,6 +123,8 @@ pub fn counters() -> StoreCounts {
         trace_misses: TRACE_MISSES.load(Ordering::Relaxed),
         timeline_hits: TIMELINE_HITS.load(Ordering::Relaxed),
         timeline_misses: TIMELINE_MISSES.load(Ordering::Relaxed),
+        hist_hits: HIST_HITS.load(Ordering::Relaxed),
+        hist_misses: HIST_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -163,6 +178,8 @@ fn trace_budget() -> Option<u64> {
 
 type TraceKey = (Spec92Program, u64);
 type TimelineKey = (Spec92Program, u64, usize, CacheConfig);
+/// (program, seed, len, min line, max line, max distance, warm-up).
+type HistKey = (Spec92Program, u64, usize, u64, u64, usize, u64);
 
 /// A materialised trace plus its LRU stamp for budget eviction.
 struct TraceEntry {
@@ -193,16 +210,59 @@ fn timelines() -> &'static Mutex<HashMap<TimelineKey, Arc<MissTimeline>>> {
     STORE.get_or_init(Mutex::default)
 }
 
+/// Memoised reuse-distance histograms plus the LRU stamp for budget
+/// eviction.
+struct HistEntry {
+    data: Arc<ReuseHistograms>,
+    last_use: u64,
+}
+
+impl HistEntry {
+    fn bytes(&self) -> u64 {
+        self.data.bytes() as u64
+    }
+}
+
+fn hists() -> &'static Mutex<HashMap<HistKey, HistEntry>> {
+    static STORE: OnceLock<Mutex<HashMap<HistKey, HistEntry>>> = OnceLock::new();
+    STORE.get_or_init(Mutex::default)
+}
+
 fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
     Arc::new(spec92_trace(program, seed).take(len).collect())
 }
 
-/// Evicts least-recently-used traces (other than `keep`, which the
-/// caller is handing out right now) until the store fits the
-/// `REPRO_TRACE_BUDGET` cap. Outstanding [`TraceHandle`]s keep their
-/// `Arc` backing alive; eviction only drops the store's reference.
+/// Evicts least-recently-used entries (other than `keep`, which the
+/// caller is handing out right now) until the store's byte total fits
+/// `budget`. Outstanding `Arc` handles keep evicted allocations alive;
+/// eviction only drops the store's reference.
+fn evict_lru<K: Eq + std::hash::Hash + Copy, V>(
+    store: &mut HashMap<K, V>,
+    keep: K,
+    budget: Option<u64>,
+    bytes: impl Fn(&V) -> u64,
+    last_use: impl Fn(&V) -> u64,
+) {
+    let Some(budget) = budget else { return };
+    let mut total: u64 = store.values().map(&bytes).sum();
+    while total > budget {
+        let victim = store
+            .iter()
+            .filter(|(k, _)| **k != keep)
+            .min_by_key(|(_, e)| last_use(e))
+            .map(|(k, _)| *k);
+        let Some(victim) = victim else { break };
+        if let Some(evicted) = store.remove(&victim) {
+            total -= bytes(&evicted);
+        }
+    }
+}
+
+/// The `REPRO_TRACE_BUDGET` cap spans traces AND histograms: each
+/// store's slice is the cap minus what the other store already holds.
 fn enforce_budget(store: &mut HashMap<TraceKey, TraceEntry>, keep: TraceKey) {
-    enforce_budget_with(store, keep, trace_budget());
+    let budget = trace_budget().map(|b| b.saturating_sub(hist_bytes_resident()));
+    enforce_budget_with(store, keep, budget);
 }
 
 fn enforce_budget_with(
@@ -210,24 +270,25 @@ fn enforce_budget_with(
     keep: TraceKey,
     budget: Option<u64>,
 ) {
-    let Some(budget) = budget else { return };
-    let mut total: u64 = store.values().map(TraceEntry::bytes).sum();
-    while total > budget {
-        let victim = store
-            .iter()
-            .filter(|(k, _)| **k != keep)
-            .min_by_key(|(_, e)| e.last_use)
-            .map(|(k, _)| *k);
-        let Some(victim) = victim else { break };
-        if let Some(evicted) = store.remove(&victim) {
-            total -= evicted.bytes();
-        }
-    }
+    evict_lru(store, keep, budget, TraceEntry::bytes, |e| e.last_use);
+}
+
+fn enforce_hist_budget_with(
+    store: &mut HashMap<HistKey, HistEntry>,
+    keep: HistKey,
+    budget: Option<u64>,
+) {
+    evict_lru(store, keep, budget, HistEntry::bytes, |e| e.last_use);
 }
 
 /// Bytes of trace data currently materialised in the store.
 pub fn bytes_resident() -> u64 {
     lock_store(traces()).values().map(TraceEntry::bytes).sum()
+}
+
+/// Bytes of reuse-distance histogram state currently memoised.
+pub fn hist_bytes_resident() -> u64 {
+    lock_store(hists()).values().map(HistEntry::bytes).sum()
 }
 
 /// The materialised traces — `(program name, seed, bytes)` in
@@ -352,6 +413,96 @@ pub fn spec_timeline(
     Arc::clone(lock_store(timelines()).entry(key).or_insert(tl))
 }
 
+/// Streams the proxy trace through a multi-granularity reuse-distance
+/// fold without pinning it (same residency contract as
+/// [`extract_streaming`]).
+fn fold_histograms(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    min_line: u64,
+    max_line: u64,
+    max_distance: usize,
+    warmup: u64,
+) -> ReuseHistograms {
+    let chunk = stream::chunk_instructions();
+    let mut hists = ReuseHistograms::new(min_line, max_line, max_distance, warmup);
+    if let Some(trace) = resident_trace(program, seed, len) {
+        for block in trace.chunks(chunk) {
+            hists.process_slice(block);
+        }
+    } else {
+        spec92_chunks(program, seed, len, chunk).for_each_chunk(|block| hists.process_slice(block));
+    }
+    hists
+}
+
+/// The [`ReuseHistograms`] of a SPEC92 proxy prefix, folded at most
+/// once per (program, seed, length, line range, distance cap, warm-up)
+/// process-wide. The fold streams the trace chunk by chunk — a
+/// histogram lookup never materialises instructions — and the memoised
+/// state is byte-accounted under the same `REPRO_TRACE_BUDGET` cap as
+/// the traces (least-recently-used histograms are evicted first).
+#[allow(clippy::too_many_arguments)]
+pub fn spec_histograms(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    min_line: u64,
+    max_line: u64,
+    max_distance: usize,
+    warmup: u64,
+) -> Arc<ReuseHistograms> {
+    if !memoise() {
+        fault::check_or_unwind(Site::Extract);
+        HIST_MISSES.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(fold_histograms(
+            program,
+            seed,
+            len,
+            min_line,
+            max_line,
+            max_distance,
+            warmup,
+        ));
+    }
+    let key = (program, seed, len, min_line, max_line, max_distance, warmup);
+    {
+        let mut store = lock_store(hists());
+        fault::check_or_unwind(Site::Lock);
+        if let Some(entry) = store.get_mut(&key) {
+            entry.last_use = tick();
+            HIST_HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.data);
+        }
+    }
+    fault::check_or_unwind(Site::Extract);
+    HIST_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Fold outside the lock (first insertion wins), and read the trace
+    // store's byte total before re-locking: the lock order is always
+    // traces → histograms, never the reverse.
+    let folded = Arc::new(fold_histograms(
+        program,
+        seed,
+        len,
+        min_line,
+        max_line,
+        max_distance,
+        warmup,
+    ));
+    let trace_bytes = bytes_resident();
+    let mut store = lock_store(hists());
+    let entry = store.entry(key).or_insert_with(|| HistEntry {
+        data: Arc::clone(&folded),
+        last_use: 0,
+    });
+    entry.last_use = tick();
+    let handle = Arc::clone(&entry.data);
+    let budget = trace_budget().map(|b| b.saturating_sub(trace_bytes));
+    enforce_hist_budget_with(&mut store, key, budget);
+    handle
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +620,51 @@ mod tests {
             .any(|&(name, s, bytes)| name == "hydro2d"
                 && s == seed
                 && bytes == (1_000 * INSTR_BYTES) as u64));
+    }
+
+    #[test]
+    fn histograms_are_memoised_and_match_a_direct_fold() {
+        let seed = 0x5EED_0004;
+        let first = spec_histograms(Spec92Program::Ear, seed, 4_000, 8, 64, 512, 800);
+        let second = spec_histograms(Spec92Program::Ear, seed, 4_000, 8, 64, 512, 800);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup must hit the memo"
+        );
+        let mut direct = ReuseHistograms::new(8, 64, 512, 800);
+        let trace: Vec<Instr> = spec92_trace(Spec92Program::Ear, seed).take(4_000).collect();
+        direct.process_slice(&trace);
+        for line in [8, 16, 32, 64] {
+            assert_eq!(first.profile(line), direct.profile(line), "line={line}");
+        }
+        assert!(hist_bytes_resident() > 0);
+    }
+
+    #[test]
+    fn hist_budget_evicts_least_recently_used_first() {
+        fn entry(last_use: u64) -> HistEntry {
+            HistEntry {
+                data: Arc::new(ReuseHistograms::new(32, 32, 64, 0)),
+                last_use,
+            }
+        }
+        let key = |seed| (Spec92Program::Nasa7, seed, 100, 32u64, 32u64, 64usize, 0u64);
+        let mut store = HashMap::new();
+        store.insert(key(1), entry(5)); // most recent
+        store.insert(key(2), entry(1)); // oldest
+        store.insert(key(3), entry(3));
+        let one = store[&key(1)].bytes();
+        // Budget for two entries: the oldest goes first.
+        enforce_hist_budget_with(&mut store, key(1), Some(2 * one));
+        assert!(store.contains_key(&key(1)) && store.contains_key(&key(3)));
+        assert!(!store.contains_key(&key(2)));
+        // A zero budget evicts everything but `keep`.
+        enforce_hist_budget_with(&mut store, key(1), Some(0));
+        assert!(store.contains_key(&key(1)), "the handed-out entry survives");
+        assert_eq!(store.len(), 1);
+        // Unset budget never evicts.
+        enforce_hist_budget_with(&mut store, key(1), None);
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

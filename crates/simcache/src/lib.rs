@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod config;
 pub mod explore;
+pub mod hitratio;
 pub mod sector;
 pub mod split;
 pub mod stackdist;
@@ -42,6 +43,7 @@ pub mod victim;
 
 pub use cache::{AccessOutcome, Cache};
 pub use config::{CacheConfig, ConfigError, Replacement, WriteMiss, WritePolicy};
+pub use hitratio::{Analytic, BackendError, HitRatioBackend, Resolution, Simulated};
 pub use sector::{SectorCache, SectorConfig, SectorOutcome};
 pub use split::SplitCache;
 pub use stackdist::{StackDistSweep, SweepQueryError};

@@ -39,6 +39,7 @@ pub mod instr;
 pub mod mix;
 pub mod phases;
 pub mod reuse;
+pub mod reusehist;
 pub mod spec92;
 pub mod stats;
 
@@ -48,6 +49,7 @@ pub use instr::{Instr, MemOp, MemRef, INSTR_BYTES};
 pub use mix::{MixtureBuilder, MixtureTrace};
 pub use phases::{Phase, PhasedPattern};
 pub use reuse::ReuseProfile;
+pub use reusehist::{ReuseDistCounter, ReuseHistograms};
 pub use spec92::{spec92_trace, Spec92Program};
 pub use stats::TraceStats;
 

@@ -29,9 +29,11 @@ impl ReuseProfile {
     /// Computes the profile of a trace's data references.
     ///
     /// `max_distance` caps the histogram (distances beyond it land in
-    /// the final bucket); the LRU stack is maintained exactly, so the
-    /// cost is `O(refs × distinct-lines)` in the worst case — fine for
-    /// the bounded traces the experiments use.
+    /// the final bucket). Distances come from the Fenwick-tree Mattson
+    /// counter ([`crate::reusehist::ReuseDistCounter`]), so the cost is
+    /// `O(refs · log distinct-lines)` — paper-scale traces profile in
+    /// seconds where the old exact-stack walk
+    /// (`O(refs × distinct-lines)`) needed hours.
     ///
     /// # Panics
     ///
@@ -46,28 +48,39 @@ impl ReuseProfile {
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
-        assert!(max_distance > 0, "need at least one distance bucket");
-        let mut stack: Vec<u64> = Vec::new(); // most recent at the end
-        let mut histogram = vec![0u64; max_distance + 1];
-        let mut cold = 0u64;
-        let mut total = 0u64;
+        let mut counter = crate::reusehist::ReuseDistCounter::new(max_distance);
         for instr in trace {
             let Some(m) = instr.mem else { continue };
-            total += 1;
-            let line = m.addr.line(line_bytes).raw();
-            match stack.iter().rposition(|&l| l == line) {
-                Some(pos) => {
-                    let distance = stack.len() - 1 - pos;
-                    histogram[distance.min(max_distance)] += 1;
-                    stack.remove(pos);
-                    stack.push(line);
-                }
-                None => {
-                    cold += 1;
-                    stack.push(line);
-                }
-            }
+            counter.access(m.addr.line(line_bytes).raw());
         }
+        ReuseProfile {
+            line_bytes,
+            histogram: counter.histogram().to_vec(),
+            cold: counter.cold(),
+            total: counter.total(),
+        }
+    }
+
+    /// Assembles a profile from already-counted parts (the
+    /// [`crate::reusehist::ReuseHistograms`] fold uses this to hand out
+    /// per-granularity post-warm-up profiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two, the histogram is
+    /// empty, or the counts are inconsistent (histogram + cold ≠
+    /// total).
+    pub fn from_parts(line_bytes: u64, histogram: Vec<u64>, cold: u64, total: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(!histogram.is_empty(), "need at least one distance bucket");
+        let counted: u64 = histogram.iter().sum();
+        assert!(
+            counted + cold == total,
+            "histogram ({counted}) + cold ({cold}) must equal total ({total})"
+        );
         ReuseProfile {
             line_bytes,
             histogram,
@@ -107,11 +120,43 @@ impl ReuseProfile {
         hits as f64 / self.total as f64
     }
 
+    /// Hit ratios for every fully-associative LRU capacity
+    /// `1..=max_lines` in one prefix-sum scan — the bulk form of
+    /// [`ReuseProfile::lru_hit_ratio`], `O(max_lines)` total instead of
+    /// `O(max_lines²)` repeated summing.
+    pub fn lru_hit_ratios(&self, max_lines: usize) -> Vec<f64> {
+        let mut ratios = Vec::with_capacity(max_lines);
+        if self.total == 0 {
+            ratios.resize(max_lines, 0.0);
+            return ratios;
+        }
+        let mut hits = 0u64;
+        for k in 1..=max_lines {
+            if let Some(&h) = self.histogram.get(k - 1) {
+                hits += h;
+            }
+            ratios.push(hits as f64 / self.total as f64);
+        }
+        ratios
+    }
+
     /// The smallest fully-associative LRU capacity (in lines) reaching
     /// `target` hit ratio, or `None` if even an infinite cache (bounded
-    /// by compulsory misses) cannot.
+    /// by compulsory misses) cannot. A single prefix-sum scan of the
+    /// histogram.
     pub fn capacity_for(&self, target: f64) -> Option<usize> {
-        (1..=self.histogram.len()).find(|&k| self.lru_hit_ratio(k) >= target)
+        if self.total == 0 {
+            // No references: the hit ratio is 0 at every capacity.
+            return (target <= 0.0).then_some(1);
+        }
+        let mut hits = 0u64;
+        for (bucket, &h) in self.histogram.iter().enumerate() {
+            hits += h;
+            if hits as f64 / self.total as f64 >= target {
+                return Some(bucket + 1);
+            }
+        }
+        None
     }
 }
 
@@ -173,6 +218,36 @@ mod tests {
             None,
             "compulsory misses bound the ceiling"
         );
+    }
+
+    #[test]
+    fn lru_hit_ratios_matches_the_scalar_accessor() {
+        let addrs: Vec<u64> = (0..500u64).map(|i| (i * 7919) % 2048).collect();
+        let p = ReuseProfile::from_trace(loads(&addrs), 32, 128);
+        let bulk = p.lru_hit_ratios(140);
+        assert_eq!(bulk.len(), 140);
+        for (k, &hr) in bulk.iter().enumerate() {
+            assert_eq!(hr, p.lru_hit_ratio(k + 1), "k={}", k + 1);
+        }
+        assert!(ReuseProfile::from_trace(loads(&[]), 32, 4)
+            .lru_hit_ratios(3)
+            .iter()
+            .all(|&hr| hr == 0.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let addrs: Vec<u64> = (0..300u64).map(|i| (i % 17) * 64).collect();
+        let p = ReuseProfile::from_trace(loads(&addrs), 64, 32);
+        let rebuilt =
+            ReuseProfile::from_parts(p.line_bytes(), p.histogram().to_vec(), p.cold(), p.total());
+        assert_eq!(rebuilt, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal total")]
+    fn from_parts_rejects_inconsistent_counts() {
+        ReuseProfile::from_parts(32, vec![1, 2], 0, 7);
     }
 
     #[test]

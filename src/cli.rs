@@ -11,6 +11,8 @@
 //!   simulator;
 //! * `design` — enumerate bus/buffer/pipeline configurations meeting a
 //!   mean-access-time target at minimum pin cost;
+//! * `grid` — answer a (size × line × assoc) hit-ratio grid with the
+//!   simulated or the closed-form analytic backend;
 //! * `experiments` — list, run (serially or `--jobs N`-parallel) and
 //!   hash-verify the registered paper experiments.
 
@@ -97,7 +99,7 @@ pub fn parse_args(args: &[String]) -> Result<(String, Options), String> {
 }
 
 fn usage() -> String {
-    "usage: tradeoff <price|crossover|linesize|simulate|design|experiments> [--option value]...\n\
+    "usage: tradeoff <price|crossover|linesize|simulate|design|grid|experiments> [--option value]...\n\
      \n\
      price       --bus 4 --line 32 --beta 8 --hr 0.95 [--alpha 0.5] [--q 2] [--width 1]\n\
      crossover   --chunks 8 --q 2 [--alpha 0.5]\n\
@@ -105,6 +107,8 @@ fn usage() -> String {
      simulate    --program ear [--instructions 100000] [--stall fs|bl|bnl1|bnl2|bnl3|nb]\n\
      \u{20}           [--cache 8192] [--line 32] [--bus 4] [--beta 8]\n\
      design      --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]\n\
+     grid        [--backend sim|analytic] [--instructions 120000] [--target 0.9]\n\
+     \u{20}           [--sets 2084] [--assoc 16]  (dense bounds, analytic backend only)\n\
      experiments list\n\
      experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR] [--keep-going]\n\
      experiments verify [--results-dir DIR] [--manifest FILE]\n\
@@ -163,6 +167,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "linesize" => plain(linesize(&opts)),
         "simulate" => plain(simulate(&opts)),
         "design" => plain(design(&opts)),
+        "grid" => plain(grid(&opts)),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n{}",
@@ -400,6 +405,75 @@ fn simulate(opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// The `tradeoff grid` subcommand: answer a hit-ratio design grid with
+/// either backend. `sim` replays the Figure-6 comparison grid through
+/// single-pass stack-distance sweeps; `analytic` walks a dense
+/// closed-form grid (every set count `1..=--sets`, every way count
+/// `1..=--assoc`) that no simulator pass could afford, reporting the
+/// cheapest geometry per proxy reaching `--target`.
+fn grid(opts: &Options) -> Result<String, String> {
+    use simcache::HitRatioBackend;
+    let backend = opts.get("backend").map_or("analytic", String::as_str);
+    let n = get_u64(opts, "instructions", Some(120_000))? as usize;
+    let warmup = n as u64 / 5;
+    let programs = Spec92Program::ALL;
+    match backend {
+        "sim" => {
+            let spec = bench::grid::GridSpec::comparison(warmup);
+            let start = std::time::Instant::now();
+            let mut t = Table::new(["program", "best HR", "geometry"]);
+            let mut points = 0usize;
+            for &program in &programs {
+                let sim = bench::grid::build_simulated(program, &spec, n);
+                let mut best: Option<(f64, u64, u64, u32)> = None;
+                for &cache in &spec.cache_sizes {
+                    for &line in &spec.line_sizes {
+                        for &assoc in &spec.assocs {
+                            let hr = sim
+                                .hit_ratio(cache, line, assoc)
+                                .map_err(|e| e.to_string())?;
+                            points += 1;
+                            if best.is_none_or(|b| hr > b.0) {
+                                best = Some((hr, cache, line, assoc));
+                            }
+                        }
+                    }
+                }
+                let (hr, cache, line, assoc) = best.expect("grid is nonempty");
+                t.row([
+                    program.to_string(),
+                    format!("{hr:.4}"),
+                    format!("{cache} B, {line} B lines, {assoc}-way"),
+                ]);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            Ok(format!(
+                "backend sim: {points} grid points in {secs:.2}s ({:.0} points/s)\n{}",
+                points as f64 / secs,
+                t.render()
+            ))
+        }
+        "analytic" => {
+            let target = get_f64(opts, "target", Some(0.9))?;
+            let dense = bench::grid::DenseGrid {
+                line_sizes: vec![8, 16, 32, 64, 128],
+                max_sets: get_u64(opts, "sets", Some(2084))?,
+                max_assoc: get_u64(opts, "assoc", Some(16))? as u32,
+            };
+            let points = dense.points() * programs.len();
+            let start = std::time::Instant::now();
+            let body = bench::grid::dense_render(&programs, &dense, n, warmup, target);
+            let secs = start.elapsed().as_secs_f64();
+            Ok(format!(
+                "backend analytic: {points} grid points in {secs:.2}s ({:.0} points/s, \
+                 including one histogram fold per proxy)\n{body}",
+                points as f64 / secs,
+            ))
+        }
+        other => Err(format!("unknown backend {other:?} (want sim or analytic)")),
+    }
+}
+
 fn design(opts: &Options) -> Result<String, String> {
     let hr = HitRatio::new(get_f64(opts, "hr", None)?).map_err(|e| e.to_string())?;
     let target = get_f64(opts, "target", None)?;
@@ -543,6 +617,21 @@ mod tests {
         assert!(ok.contains("pins"), "{ok}");
         let nope = run(&argv("design --hr 0.5 --target 1.1")).unwrap();
         assert!(nope.contains("No configuration"), "{nope}");
+    }
+
+    #[test]
+    fn grid_runs_both_backends() {
+        let sim = run(&argv("grid --backend sim --instructions 4000")).unwrap();
+        assert!(sim.contains("backend sim"), "{sim}");
+        assert!(sim.contains("ear"));
+        assert!(sim.contains("points/s"));
+        let ana = run(&argv(
+            "grid --backend analytic --instructions 4000 --sets 32 --assoc 4 --target 0.5",
+        ))
+        .unwrap();
+        assert!(ana.contains("backend analytic"), "{ana}");
+        assert!(ana.contains("sets ×"), "{ana}");
+        assert!(run(&argv("grid --backend magic")).is_err());
     }
 
     #[test]

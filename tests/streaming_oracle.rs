@@ -75,7 +75,7 @@ fn streaming_timeline_matches_whole_trace_extraction() {
     );
     match &out[0] {
         FoldOut::Timeline(t) => assert_eq!(*t, oracle),
-        FoldOut::Sweep(_) => panic!("sink order preserved"),
+        _ => panic!("sink order preserved"),
     }
 }
 
