@@ -15,10 +15,14 @@
 #                    and BENCH_analytic.json (closed-form miss-ratio
 #                    backend) from the criterion benches (slow;
 #                    perf-sensitive PRs)
+#                    + serve (tradeoff-server smoke: canned queries over
+#                    HTTP byte-match the CLI, /stats proves memoisation,
+#                    clean shutdown)
 #   ./ci.sh manifest run only the manifest staleness check
 #   ./ci.sh faults   run only the fault-injection degradation check
 #   ./ci.sh stream   run only the streaming smoke
 #   ./ci.sh analytic run only the analytic-backend accuracy gate
+#   ./ci.sh serve    run only the query-server smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -85,6 +89,46 @@ stream_check() {
     cargo run --release -q -p bench --bin stream_smoke --         --instructions 1000000 --rss-limit-mb 64
 }
 
+serve_check() {
+    echo "==> serve: tradeoff-server smoke (byte parity, memoisation, shutdown)"
+    local tmp addr req local_out remote_out server_pid
+    tmp="$(mktemp -d)"
+    cargo run --release -q --bin tradeoff-server -- \
+        --addr 127.0.0.1:0 --threads 2 --addr-file "$tmp/addr" \
+        2> "$tmp/server.log" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$tmp/addr" ]] && break
+        kill -0 "$server_pid" 2>/dev/null \
+            || { echo "FAIL: server died on startup"; cat "$tmp/server.log"; exit 1; }
+        sleep 0.1
+    done
+    [[ -s "$tmp/addr" ]] || { echo "FAIL: server never bound"; exit 1; }
+    addr="$(cat "$tmp/addr")"
+    req='{"query":"simulate","program":"ear","instructions":50000,"stall":"bnl3"}'
+    # The same request locally and over HTTP must be byte-identical —
+    # both are one tradeoff::api::dispatch call. Asking twice proves the
+    # store memoises across requests: one miss, then a hit.
+    local_out="$(cargo run --release -q --bin tradeoff-cli -- query --json "$req")"
+    remote_out="$(cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --json "$req")"
+    [[ "$local_out" == "$remote_out" ]] \
+        || { echo "FAIL: CLI and server answers differ"; exit 1; }
+    remote_out="$(cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --json "$req")"
+    [[ "$local_out" == "$remote_out" ]] \
+        || { echo "FAIL: repeated query changed its answer"; exit 1; }
+    cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --get stats \
+        > "$tmp/stats.json"
+    grep -q '"timeline_misses":1' "$tmp/stats.json" \
+        || { echo "FAIL: expected one extraction, got $(cat "$tmp/stats.json")"; exit 1; }
+    grep -q '"timeline_hits":1' "$tmp/stats.json" \
+        || { echo "FAIL: repeat query missed the memo: $(cat "$tmp/stats.json")"; exit 1; }
+    cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --shutdown > /dev/null
+    wait "$server_pid" \
+        || { echo "FAIL: server exited nonzero after graceful shutdown"; exit 1; }
+    echo "    serve smoke: byte parity, 1 miss + 1 hit, clean shutdown"
+    rm -rf "$tmp"
+}
+
 if [[ "${1:-}" == "manifest" ]]; then
     cargo build --release
     manifest_check
@@ -113,6 +157,13 @@ if [[ "${1:-}" == "analytic" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "serve" ]]; then
+    cargo build --release
+    serve_check
+    echo "CI green."
+    exit 0
+fi
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -129,6 +180,7 @@ manifest_check
 faults_check
 stream_check
 analytic_check
+serve_check
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"

@@ -24,65 +24,14 @@ use crate::{stream, tracestore};
 use report::{Artifact, Table};
 use simcache::hitratio::SET_CONFLICT_TOLERANCE;
 use simcache::stackdist::StackDistSweep;
-use simcache::{Analytic, HitRatioBackend, Resolution, Simulated};
+use simcache::{Analytic, HitRatioBackend, Simulated};
 use simtrace::spec92::{spec92_trace, Spec92Program};
 
-/// Reuse-distance histogram depth shared by every analytic build: deep
-/// enough that the largest comparison-grid cache (64 KB of 8 B lines =
-/// 8192 lines) never saturates.
-pub const HIST_DISTANCE_CAP: usize = 1 << 14;
-
-/// The (cache size × line size × associativity) grid both backends
-/// answer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GridSpec {
-    /// Cache capacities in bytes (powers of two).
-    pub cache_sizes: Vec<u64>,
-    /// Line sizes in bytes (powers of two).
-    pub line_sizes: Vec<u64>,
-    /// Associativities.
-    pub assocs: Vec<u32>,
-    /// Instructions excluded from statistics.
-    pub warmup: u64,
-}
-
-impl GridSpec {
-    /// The comparison grid: Figure-6 capacities and line sizes crossed
-    /// with associativity 1/2/4 — 105 points per workload.
-    pub fn comparison(warmup: u64) -> Self {
-        GridSpec {
-            cache_sizes: (0..=6).map(|i| 1024u64 << i).collect(),
-            line_sizes: vec![8, 16, 32, 64, 128],
-            assocs: vec![1, 2, 4],
-            warmup,
-        }
-    }
-
-    /// Grid points per workload.
-    pub fn points(&self) -> usize {
-        self.cache_sizes.len() * self.line_sizes.len() * self.assocs.len()
-    }
-
-    /// Smallest set count any configuration needs at `line_bytes`.
-    fn min_sets(&self, line_bytes: u64) -> u64 {
-        let amax = u64::from(*self.assocs.iter().max().expect("grid has assocs"));
-        self.cache_sizes
-            .iter()
-            .map(|&c| c / (line_bytes * amax))
-            .min()
-            .expect("grid has cache sizes")
-    }
-
-    /// Largest set count any configuration needs at `line_bytes`.
-    fn max_sets(&self, line_bytes: u64) -> u64 {
-        let amin = u64::from(*self.assocs.iter().min().expect("grid has assocs"));
-        self.cache_sizes
-            .iter()
-            .map(|&c| c / (line_bytes * amin))
-            .max()
-            .expect("grid has cache sizes")
-    }
-}
+// The grid shapes (and the dense-grid search) are owned by the typed
+// query API so the CLI, the query server and this experiment provably
+// answer from one definition; this module re-exports them under their
+// historical paths.
+pub use tradeoff::api::{dense_best, DenseBest, DenseGrid, GridSpec, HIST_DISTANCE_CAP};
 
 /// Builds the simulated backend for one workload: one
 /// [`StackDistSweep`] per line size covering the grid's full set range,
@@ -269,95 +218,6 @@ pub fn artifact(results: &[WorkloadGrid]) -> Artifact {
         ],
         rows,
     )
-}
-
-/// The dense analytic-only grid: every set count `1..=max_sets` (most
-/// are not powers of two — geometries trace replay cannot even
-/// express) crossed with every line size and associativity
-/// `1..=max_assoc`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DenseGrid {
-    /// Line sizes in bytes (powers of two).
-    pub line_sizes: Vec<u64>,
-    /// Every set count `1..=max_sets` is evaluated.
-    pub max_sets: u64,
-    /// Every associativity `1..=max_assoc` is evaluated.
-    pub max_assoc: u32,
-}
-
-impl DenseGrid {
-    /// The paper-scale dense grid: 5 line sizes × 2084 set counts × 16
-    /// ways = 166 720 points per workload, 1 000 320 across the six
-    /// proxies.
-    pub fn standard() -> Self {
-        DenseGrid {
-            line_sizes: vec![8, 16, 32, 64, 128],
-            max_sets: 2084,
-            max_assoc: 16,
-        }
-    }
-
-    /// A debug-friendly slice of the dense grid for short suites.
-    pub fn small() -> Self {
-        DenseGrid {
-            line_sizes: vec![8, 16, 32, 64, 128],
-            max_sets: 64,
-            max_assoc: 8,
-        }
-    }
-
-    /// Grid points per workload.
-    pub fn points(&self) -> usize {
-        self.line_sizes.len() * self.max_sets as usize * self.max_assoc as usize
-    }
-}
-
-/// The cheapest geometry on the dense grid reaching `target_hr`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DenseBest {
-    /// Total capacity in bytes (`sets × line × assoc`).
-    pub cache_bytes: u64,
-    /// Line size in bytes.
-    pub line_bytes: u64,
-    /// Set count (need not be a power of two).
-    pub sets: u64,
-    /// Associativity.
-    pub assoc: u32,
-    /// The analytic hit ratio at that geometry.
-    pub hit_ratio: f64,
-}
-
-/// Walks the whole dense grid for one workload and returns the
-/// smallest-capacity geometry whose analytic hit ratio reaches
-/// `target_hr` (ties resolved by walk order: line, then sets, then
-/// assoc). Bucketed resolution: one `conflict_curve` per (line, sets)
-/// answers all `max_assoc` ways at once.
-pub fn dense_best(analytic: &Analytic, grid: &DenseGrid, target_hr: f64) -> Option<DenseBest> {
-    let mut best: Option<DenseBest> = None;
-    for &line_bytes in &grid.line_sizes {
-        for sets in 1..=grid.max_sets {
-            let curve = analytic
-                .conflict_curve(line_bytes, sets, grid.max_assoc, Resolution::Bucketed)
-                .expect("dense grid line sizes are folded");
-            for (ai, &hit_ratio) in curve.iter().enumerate() {
-                if hit_ratio < target_hr {
-                    continue;
-                }
-                let assoc = ai as u32 + 1;
-                let cache_bytes = sets * line_bytes * u64::from(assoc);
-                if best.is_none_or(|b| cache_bytes < b.cache_bytes) {
-                    best = Some(DenseBest {
-                        cache_bytes,
-                        line_bytes,
-                        sets,
-                        assoc,
-                        hit_ratio,
-                    });
-                }
-            }
-        }
-    }
-    best
 }
 
 /// Renders the dense-grid capacity-planning table: per workload, the

@@ -44,6 +44,7 @@ pub mod missdist;
 pub mod nb;
 pub mod phases;
 pub mod prefetch;
+pub mod queryenv;
 pub mod registry;
 pub mod reuse;
 pub mod sched;

@@ -309,7 +309,12 @@ impl SuiteRun {
         for (name, seed, bytes) in entries {
             out.push_str(&format!("\n  {name}@{seed:#x}: {bytes} bytes"));
         }
-        out.push('\n');
+        // The process-wide store snapshot — the same accessor the query
+        // server's /stats endpoint reports.
+        out.push_str(&format!(
+            "\nstore stats: {}\n",
+            tracestore::stats().summary()
+        ));
         out
     }
 }
@@ -763,6 +768,13 @@ mod tests {
         assert!(
             footer.contains("trace store resident:") && footer.contains("bytes in"),
             "footer must report resident trace bytes:\n{footer}"
+        );
+        assert!(
+            footer.contains("store stats:")
+                && footer.contains("evictions")
+                && footer.contains("coalesced waits")
+                && footer.contains("poison recoveries"),
+            "footer must include the full store stats line:\n{footer}"
         );
     }
 

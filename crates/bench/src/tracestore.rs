@@ -35,9 +35,10 @@ use simcpu::{MissTimeline, MissTimelineBuilder};
 use simtrace::chunk::spec92_chunks;
 use simtrace::spec92::{spec92_trace, Spec92Program};
 use simtrace::{Instr, ReuseHistograms, INSTR_BYTES};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Seed used by every `run_spec`-style experiment.
 pub const SPEC_SEED: u64 = 0xDEAD_BEEF;
@@ -49,6 +50,9 @@ static TIMELINE_MISSES: AtomicU64 = AtomicU64::new(0);
 static HIST_HITS: AtomicU64 = AtomicU64::new(0);
 static HIST_MISSES: AtomicU64 = AtomicU64::new(0);
 static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+static TRACE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static HIST_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static COALESCED_WAITS: AtomicU64 = AtomicU64::new(0);
 
 /// How many times a store lock was recovered from poison (a worker
 /// panicked — or was fault-injected — while holding it).
@@ -125,6 +129,59 @@ pub fn counters() -> StoreCounts {
         timeline_misses: TIMELINE_MISSES.load(Ordering::Relaxed),
         hist_hits: HIST_HITS.load(Ordering::Relaxed),
         hist_misses: HIST_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// A full observability snapshot of the store: hit/miss counters plus
+/// eviction, coalescing, residency and recovery state. This is the one
+/// accessor the scheduler footer and the query server's `/stats`
+/// endpoint both read — ad-hoc counter plumbing goes through here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Hit/miss counters per store.
+    pub counts: StoreCounts,
+    /// Materialised traces evicted by the `REPRO_TRACE_BUDGET` cap.
+    pub trace_evictions: u64,
+    /// Memoised histograms evicted by the budget cap.
+    pub hist_evictions: u64,
+    /// Lookups that blocked on another thread's in-flight extraction
+    /// of the same key instead of duplicating the work.
+    pub coalesced_waits: u64,
+    /// Bytes of trace data currently materialised.
+    pub trace_bytes: u64,
+    /// Bytes of reuse-histogram state currently memoised.
+    pub hist_bytes: u64,
+    /// Store locks recovered from poison (see [`poison_recoveries`]).
+    pub poison_recoveries: u64,
+}
+
+impl Stats {
+    /// One-line human summary for the scheduler footer.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}; evictions {} trace / {} hist, coalesced waits {}, resident {} B traces + {} B hists, poison recoveries {}",
+            self.counts.summary(),
+            self.trace_evictions,
+            self.hist_evictions,
+            self.coalesced_waits,
+            self.trace_bytes,
+            self.hist_bytes,
+            self.poison_recoveries
+        )
+    }
+}
+
+/// The current process-wide [`Stats`] snapshot. Counter fields are
+/// monotonic; the residency byte fields reflect this instant.
+pub fn stats() -> Stats {
+    Stats {
+        counts: counters(),
+        trace_evictions: TRACE_EVICTIONS.load(Ordering::Relaxed),
+        hist_evictions: HIST_EVICTIONS.load(Ordering::Relaxed),
+        coalesced_waits: COALESCED_WAITS.load(Ordering::Relaxed),
+        trace_bytes: bytes_resident(),
+        hist_bytes: hist_bytes_resident(),
+        poison_recoveries: poison_recoveries(),
     }
 }
 
@@ -232,6 +289,81 @@ fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
     Arc::new(spec92_trace(program, seed).take(len).collect())
 }
 
+/// Coalesces concurrent misses on one memo key — the warm-key
+/// discipline `sched` applies between experiments, generalised to any
+/// lookup path (the query server's concurrent requests in particular).
+///
+/// The first thread to miss claims the key and pays the extraction;
+/// every other thread arriving before the claim is released blocks on
+/// the condvar instead of duplicating the pass, then re-probes the
+/// memo. The claim is released by an RAII guard, so a claimer that
+/// unwinds (fault injection panics mid-extract) can never wedge its
+/// waiters — they wake, find the memo still cold, and one of them
+/// claims in turn.
+struct KeyGate<K> {
+    in_flight: Mutex<HashSet<K>>,
+    released: Condvar,
+}
+
+impl<K: Eq + Hash + Clone> KeyGate<K> {
+    fn new() -> Self {
+        KeyGate {
+            in_flight: Mutex::new(HashSet::new()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Claims `key` for this thread, or blocks until the current
+    /// holder releases it and returns `None` (the caller re-probes the
+    /// memo before trying again).
+    fn claim(&self, key: K) -> Option<KeyClaim<'_, K>> {
+        let mut set = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if set.insert(key.clone()) {
+            return Some(KeyClaim { gate: self, key });
+        }
+        COALESCED_WAITS.fetch_add(1, Ordering::Relaxed);
+        while set.contains(&key) {
+            set = self
+                .released
+                .wait(set)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        None
+    }
+}
+
+/// An exclusive in-flight claim on one key; dropping it (normally or
+/// during unwinding) releases the key and wakes every waiter.
+struct KeyClaim<'a, K: Eq + Hash> {
+    gate: &'a KeyGate<K>,
+    key: K,
+}
+
+impl<K: Eq + Hash> Drop for KeyClaim<'_, K> {
+    fn drop(&mut self) {
+        let mut set = self
+            .gate
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set.remove(&self.key);
+        self.gate.released.notify_all();
+    }
+}
+
+fn timeline_gate() -> &'static KeyGate<TimelineKey> {
+    static GATE: OnceLock<KeyGate<TimelineKey>> = OnceLock::new();
+    GATE.get_or_init(KeyGate::new)
+}
+
+fn hist_gate() -> &'static KeyGate<HistKey> {
+    static GATE: OnceLock<KeyGate<HistKey>> = OnceLock::new();
+    GATE.get_or_init(KeyGate::new)
+}
+
 /// Evicts least-recently-used entries (other than `keep`, which the
 /// caller is handing out right now) until the store's byte total fits
 /// `budget`. Outstanding `Arc` handles keep evicted allocations alive;
@@ -242,6 +374,7 @@ fn evict_lru<K: Eq + std::hash::Hash + Copy, V>(
     budget: Option<u64>,
     bytes: impl Fn(&V) -> u64,
     last_use: impl Fn(&V) -> u64,
+    evictions: &AtomicU64,
 ) {
     let Some(budget) = budget else { return };
     let mut total: u64 = store.values().map(&bytes).sum();
@@ -254,6 +387,7 @@ fn evict_lru<K: Eq + std::hash::Hash + Copy, V>(
         let Some(victim) = victim else { break };
         if let Some(evicted) = store.remove(&victim) {
             total -= bytes(&evicted);
+            evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -270,7 +404,14 @@ fn enforce_budget_with(
     keep: TraceKey,
     budget: Option<u64>,
 ) {
-    evict_lru(store, keep, budget, TraceEntry::bytes, |e| e.last_use);
+    evict_lru(
+        store,
+        keep,
+        budget,
+        TraceEntry::bytes,
+        |e| e.last_use,
+        &TRACE_EVICTIONS,
+    );
 }
 
 fn enforce_hist_budget_with(
@@ -278,7 +419,14 @@ fn enforce_hist_budget_with(
     keep: HistKey,
     budget: Option<u64>,
 ) {
-    evict_lru(store, keep, budget, HistEntry::bytes, |e| e.last_use);
+    evict_lru(
+        store,
+        keep,
+        budget,
+        HistEntry::bytes,
+        |e| e.last_use,
+        &HIST_EVICTIONS,
+    );
 }
 
 /// Bytes of trace data currently materialised in the store.
@@ -397,20 +545,32 @@ pub fn spec_timeline(
         return Arc::new(extract_streaming(program, seed, len, cache));
     }
     let key = (program, seed, len, *cache);
-    {
-        let store = lock_store(timelines());
-        fault::check_or_unwind(Site::Lock);
-        if let Some(tl) = store.get(&key) {
+    loop {
+        {
+            let store = lock_store(timelines());
+            fault::check_or_unwind(Site::Lock);
+            if let Some(tl) = store.get(&key) {
+                TIMELINE_HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(tl);
+            }
+        }
+        // Coalesce: exactly one thread extracts a cold key; everyone
+        // else blocks on the gate, then re-probes the memo.
+        let Some(_claim) = timeline_gate().claim(key) else {
+            continue;
+        };
+        // The claim may postdate another holder's insert — re-check.
+        if let Some(tl) = lock_store(timelines()).get(&key) {
             TIMELINE_HITS.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(tl);
         }
+        fault::check_or_unwind(Site::Extract);
+        TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
+        // Extract outside the store lock so hits never serialise
+        // behind the pass; the key gate already excludes duplicates.
+        let tl = Arc::new(extract_streaming(program, seed, len, cache));
+        return Arc::clone(lock_store(timelines()).entry(key).or_insert(tl));
     }
-    fault::check_or_unwind(Site::Extract);
-    TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
-    // Extract outside the lock: concurrent workers may duplicate the
-    // pass (first insertion wins) but never serialise behind it.
-    let tl = Arc::new(extract_streaming(program, seed, len, cache));
-    Arc::clone(lock_store(timelines()).entry(key).or_insert(tl))
 }
 
 /// Streams the proxy trace through a multi-granularity reuse-distance
@@ -467,40 +627,55 @@ pub fn spec_histograms(
         ));
     }
     let key = (program, seed, len, min_line, max_line, max_distance, warmup);
-    {
-        let mut store = lock_store(hists());
-        fault::check_or_unwind(Site::Lock);
-        if let Some(entry) = store.get_mut(&key) {
-            entry.last_use = tick();
-            HIST_HITS.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(&entry.data);
+    loop {
+        {
+            let mut store = lock_store(hists());
+            fault::check_or_unwind(Site::Lock);
+            if let Some(entry) = store.get_mut(&key) {
+                entry.last_use = tick();
+                HIST_HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.data);
+            }
         }
+        // Coalesce cold folds exactly like timelines: one claimer
+        // pays, waiters re-probe the memo once it releases.
+        let Some(_claim) = hist_gate().claim(key) else {
+            continue;
+        };
+        {
+            let mut store = lock_store(hists());
+            if let Some(entry) = store.get_mut(&key) {
+                entry.last_use = tick();
+                HIST_HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.data);
+            }
+        }
+        fault::check_or_unwind(Site::Extract);
+        HIST_MISSES.fetch_add(1, Ordering::Relaxed);
+        // Fold outside the store lock, and read the trace store's byte
+        // total before re-locking: the lock order is always traces →
+        // histograms, never the reverse.
+        let folded = Arc::new(fold_histograms(
+            program,
+            seed,
+            len,
+            min_line,
+            max_line,
+            max_distance,
+            warmup,
+        ));
+        let trace_bytes = bytes_resident();
+        let mut store = lock_store(hists());
+        let entry = store.entry(key).or_insert_with(|| HistEntry {
+            data: Arc::clone(&folded),
+            last_use: 0,
+        });
+        entry.last_use = tick();
+        let handle = Arc::clone(&entry.data);
+        let budget = trace_budget().map(|b| b.saturating_sub(trace_bytes));
+        enforce_hist_budget_with(&mut store, key, budget);
+        return handle;
     }
-    fault::check_or_unwind(Site::Extract);
-    HIST_MISSES.fetch_add(1, Ordering::Relaxed);
-    // Fold outside the lock (first insertion wins), and read the trace
-    // store's byte total before re-locking: the lock order is always
-    // traces → histograms, never the reverse.
-    let folded = Arc::new(fold_histograms(
-        program,
-        seed,
-        len,
-        min_line,
-        max_line,
-        max_distance,
-        warmup,
-    ));
-    let trace_bytes = bytes_resident();
-    let mut store = lock_store(hists());
-    let entry = store.entry(key).or_insert_with(|| HistEntry {
-        data: Arc::clone(&folded),
-        last_use: 0,
-    });
-    entry.last_use = tick();
-    let handle = Arc::clone(&entry.data);
-    let budget = trace_budget().map(|b| b.saturating_sub(trace_bytes));
-    enforce_hist_budget_with(&mut store, key, budget);
-    handle
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod artifact;
 pub mod chart;
 pub mod csv;
 pub mod hash;
+pub mod json;
 pub mod manifest;
 pub mod table;
 
@@ -30,5 +31,6 @@ pub use artifact::{Artifact, ArtifactKind};
 pub use chart::Chart;
 pub use csv::{write_artifact, write_csv};
 pub use hash::sha256_hex;
+pub use json::Json;
 pub use manifest::{Drift, Manifest, ManifestEntry, MANIFEST_NAME};
 pub use table::Table;

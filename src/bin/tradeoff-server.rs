@@ -1,0 +1,63 @@
+//! The `tradeoff-server` binary: a long-running HTTP/JSON query
+//! service over the typed `tradeoff::api` dispatch, keeping the trace
+//! store warm across requests.
+//!
+//! ```text
+//! tradeoff-server [--addr 127.0.0.1:7878] [--threads N] [--addr-file PATH]
+//! ```
+//!
+//! Endpoints: `POST /query`, `GET /experiments`, `GET /stats`,
+//! `POST /shutdown`. Exit codes: `0` after a graceful shutdown, `1` on
+//! bind or I/O failure, `2` on bad usage.
+
+use unified_tradeoff::server::{serve, ServerConfig};
+
+fn usage() -> String {
+    "usage: tradeoff-server [--addr HOST:PORT] [--threads N] [--addr-file PATH]\n\
+     \n\
+     Serves POST /query, GET /experiments, GET /stats and POST /shutdown\n\
+     over the typed tradeoff::api dispatch. Bind port 0 for an ephemeral\n\
+     port; --addr-file records the actual bound address after startup.\n\
+     Exit codes: 0 graceful shutdown, 1 I/O failure, 2 bad usage"
+        .to_string()
+}
+
+fn parse(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        if key == "--help" || key == "-h" || key == "help" {
+            return Err(usage());
+        }
+        let value = it.next().ok_or(format!("{key} needs a value"))?;
+        match key.as_str() {
+            "--addr" => cfg.addr = value.clone(),
+            "--threads" => {
+                cfg.threads = value
+                    .parse()
+                    .map_err(|_| format!("--threads: not an integer: {value:?}"))?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--addr-file" => cfg.addr_file = Some(std::path::PathBuf::from(value)),
+            other => return Err(format!("unknown option {other:?}\n{}", usage())),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = serve(&cfg) {
+        eprintln!("tradeoff-server: {e}");
+        std::process::exit(1);
+    }
+}

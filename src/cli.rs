@@ -1,30 +1,41 @@
 //! Implementation of the `tradeoff` command-line tool.
 //!
-//! The binary (`src/bin/tradeoff.rs`) is a thin wrapper; everything here
-//! is plain functions over parsed options so the behaviour is unit
-//! tested. Subcommands:
+//! The binary (`src/bin/tradeoff-cli.rs`) is a thin wrapper; everything
+//! here is plain functions over a typed [`Command`] so the behaviour is
+//! unit tested. Every query subcommand is a thin formatter over
+//! [`tradeoff::api::dispatch`] — the same call that answers the
+//! `tradeoff-server` endpoints — so CLI and server answers are
+//! byte-derived from one code path. Subcommands:
 //!
 //! * `price` — the hit ratio each feature is worth at a design point;
 //! * `crossover` — where pipelined memory starts to win;
 //! * `linesize` — optimal line size for a measured hit-ratio curve;
 //! * `simulate` — run a SPEC92 proxy through the cycle-accurate
-//!   simulator;
+//!   simulator (memoised timeline replay, bit-identical to a full run);
 //! * `design` — enumerate bus/buffer/pipeline configurations meeting a
 //!   mean-access-time target at minimum pin cost;
 //! * `grid` — answer a (size × line × assoc) hit-ratio grid with the
 //!   simulated or the closed-form analytic backend;
+//! * `query` — raw wire-format access: dispatch a JSON request locally,
+//!   or act as a client against a running `tradeoff-server`;
 //! * `experiments` — list, run (serially or `--jobs N`-parallel) and
 //!   hash-verify the registered paper experiments.
+//!
+//! Option parsing converts `--key value` pairs to a JSON object and
+//! lets [`QueryRequest::from_json`] validate it, so unknown flags and
+//! malformed values are rejected by the same strict schema the server
+//! enforces — always as bad usage (exit 2), never as a failure.
 
-use report::Table;
-use simcache::CacheConfig;
-use simcpu::{Cpu, CpuConfig, StallFeature};
-use simmem::{BusWidth, MemoryTiming};
-use simtrace::spec92::{spec92_trace, Spec92Program};
+use crate::server;
+use bench::queryenv::StoreWorkloads;
+use report::{Json, Table};
 use std::collections::BTreeMap;
-use tradeoff::cost::PinModel;
-use tradeoff::linesize::{optimal_line_eq19, optimal_line_smith, FillTiming, LineCandidate};
-use tradeoff::{mean_access_time, HitRatio, Machine, SystemConfig};
+use std::path::PathBuf;
+use tradeoff::api::{
+    self, ApiError, ApiErrorKind, DenseGrid, GridQuery, GridRows, QueryRequest, QueryResponse,
+};
+use tradeoff::linesize::LineCandidate;
+use tradeoff::HitRatio;
 
 /// A parsed `--key value` option map.
 pub type Options = BTreeMap<String, String>;
@@ -78,15 +89,81 @@ impl CliError {
     }
 }
 
-/// Splits raw arguments into a subcommand and its `--key value` options.
-///
-/// # Errors
-///
-/// Returns a usage message when the subcommand is missing or an option
-/// has no value.
-pub fn parse_args(args: &[String]) -> Result<(String, Options), String> {
-    let mut it = args.iter();
-    let cmd = it.next().ok_or_else(usage)?.clone();
+/// Maps a typed API error onto the CLI's exit-code scheme: bad requests
+/// are usage (exit 2), backend failures are failures (exit 1).
+fn from_api(e: ApiError) -> CliError {
+    match e.kind {
+        ApiErrorKind::BadRequest => CliError::Usage(e.message),
+        ApiErrorKind::Internal => CliError::Failure {
+            document: String::new(),
+            summary: e.message,
+        },
+    }
+}
+
+/// One fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `help` / `--help` / `-h`: print usage.
+    Help,
+    /// A classic subcommand: dispatch the typed request and render the
+    /// human-readable report.
+    Report(QueryRequest),
+    /// `query --json …` without `--server`: dispatch locally, print the
+    /// wire-format JSON response.
+    Wire(QueryRequest),
+    /// `query --server …`: client call against a running server.
+    Client {
+        /// `host:port` of the server.
+        addr: String,
+        /// What to ask it.
+        call: ClientCall,
+    },
+    /// `experiments …` over the bench registry.
+    Experiments(ExperimentsCmd),
+}
+
+/// A client-mode call against a running `tradeoff-server`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientCall {
+    /// `POST /query` with a typed request.
+    Query(QueryRequest),
+    /// `GET /stats`.
+    Stats,
+    /// `GET /experiments`.
+    Experiments,
+    /// `POST /shutdown` — graceful stop.
+    Shutdown,
+}
+
+/// The `experiments` subcommand actions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentsCmd {
+    /// List the registry.
+    List,
+    /// Run a filtered selection through the scheduler.
+    Run {
+        /// Tag/id filter (empty = all).
+        filter: String,
+        /// Parallel jobs.
+        jobs: usize,
+        /// Results directory override.
+        results_dir: Option<PathBuf>,
+        /// Keep going past failures, reporting a degraded suite.
+        keep_going: bool,
+    },
+    /// Verify artifacts against the content-hashed manifest.
+    Verify {
+        /// Results directory override.
+        results_dir: Option<PathBuf>,
+        /// Manifest path override.
+        manifest: Option<PathBuf>,
+    },
+}
+
+/// Splits `--key value` pairs into an option map.
+fn parse_opts<'a>(args: impl Iterator<Item = &'a String>) -> Result<Options, String> {
+    let mut it = args;
     let mut opts = Options::new();
     while let Some(key) = it.next() {
         let key = key
@@ -95,11 +172,169 @@ pub fn parse_args(args: &[String]) -> Result<(String, Options), String> {
         let value = it.next().ok_or(format!("--{key} needs a value"))?;
         opts.insert(key.to_string(), value.clone());
     }
-    Ok((cmd, opts))
+    Ok(opts)
+}
+
+/// Parses raw arguments into a typed [`Command`].
+///
+/// # Errors
+///
+/// [`CliError::Usage`] when the subcommand is missing or unknown, an
+/// option is malformed, or a value fails the query schema.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let cmd = args.first().ok_or_else(|| CliError::Usage(usage()))?;
+    match cmd.as_str() {
+        "experiments" => parse_experiments(&args[1..]),
+        "query" => parse_query(&args[1..]),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "price" | "crossover" | "linesize" | "simulate" | "design" | "grid" => {
+            let opts = parse_opts(args[1..].iter()).map_err(CliError::Usage)?;
+            Ok(Command::Report(query_from_options(cmd, &opts)?))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// Builds a typed query from a subcommand name and its option map by
+/// round-tripping through the wire schema: the map becomes a JSON
+/// object and [`QueryRequest::from_json`] applies the same strict
+/// validation the server does (unknown keys rejected, exit 2).
+fn query_from_options(cmd: &str, opts: &Options) -> Result<QueryRequest, CliError> {
+    let mut fields = vec![("query".to_string(), Json::str(cmd))];
+    for (key, value) in opts {
+        let json = match key.as_str() {
+            "curve" => {
+                let curve = parse_curve(value).map_err(CliError::Usage)?;
+                Json::Arr(
+                    curve
+                        .iter()
+                        .map(|c| {
+                            Json::Arr(vec![
+                                Json::num(c.line_bytes),
+                                Json::num(c.hit_ratio.value()),
+                            ])
+                        })
+                        .collect(),
+                )
+            }
+            "programs" => Json::Arr(
+                value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(Json::str)
+                    .collect(),
+            ),
+            _ => match value.parse::<f64>() {
+                Ok(n) if n.is_finite() => Json::num(n),
+                _ => Json::str(value.as_str()),
+            },
+        };
+        fields.push((key.clone(), json));
+    }
+    QueryRequest::from_json(&Json::Obj(fields)).map_err(from_api)
+}
+
+/// Parses the `query` subcommand: local wire dispatch or client mode.
+fn parse_query(args: &[String]) -> Result<Command, CliError> {
+    // `--shutdown` is a bare flag; the option grammar is strictly
+    // `--key value` pairs, so strip it before parsing.
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let mut opts =
+        parse_opts(args.iter().filter(|a| *a != "--shutdown")).map_err(CliError::Usage)?;
+    let server = opts.remove("server");
+    let json = opts.remove("json");
+    let get = opts.remove("get");
+    if let Some(stray) = opts.keys().next() {
+        return Err(CliError::Usage(format!(
+            "query does not take --{stray}\n{}",
+            usage()
+        )));
+    }
+    let request = json
+        .map(|text| QueryRequest::from_json_str(&text).map_err(from_api))
+        .transpose()?;
+    let call = match (shutdown, get, request) {
+        (true, None, None) => ClientCall::Shutdown,
+        (false, Some(what), None) => match what.as_str() {
+            "stats" => ClientCall::Stats,
+            "experiments" => ClientCall::Experiments,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--get wants stats or experiments, got {other:?}"
+                )))
+            }
+        },
+        (false, None, Some(req)) => match server {
+            Some(addr) => {
+                return Ok(Command::Client {
+                    addr,
+                    call: ClientCall::Query(req),
+                })
+            }
+            None => return Ok(Command::Wire(req)),
+        },
+        _ => {
+            return Err(CliError::Usage(format!(
+            "query needs exactly one of --json REQUEST, --get stats|experiments or --shutdown\n{}",
+            usage()
+        )))
+        }
+    };
+    // Everything but a local --json dispatch needs a server to talk to.
+    let addr = server.ok_or_else(|| {
+        CliError::Usage("--get and --shutdown need --server HOST:PORT".to_string())
+    })?;
+    Ok(Command::Client { addr, call })
+}
+
+/// Parses the `experiments` subcommand actions.
+fn parse_experiments(args: &[String]) -> Result<Command, CliError> {
+    // `--keep-going` is a bare flag; strip it before `--key value`
+    // parsing, as for `query --shutdown`.
+    let keep_going = args.iter().any(|a| a == "--keep-going");
+    let args: Vec<&String> = args.iter().filter(|a| *a != "--keep-going").collect();
+    let Some((action, rest)) = args.split_first() else {
+        return Ok(Command::Experiments(ExperimentsCmd::List));
+    };
+    let mut opts = parse_opts(rest.iter().copied()).map_err(CliError::Usage)?;
+    let cmd = match action.as_str() {
+        "list" => ExperimentsCmd::List,
+        "run" => ExperimentsCmd::Run {
+            filter: opts.remove("filter").unwrap_or_default(),
+            jobs: match opts.remove("jobs") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--jobs: not an integer: {v:?}")))?,
+                None => 1,
+            },
+            results_dir: opts.remove("results-dir").map(PathBuf::from),
+            keep_going,
+        },
+        "verify" => ExperimentsCmd::Verify {
+            results_dir: opts.remove("results-dir").map(PathBuf::from),
+            manifest: opts.remove("manifest").map(PathBuf::from),
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown experiments action {other:?}\n{}",
+                usage()
+            )))
+        }
+    };
+    if let Some(stray) = opts.keys().next() {
+        return Err(CliError::Usage(format!(
+            "experiments {action} does not take --{stray}\n{}",
+            usage()
+        )));
+    }
+    Ok(Command::Experiments(cmd))
 }
 
 fn usage() -> String {
-    "usage: tradeoff <price|crossover|linesize|simulate|design|grid|experiments> [--option value]...\n\
+    "usage: tradeoff <price|crossover|linesize|simulate|design|grid|query|experiments> [--option value]...\n\
      \n\
      price       --bus 4 --line 32 --beta 8 --hr 0.95 [--alpha 0.5] [--q 2] [--width 1]\n\
      crossover   --chunks 8 --q 2 [--alpha 0.5]\n\
@@ -109,6 +344,8 @@ fn usage() -> String {
      design      --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]\n\
      grid        [--backend sim|analytic] [--instructions 120000] [--target 0.9]\n\
      \u{20}           [--sets 2084] [--assoc 16]  (dense bounds, analytic backend only)\n\
+     query       --json REQUEST            (dispatch locally, print wire JSON)\n\
+     query       --server HOST:PORT --json REQUEST | --get stats|experiments | --shutdown\n\
      experiments list\n\
      experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR] [--keep-going]\n\
      experiments verify [--results-dir DIR] [--manifest FILE]\n\
@@ -117,32 +354,15 @@ fn usage() -> String {
         .to_string()
 }
 
-fn get_f64(opts: &Options, key: &str, default: Option<f64>) -> Result<f64, String> {
-    match opts.get(key) {
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{key}: not a number: {v:?}")),
-        None => default.ok_or(format!("missing required --{key}")),
-    }
-}
-
-fn get_u64(opts: &Options, key: &str, default: Option<u64>) -> Result<u64, String> {
-    match opts.get(key) {
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{key}: not an integer: {v:?}")),
-        None => default.ok_or(format!("missing required --{key}")),
-    }
-}
-
 /// Runs one CLI invocation and returns its report.
 ///
 /// Thin wrapper over [`run_cli`] that flattens the typed error to its
-/// message — the shape the unit tests (and any library callers) use.
+/// message — kept for the original seed tests and library callers.
 ///
 /// # Errors
 ///
 /// Returns a user-facing message on bad arguments.
+#[deprecated(note = "use run_cli, which keeps the typed exit-code mapping")]
 pub fn run(args: &[String]) -> Result<String, String> {
     run_cli(args).map_err(|e| e.message().to_string())
 }
@@ -153,176 +373,229 @@ pub fn run(args: &[String]) -> Result<String, String> {
 /// # Errors
 ///
 /// [`CliError::Usage`] on bad arguments, [`CliError::Failure`] when
-/// experiments fail, [`CliError::Drift`] on manifest drift or write
-/// errors.
+/// experiments or a backend fail, [`CliError::Drift`] on manifest drift
+/// or write errors.
 pub fn run_cli(args: &[String]) -> Result<String, CliError> {
-    if args.first().map(String::as_str) == Some("experiments") {
-        return experiments(&args[1..]);
-    }
-    let plain = |r: Result<String, String>| r.map_err(CliError::Usage);
-    let (cmd, opts) = parse_args(args).map_err(CliError::Usage)?;
-    match cmd.as_str() {
-        "price" => plain(price(&opts)),
-        "crossover" => plain(crossover(&opts)),
-        "linesize" => plain(linesize(&opts)),
-        "simulate" => plain(simulate(&opts)),
-        "design" => plain(design(&opts)),
-        "grid" => plain(grid(&opts)),
-        "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError::Usage(format!(
-            "unknown subcommand {other:?}\n{}",
-            usage()
-        ))),
+    match parse_args(args)? {
+        Command::Help => Ok(usage()),
+        Command::Report(req) => {
+            let started = std::time::Instant::now();
+            let resp = api::dispatch(&req, &StoreWorkloads).map_err(from_api)?;
+            Ok(render(&req, &resp, started.elapsed().as_secs_f64()))
+        }
+        Command::Wire(req) => {
+            let resp = api::dispatch(&req, &StoreWorkloads).map_err(from_api)?;
+            Ok(resp.to_json_string())
+        }
+        Command::Client { addr, call } => client(&addr, &call),
+        Command::Experiments(cmd) => experiments(&cmd),
     }
 }
 
-/// Maps a [`bench::Error`] from the suite driver to the CLI's typed
-/// error: no-match filters are usage, experiment failures are failures,
-/// write errors are drift-class (the results directory is suspect).
-fn from_bench(e: bench::Error) -> CliError {
-    match e {
-        bench::Error::NoMatch { .. } => CliError::Usage(e.to_string()),
-        bench::Error::Experiment { .. } => CliError::Failure {
-            document: String::new(),
-            summary: e.to_string(),
-        },
-        bench::Error::Write { .. } => CliError::Drift(e.to_string()),
-    }
-}
-
-/// The `tradeoff experiments <list|run|verify>` subcommand over the
-/// bench registry.
-///
-/// # Errors
-///
-/// Returns a typed error on bad arguments, unknown experiments or
-/// manifest drift.
-fn experiments(args: &[String]) -> Result<String, CliError> {
-    // `--keep-going` is a bare flag; the option grammar is strictly
-    // `--key value` pairs, so strip it before parsing.
-    let keep_going = args.iter().any(|a| a == "--keep-going");
-    let args: Vec<String> = args
-        .iter()
-        .filter(|a| *a != "--keep-going")
-        .cloned()
-        .collect();
-    let (action, opts) = if args.is_empty() {
-        ("list".to_string(), Options::new())
-    } else {
-        parse_args(&args).map_err(CliError::Usage)?
+/// Performs one client-mode call against a running server. The 200
+/// body is returned without its trailing newline, so `println!` in the
+/// binary reproduces the server bytes exactly — and matches what the
+/// same request prints via local dispatch.
+fn client(addr: &str, call: &ClientCall) -> Result<String, CliError> {
+    let (method, path, body) = match call {
+        ClientCall::Query(req) => ("POST", "/query", Some(req.to_json().render())),
+        ClientCall::Stats => ("GET", "/stats", None),
+        ClientCall::Experiments => ("GET", "/experiments", None),
+        ClientCall::Shutdown => ("POST", "/shutdown", None),
     };
-    match action.as_str() {
-        "list" => {
-            let mut t = Table::new(["id", "tags", "shared traces", "title"]);
-            for e in bench::registry::all() {
+    let (status, body) =
+        server::http_call(addr, method, path, body.as_deref()).map_err(|summary| {
+            CliError::Failure {
+                document: String::new(),
+                summary,
+            }
+        })?;
+    let body = body.trim_end_matches('\n').to_string();
+    match status {
+        200 => Ok(body),
+        400..=499 => Err(CliError::Usage(body)),
+        _ => Err(CliError::Failure {
+            document: String::new(),
+            summary: body,
+        }),
+    }
+}
+
+/// Renders the human-readable report for a dispatched query — the
+/// formats the pre-API CLI printed, reproduced from the typed response.
+fn render(req: &QueryRequest, resp: &QueryResponse, secs: f64) -> String {
+    match resp {
+        QueryResponse::Price(r) => {
+            let q = &r.query;
+            let mut t = Table::new(["feature", "worth (ΔHR)", "equal-performance HR"]);
+            for f in &r.features {
                 t.row([
-                    e.id().to_string(),
-                    e.tags().join(","),
-                    e.depends_on_traces().join(","),
-                    e.title().to_string(),
+                    f.feature.clone(),
+                    format!("{:+.3}%", 100.0 * f.delta_hr),
+                    format!("{:.2}%", 100.0 * f.equal_performance_hr),
                 ]);
             }
-            Ok(t.render())
+            format!(
+                "Design point: D={}B L={}B β_m={} α={} HR={:.2}% issue width {}\n{}",
+                q.bus,
+                q.line,
+                q.beta,
+                q.alpha,
+                100.0 * q.hr,
+                q.width,
+                t.render()
+            )
         }
-        "run" => {
-            let filter = opts.get("filter").cloned().unwrap_or_default();
-            let jobs = get_u64(&opts, "jobs", Some(1)).map_err(CliError::Usage)? as usize;
-            let dir = opts
-                .get("results-dir")
-                .map_or_else(bench::common::results_dir, std::path::PathBuf::from);
-            let sched_opts =
-                bench::sched::SuiteOptions::new(jobs, bench::registry::RunCtx::standard())
-                    .keep_going(keep_going);
-            let outcome = bench::sched::drive(&filter, &sched_opts, &dir).map_err(from_bench)?;
-            eprintln!("{}", outcome.run.footer());
-            if outcome.run.has_failures() {
-                return Err(CliError::Failure {
-                    document: outcome.run.document(),
-                    summary: outcome.run.failure_summary(),
-                });
+        QueryResponse::Crossover(r) => {
+            let q = &r.query;
+            let fmt = |x: Option<f64>| x.map_or("never".to_string(), |b| format!("β_m > {b:.2}"));
+            format!(
+                "L/D = {}, q = {}, α = {}:\n  pipelined beats doubling bus: {}\n  pipelined beats write buffers: {}\n",
+                q.chunks,
+                q.q,
+                q.alpha,
+                fmt(r.vs_double_bus),
+                fmt(r.vs_write_buffers)
+            )
+        }
+        QueryResponse::Linesize(r) => {
+            let q = &r.query;
+            format!(
+                "fill time c={} β={}, D={}B:\n  Smith (Eq. 16): {} B\n  paper (Eq. 19): {} B\n  agree: {}\n",
+                q.c, q.beta, q.bus, r.smith_line_bytes, r.eq19_line_bytes, r.agree
+            )
+        }
+        QueryResponse::Design(r) => {
+            let q = &r.query;
+            if r.feasible.is_empty() {
+                return format!(
+                    "No configuration reaches a mean access time of {} at HR {:.2}% — \
+                     raise the hit ratio or relax the target.\n",
+                    q.target,
+                    100.0 * q.hr
+                );
             }
-            Ok(outcome.run.document())
+            let mut t = Table::new([
+                "pins",
+                "bus",
+                "write buffers",
+                "pipelined",
+                "mean access time",
+            ]);
+            for row in &r.feasible {
+                t.row([
+                    row.pins.to_string(),
+                    format!("{}-bit", row.bus as u64 * 8),
+                    row.write_buffers.to_string(),
+                    row.pipelined.to_string(),
+                    format!("{:.3}", row.mean_access_time),
+                ]);
+            }
+            format!(
+                "Configurations meeting mean access time ≤ {} at HR {:.2}% (fewest pins first):\n{}",
+                q.target,
+                100.0 * q.hr,
+                t.render()
+            )
         }
-        "verify" => {
-            let dir = opts
-                .get("results-dir")
-                .map_or_else(bench::common::results_dir, std::path::PathBuf::from);
-            let manifest_path = opts
-                .get("manifest")
-                .map_or_else(|| dir.join(report::MANIFEST_NAME), std::path::PathBuf::from);
-            let json = std::fs::read_to_string(&manifest_path).map_err(|e| {
-                CliError::Usage(format!("reading {}: {e}", manifest_path.display()))
-            })?;
-            let manifest = report::Manifest::parse(&json).map_err(CliError::Usage)?;
-            let drift = manifest.verify_dir(&dir);
-            if drift.is_empty() {
-                Ok(format!(
-                    "{} artifacts verified against {}\n",
-                    manifest.entries.len(),
-                    manifest_path.display()
-                ))
-            } else {
-                Err(CliError::Drift(
-                    drift
-                        .iter()
-                        .map(|d| format!("drift: {d}"))
-                        .collect::<Vec<_>>()
-                        .join("\n"),
-                ))
+        QueryResponse::Simulate(r) => {
+            let q = &r.query;
+            let stall =
+                api::parse_stall(&q.stall).map_or_else(|_| q.stall.clone(), |s| s.to_string());
+            format!(
+                "{} × {} instructions, {stall}, {}B cache, L={}, D={}, β={}:\n  \
+                 {} cycles / {} instr (CPI {:.3}), HR {:.4}, φ {:.2}, α {:.3}\n",
+                q.program,
+                q.instructions,
+                q.cache,
+                q.line,
+                q.bus,
+                q.beta,
+                r.cycles,
+                q.instructions,
+                r.cpi,
+                r.hit_ratio,
+                r.phi,
+                r.alpha
+            )
+        }
+        QueryResponse::Grid(r) => {
+            let rate = r.points as f64 / secs;
+            match &r.rows {
+                GridRows::Sim(rows) => {
+                    let mut t = Table::new(["program", "best HR", "geometry"]);
+                    for row in rows {
+                        t.row([
+                            row.program.clone(),
+                            format!("{:.4}", row.best_hit_ratio),
+                            format!(
+                                "{} B, {} B lines, {}-way",
+                                row.cache_bytes, row.line_bytes, row.assoc
+                            ),
+                        ]);
+                    }
+                    format!(
+                        "backend sim: {} grid points in {secs:.2}s ({rate:.0} points/s)\n{}",
+                        r.points,
+                        t.render()
+                    )
+                }
+                GridRows::Dense(rows) => {
+                    let gq = match req {
+                        QueryRequest::Grid(gq) => gq.clone(),
+                        _ => GridQuery::default(),
+                    };
+                    let per_workload = DenseGrid {
+                        line_sizes: vec![8, 16, 32, 64, 128],
+                        max_sets: gq.max_sets,
+                        max_assoc: gq.max_assoc,
+                    }
+                    .points();
+                    let mut t = Table::new(["program", "cache", "geometry", "hit ratio"]);
+                    for row in rows {
+                        t.row(match &row.best {
+                            Some(b) => [
+                                row.program.clone(),
+                                format!("{} B", b.cache_bytes),
+                                format!("{} sets × {} B × {}-way", b.sets, b.line_bytes, b.assoc),
+                                format!("{:.4}", b.hit_ratio),
+                            ],
+                            None => [
+                                row.program.clone(),
+                                "-".to_string(),
+                                "unreachable".to_string(),
+                                "-".to_string(),
+                            ],
+                        });
+                    }
+                    format!(
+                        "backend analytic: {} grid points in {secs:.2}s ({rate:.0} points/s, \
+                         including one histogram fold per proxy)\n\
+                         \nCheapest geometry reaching HR ≥ {} on the dense analytic grid \
+                         ({per_workload} points/workload, {} total — set counts 1..={}, closed \
+                         form, no simulation):\n{}",
+                        r.points,
+                        r.target.unwrap_or(gq.target),
+                        r.points,
+                        gq.max_sets,
+                        t.render()
+                    )
+                }
             }
         }
-        other => Err(CliError::Usage(format!(
-            "unknown experiments action {other:?}\n{}",
-            usage()
-        ))),
+        QueryResponse::Experiments(r) => {
+            let mut t = Table::new(["id", "tags", "shared traces", "title"]);
+            for e in &r.experiments {
+                t.row([
+                    e.id.clone(),
+                    e.tags.join(","),
+                    e.traces.join(","),
+                    e.title.clone(),
+                ]);
+            }
+            t.render()
+        }
     }
-}
-
-fn price(opts: &Options) -> Result<String, String> {
-    let bus = get_f64(opts, "bus", Some(4.0))?;
-    let line = get_f64(opts, "line", Some(32.0))?;
-    let beta = get_f64(opts, "beta", Some(8.0))?;
-    let hr = HitRatio::new(get_f64(opts, "hr", None)?).map_err(|e| e.to_string())?;
-    let alpha = get_f64(opts, "alpha", Some(0.5))?;
-    let q = get_f64(opts, "q", Some(2.0))?;
-    let width = get_u64(opts, "width", Some(1))? as u32;
-
-    let machine = Machine::new(bus, line, beta).map_err(|e| e.to_string())?;
-    let base = SystemConfig::full_stalling(alpha);
-    let features = [
-        ("doubling bus", base.with_bus_factor(2.0)),
-        ("write buffers", base.with_write_buffers()),
-        ("pipelined memory", base.with_pipelined_memory(q)),
-    ];
-    let mut t = Table::new(["feature", "worth (ΔHR)", "equal-performance HR"]);
-    for (name, enh) in features {
-        let dhr = tradeoff::multiissue::traded_hit_ratio_w(&machine, &base, &enh, hr, width)
-            .map_err(|e| e.to_string())?;
-        let hr2 = (hr.value() - dhr).max(0.0);
-        t.row([
-            name.to_string(),
-            format!("{:+.3}%", 100.0 * dhr),
-            format!("{:.2}%", 100.0 * hr2),
-        ]);
-    }
-    Ok(format!(
-        "Design point: D={bus}B L={line}B β_m={beta} α={alpha} HR={hr} issue width {width}\n{}",
-        t.render()
-    ))
-}
-
-fn crossover(opts: &Options) -> Result<String, String> {
-    let chunks = get_f64(opts, "chunks", None)?;
-    let q = get_f64(opts, "q", Some(2.0))?;
-    let alpha = get_f64(opts, "alpha", Some(0.5))?;
-    let vs_bus = tradeoff::crossover::pipelined_vs_double_bus(chunks, q);
-    let vs_wb = tradeoff::crossover::pipelined_vs_write_buffers(chunks, q, alpha);
-    let fmt = |x: Option<f64>| x.map_or("never".to_string(), |b| format!("β_m > {b:.2}"));
-    Ok(format!(
-        "L/D = {chunks}, q = {q}, α = {alpha}:\n  pipelined beats doubling bus: {}\n  pipelined beats write buffers: {}\n",
-        fmt(vs_bus),
-        fmt(vs_wb)
-    ))
 }
 
 /// Parses a `8:0.90,16:0.94` hit-ratio curve.
@@ -352,185 +625,84 @@ pub fn parse_curve(spec: &str) -> Result<Vec<LineCandidate>, String> {
         .collect()
 }
 
-fn linesize(opts: &Options) -> Result<String, String> {
-    let c = get_f64(opts, "c", None)?;
-    let beta = get_f64(opts, "beta", None)?;
-    let bus = get_f64(opts, "bus", Some(4.0))?;
-    let curve = parse_curve(opts.get("curve").ok_or("missing required --curve")?)?;
-    let timing = FillTiming::new(c, beta).map_err(|e| e.to_string())?;
-    let smith = optimal_line_smith(&timing, bus, &curve).map_err(|e| e.to_string())?;
-    let ours = optimal_line_eq19(&timing, bus, &curve).map_err(|e| e.to_string())?;
-    Ok(format!(
-        "fill time c={c} β={beta}, D={bus}B:\n  Smith (Eq. 16): {} B\n  paper (Eq. 19): {} B\n  agree: {}\n",
-        smith.line_bytes,
-        ours.line_bytes,
-        smith.line_bytes == ours.line_bytes
-    ))
-}
-
-fn parse_stall(name: &str) -> Result<StallFeature, String> {
-    Ok(match name {
-        "fs" => StallFeature::FullStall,
-        "bl" => StallFeature::BusLocked,
-        "bnl1" => StallFeature::BusNotLocked1,
-        "bnl2" => StallFeature::BusNotLocked2,
-        "bnl3" => StallFeature::BusNotLocked3,
-        "nb" => StallFeature::NonBlocking { mshrs: 4 },
-        other => return Err(format!("unknown stalling feature {other:?}")),
-    })
-}
-
-fn simulate(opts: &Options) -> Result<String, String> {
-    let program_name = opts.get("program").ok_or("missing required --program")?;
-    let program = Spec92Program::ALL
-        .into_iter()
-        .find(|p| p.name() == program_name)
-        .ok_or(format!("unknown program {program_name:?}"))?;
-    let n = get_u64(opts, "instructions", Some(100_000))? as usize;
-    let stall = parse_stall(opts.get("stall").map_or("fs", String::as_str))?;
-    let cache = get_u64(opts, "cache", Some(8 * 1024))?;
-    let line = get_u64(opts, "line", Some(32))?;
-    let bus = get_u64(opts, "bus", Some(4))?;
-    let beta = get_u64(opts, "beta", Some(8))?;
-
-    let cfg = CpuConfig::baseline(
-        CacheConfig::new(cache, line, 2).map_err(|e| e.to_string())?,
-        MemoryTiming::new(BusWidth::new(bus).map_err(|e| e.to_string())?, beta),
-    )
-    .with_stall(stall);
-    cfg.validate()?;
-    let r = Cpu::new(cfg).run(spec92_trace(program, 1).take(n));
-    Ok(format!(
-        "{program} × {n} instructions, {stall}, {cache}B cache, L={line}, D={bus}, β={beta}:\n  {r}\n",
-    ))
-}
-
-/// The `tradeoff grid` subcommand: answer a hit-ratio design grid with
-/// either backend. `sim` replays the Figure-6 comparison grid through
-/// single-pass stack-distance sweeps; `analytic` walks a dense
-/// closed-form grid (every set count `1..=--sets`, every way count
-/// `1..=--assoc`) that no simulator pass could afford, reporting the
-/// cheapest geometry per proxy reaching `--target`.
-fn grid(opts: &Options) -> Result<String, String> {
-    use simcache::HitRatioBackend;
-    let backend = opts.get("backend").map_or("analytic", String::as_str);
-    let n = get_u64(opts, "instructions", Some(120_000))? as usize;
-    let warmup = n as u64 / 5;
-    let programs = Spec92Program::ALL;
-    match backend {
-        "sim" => {
-            let spec = bench::grid::GridSpec::comparison(warmup);
-            let start = std::time::Instant::now();
-            let mut t = Table::new(["program", "best HR", "geometry"]);
-            let mut points = 0usize;
-            for &program in &programs {
-                let sim = bench::grid::build_simulated(program, &spec, n);
-                let mut best: Option<(f64, u64, u64, u32)> = None;
-                for &cache in &spec.cache_sizes {
-                    for &line in &spec.line_sizes {
-                        for &assoc in &spec.assocs {
-                            let hr = sim
-                                .hit_ratio(cache, line, assoc)
-                                .map_err(|e| e.to_string())?;
-                            points += 1;
-                            if best.is_none_or(|b| hr > b.0) {
-                                best = Some((hr, cache, line, assoc));
-                            }
-                        }
-                    }
-                }
-                let (hr, cache, line, assoc) = best.expect("grid is nonempty");
-                t.row([
-                    program.to_string(),
-                    format!("{hr:.4}"),
-                    format!("{cache} B, {line} B lines, {assoc}-way"),
-                ]);
-            }
-            let secs = start.elapsed().as_secs_f64();
-            Ok(format!(
-                "backend sim: {points} grid points in {secs:.2}s ({:.0} points/s)\n{}",
-                points as f64 / secs,
-                t.render()
-            ))
-        }
-        "analytic" => {
-            let target = get_f64(opts, "target", Some(0.9))?;
-            let dense = bench::grid::DenseGrid {
-                line_sizes: vec![8, 16, 32, 64, 128],
-                max_sets: get_u64(opts, "sets", Some(2084))?,
-                max_assoc: get_u64(opts, "assoc", Some(16))? as u32,
-            };
-            let points = dense.points() * programs.len();
-            let start = std::time::Instant::now();
-            let body = bench::grid::dense_render(&programs, &dense, n, warmup, target);
-            let secs = start.elapsed().as_secs_f64();
-            Ok(format!(
-                "backend analytic: {points} grid points in {secs:.2}s ({:.0} points/s, \
-                 including one histogram fold per proxy)\n{body}",
-                points as f64 / secs,
-            ))
-        }
-        other => Err(format!("unknown backend {other:?} (want sim or analytic)")),
+/// Maps a [`bench::Error`] from the suite driver to the CLI's typed
+/// error: no-match filters are usage, experiment failures are failures,
+/// write errors are drift-class (the results directory is suspect).
+fn from_bench(e: bench::Error) -> CliError {
+    match e {
+        bench::Error::NoMatch { .. } => CliError::Usage(e.to_string()),
+        bench::Error::Experiment { .. } => CliError::Failure {
+            document: String::new(),
+            summary: e.to_string(),
+        },
+        bench::Error::Write { .. } => CliError::Drift(e.to_string()),
     }
 }
 
-fn design(opts: &Options) -> Result<String, String> {
-    let hr = HitRatio::new(get_f64(opts, "hr", None)?).map_err(|e| e.to_string())?;
-    let target = get_f64(opts, "target", None)?;
-    let line = get_f64(opts, "line", Some(32.0))?;
-    let beta = get_f64(opts, "beta", Some(8.0))?;
-    let alpha = get_f64(opts, "alpha", Some(0.5))?;
-    let pins = PinModel::default();
-
-    let mut feasible = Vec::new();
-    for bus in [4.0, 8.0, 16.0] {
-        if line < bus {
-            continue;
+/// The `tradeoff experiments <list|run|verify>` subcommand over the
+/// bench registry.
+fn experiments(cmd: &ExperimentsCmd) -> Result<String, CliError> {
+    match cmd {
+        ExperimentsCmd::List => {
+            // The listing is the `experiments` query, rendered.
+            let req = QueryRequest::Experiments;
+            let resp = api::dispatch(&req, &StoreWorkloads).map_err(from_api)?;
+            Ok(render(&req, &resp, 0.0))
         }
-        let machine = Machine::new(bus, line, beta).map_err(|e| e.to_string())?;
-        for buffered in [false, true] {
-            for piped in [false, true] {
-                let mut sys = SystemConfig::full_stalling(alpha);
-                if buffered {
-                    sys = sys.with_write_buffers();
-                }
-                if piped {
-                    sys = sys.with_pipelined_memory(2.0);
-                }
-                let t = mean_access_time(&machine, &sys, hr).map_err(|e| e.to_string())?;
-                if t <= target {
-                    feasible.push((pins.pins(bus as u64), bus, buffered, piped, t));
-                }
+        ExperimentsCmd::Run {
+            filter,
+            jobs,
+            results_dir,
+            keep_going,
+        } => {
+            let dir = results_dir
+                .clone()
+                .unwrap_or_else(bench::common::results_dir);
+            let sched_opts =
+                bench::sched::SuiteOptions::new(*jobs, bench::registry::RunCtx::standard())
+                    .keep_going(*keep_going);
+            let outcome = bench::sched::drive(filter, &sched_opts, &dir).map_err(from_bench)?;
+            eprintln!("{}", outcome.run.footer());
+            if outcome.run.has_failures() {
+                return Err(CliError::Failure {
+                    document: outcome.run.document(),
+                    summary: outcome.run.failure_summary(),
+                });
+            }
+            Ok(outcome.run.document())
+        }
+        ExperimentsCmd::Verify {
+            results_dir,
+            manifest,
+        } => {
+            let dir = results_dir
+                .clone()
+                .unwrap_or_else(bench::common::results_dir);
+            let manifest_path = manifest
+                .clone()
+                .unwrap_or_else(|| dir.join(report::MANIFEST_NAME));
+            let json = std::fs::read_to_string(&manifest_path).map_err(|e| {
+                CliError::Usage(format!("reading {}: {e}", manifest_path.display()))
+            })?;
+            let manifest = report::Manifest::parse(&json).map_err(CliError::Usage)?;
+            let drift = manifest.verify_dir(&dir);
+            if drift.is_empty() {
+                Ok(format!(
+                    "{} artifacts verified against {}\n",
+                    manifest.entries.len(),
+                    manifest_path.display()
+                ))
+            } else {
+                Err(CliError::Drift(
+                    drift
+                        .iter()
+                        .map(|d| format!("drift: {d}"))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                ))
             }
         }
     }
-    if feasible.is_empty() {
-        return Ok(format!(
-            "No configuration reaches a mean access time of {target} at HR {hr} — \
-             raise the hit ratio or relax the target.\n"
-        ));
-    }
-    feasible.sort_by(|a, b| a.0.cmp(&b.0).then(a.4.total_cmp(&b.4)));
-    let mut t = Table::new([
-        "pins",
-        "bus",
-        "write buffers",
-        "pipelined",
-        "mean access time",
-    ]);
-    for (p, bus, wb, piped, time) in &feasible {
-        t.row([
-            p.to_string(),
-            format!("{}-bit", *bus as u64 * 8),
-            wb.to_string(),
-            piped.to_string(),
-            format!("{time:.3}"),
-        ]);
-    }
-    Ok(format!(
-        "Configurations meeting mean access time ≤ {target} at HR {hr} (fewest pins first):\n{}",
-        t.render()
-    ))
 }
 
 #[cfg(test)]
@@ -541,49 +713,72 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    fn go(s: &str) -> Result<String, CliError> {
+        run_cli(&argv(s))
+    }
+
     #[test]
-    fn parse_args_splits_command_and_options() {
-        let (cmd, opts) = parse_args(&argv("price --hr 0.95 --beta 8")).unwrap();
-        assert_eq!(cmd, "price");
-        assert_eq!(opts.get("hr").unwrap(), "0.95");
-        assert_eq!(opts.get("beta").unwrap(), "8");
+    fn parse_args_builds_typed_commands() {
+        let Command::Report(QueryRequest::Price(p)) =
+            parse_args(&argv("price --hr 0.95 --beta 8")).unwrap()
+        else {
+            panic!("expected a price report command");
+        };
+        assert_eq!(p.hr, 0.95);
+        assert_eq!(p.beta, 8.0);
+        assert_eq!(p.bus, 4.0, "defaults fill unspecified flags");
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&argv("experiments")).unwrap(),
+            Command::Experiments(ExperimentsCmd::List)
+        );
     }
 
     #[test]
     fn parse_args_rejects_malformed() {
-        assert!(parse_args(&[]).is_err());
-        assert!(parse_args(&argv("price hr 0.95")).is_err());
-        assert!(parse_args(&argv("price --hr")).is_err());
+        for bad in [
+            "",
+            "price hr 0.95",
+            "price --hr",
+            "price --hr 0.95 --frob 1",
+        ] {
+            let err = parse_args(&argv(bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} must be usage, not failure");
+        }
+        assert!(parse_args(&argv("price --frob 1"))
+            .unwrap_err()
+            .message()
+            .contains("frob"));
     }
 
     #[test]
     fn price_reports_features() {
-        let out = run(&argv("price --hr 0.95")).unwrap();
+        let out = go("price --hr 0.95").unwrap();
         assert!(out.contains("doubling bus"));
         assert!(out.contains("write buffers"));
         assert!(out.contains("pipelined memory"));
+        assert!(out.contains("HR=95.00%"), "{out}");
     }
 
     #[test]
     fn price_requires_hr() {
-        let err = run(&argv("price")).unwrap_err();
-        assert!(err.contains("--hr"));
+        let err = go("price").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("hr"));
     }
 
     #[test]
     fn crossover_matches_closed_form() {
-        let out = run(&argv("crossover --chunks 8 --q 2")).unwrap();
+        let out = go("crossover --chunks 8 --q 2").unwrap();
         assert!(out.contains("β_m > 4.67"));
-        let never = run(&argv("crossover --chunks 2 --q 2")).unwrap();
+        let never = go("crossover --chunks 2 --q 2").unwrap();
         assert!(never.contains("never"));
     }
 
     #[test]
     fn linesize_selects_and_agrees() {
-        let out = run(&argv(
-            "linesize --c 7 --beta 1 --curve 8:0.90,16:0.94,32:0.962,64:0.97,128:0.972",
-        ))
-        .unwrap();
+        let out = go("linesize --c 7 --beta 1 --curve 8:0.90,16:0.94,32:0.962,64:0.97,128:0.972")
+            .unwrap();
         assert!(out.contains("agree: true"));
     }
 
@@ -597,71 +792,163 @@ mod tests {
 
     #[test]
     fn simulate_runs_a_proxy() {
-        let out = run(&argv(
-            "simulate --program ear --instructions 5000 --stall bnl3",
-        ))
-        .unwrap();
+        let out = go("simulate --program ear --instructions 5000 --stall bnl3").unwrap();
         assert!(out.contains("ear"));
         assert!(out.contains("CPI"));
     }
 
     #[test]
     fn simulate_rejects_unknowns() {
-        assert!(run(&argv("simulate --program quake")).is_err());
-        assert!(run(&argv("simulate --program ear --stall warp")).is_err());
+        assert_eq!(go("simulate --program quake").unwrap_err().exit_code(), 2);
+        assert_eq!(
+            go("simulate --program ear --stall warp")
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]
     fn design_finds_configurations_or_says_why_not() {
-        let ok = run(&argv("design --hr 0.95 --target 5.0")).unwrap();
+        let ok = go("design --hr 0.95 --target 5.0").unwrap();
         assert!(ok.contains("pins"), "{ok}");
-        let nope = run(&argv("design --hr 0.5 --target 1.1")).unwrap();
+        let nope = go("design --hr 0.5 --target 1.1").unwrap();
         assert!(nope.contains("No configuration"), "{nope}");
     }
 
     #[test]
     fn grid_runs_both_backends() {
-        let sim = run(&argv("grid --backend sim --instructions 4000")).unwrap();
+        let sim = go("grid --backend sim --instructions 4000").unwrap();
         assert!(sim.contains("backend sim"), "{sim}");
         assert!(sim.contains("ear"));
         assert!(sim.contains("points/s"));
-        let ana = run(&argv(
-            "grid --backend analytic --instructions 4000 --sets 32 --assoc 4 --target 0.5",
-        ))
-        .unwrap();
+        let ana =
+            go("grid --backend analytic --instructions 4000 --sets 32 --assoc 4 --target 0.5")
+                .unwrap();
         assert!(ana.contains("backend analytic"), "{ana}");
         assert!(ana.contains("sets ×"), "{ana}");
-        assert!(run(&argv("grid --backend magic")).is_err());
+    }
+
+    #[test]
+    fn grid_rejects_unknown_backend_as_usage() {
+        // The satellite fix: a bad flag value is exit 2, not 1.
+        let err = go("grid --backend magic").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("magic"), "{}", err.message());
     }
 
     #[test]
     fn help_and_unknown() {
-        assert!(run(&argv("help")).unwrap().contains("usage"));
-        assert!(run(&argv("frobnicate")).is_err());
+        assert!(go("help").unwrap().contains("usage"));
+        assert_eq!(go("frobnicate").unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn query_wire_output_is_the_dispatch_wire_form() {
+        let req_text = r#"{"query":"crossover","chunks":8}"#;
+        let out = run_cli(&[
+            "query".to_string(),
+            "--json".to_string(),
+            req_text.to_string(),
+        ])
+        .unwrap();
+        let req = QueryRequest::from_json_str(req_text).unwrap();
+        let direct = api::dispatch(&req, &StoreWorkloads)
+            .unwrap()
+            .to_json_string();
+        assert_eq!(out, direct, "CLI wire mode must be dispatch, verbatim");
+        assert!(
+            out.starts_with(r#"{"ok":true,"query":"crossover""#),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn query_subcommand_validates_its_grammar() {
+        // No action at all.
+        assert_eq!(go("query").unwrap_err().exit_code(), 2);
+        // --get and --shutdown need a server.
+        assert_eq!(go("query --get stats").unwrap_err().exit_code(), 2);
+        assert_eq!(go("query --shutdown").unwrap_err().exit_code(), 2);
+        // Unknown --get target.
+        assert_eq!(
+            go("query --server 127.0.0.1:1 --get frob")
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        // Stray options are rejected.
+        assert_eq!(go("query --frob 1").unwrap_err().exit_code(), 2);
+        // Malformed request JSON is usage, not failure.
+        let err = run_cli(&[
+            "query".to_string(),
+            "--json".to_string(),
+            "{nope".to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        // A client call parses into a typed command.
+        let cmd = parse_args(&[
+            "query".to_string(),
+            "--server".to_string(),
+            "127.0.0.1:7878".to_string(),
+            "--shutdown".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:7878".to_string(),
+                call: ClientCall::Shutdown,
+            }
+        );
+    }
+
+    #[test]
+    fn client_mode_reports_connection_failures_as_failures() {
+        // Nothing listens on a fresh ephemeral port that we bind and
+        // immediately close — keep the OS from having a listener there.
+        let err = go("query --server 127.0.0.1:9 --get stats").unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{}", err.message());
+    }
+
+    #[test]
+    fn deprecated_run_shim_still_answers() {
+        #[allow(deprecated)]
+        let out = run(&argv("crossover --chunks 8 --q 2")).unwrap();
+        assert!(out.contains("β_m > 4.67"));
+        #[allow(deprecated)]
+        let err = run(&argv("price")).unwrap_err();
+        assert!(err.contains("hr"));
     }
 
     #[test]
     fn experiments_list_shows_registry() {
-        let out = run(&argv("experiments list")).unwrap();
+        let out = go("experiments list").unwrap();
         assert!(out.contains("fig1"));
         assert!(out.contains("Design-space sweep"));
         // Bare `experiments` defaults to the listing.
-        assert_eq!(run(&argv("experiments")).unwrap(), out);
+        assert_eq!(go("experiments").unwrap(), out);
     }
 
     #[test]
     fn experiments_rejects_unknown_action_and_missing_manifest() {
-        assert!(run(&argv("experiments frobnicate")).is_err());
-        let err = run(&argv("experiments verify --results-dir /no/such/dir")).unwrap_err();
-        assert!(err.contains("reading"), "{err}");
+        assert_eq!(go("experiments frobnicate").unwrap_err().exit_code(), 2);
+        assert_eq!(
+            go("experiments run --frob 1").unwrap_err().exit_code(),
+            2,
+            "stray experiment flags are usage errors"
+        );
+        let err = go("experiments verify --results-dir /no/such/dir").unwrap_err();
+        assert!(err.message().contains("reading"), "{}", err.message());
     }
 
     #[test]
     fn cli_errors_map_to_distinct_exit_codes() {
-        let usage = run_cli(&argv("frobnicate")).unwrap_err();
+        let usage = go("frobnicate").unwrap_err();
         assert_eq!(usage.exit_code(), 2);
         // A filter matching nothing is bad usage, not an empty success.
-        let nomatch = run_cli(&argv("experiments run --filter no-such-tag")).unwrap_err();
+        let nomatch = go("experiments run --filter no-such-tag").unwrap_err();
         assert_eq!(nomatch.exit_code(), 2);
         assert!(nomatch.message().contains("no experiment matches"));
         let drift = CliError::Drift("x".into());
@@ -680,10 +967,10 @@ mod tests {
     fn keep_going_flag_is_accepted() {
         let dir = std::env::temp_dir().join("cli_keep_going_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let out = run(&argv(&format!(
+        let out = go(&format!(
             "experiments run --keep-going --filter fig2 --results-dir {}",
             dir.display()
-        )))
+        ))
         .unwrap();
         assert!(out.contains("================ Figure 2 ================"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -693,10 +980,10 @@ mod tests {
     fn experiments_run_filtered_writes_artifacts() {
         let dir = std::env::temp_dir().join("cli_experiments_run_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let out = run(&argv(&format!(
+        let out = go(&format!(
             "experiments run --filter fig2 --results-dir {}",
             dir.display()
-        )))
+        ))
         .unwrap();
         assert!(out.contains("================ Figure 2 ================"));
         assert!(dir.join("fig2.csv").exists());

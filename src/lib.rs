@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod server;
 
 pub use report;
 pub use simcache;

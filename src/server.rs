@@ -1,0 +1,506 @@
+//! `tradeoff-server`: the long-running HTTP/JSON query service.
+//!
+//! A std-only HTTP/1.1 server (hand-rolled over [`std::net::TcpListener`]
+//! — the workspace's vendored deps are offline stand-ins, so there is no
+//! hyper/axum to lean on) that keeps the `bench` trace store warm across
+//! requests and answers the typed query API:
+//!
+//! * `POST /query` — one [`tradeoff::api::QueryRequest`] in, one
+//!   response (or typed error) out. The body is byte-identical to what
+//!   `tradeoff-cli query --json …` prints for the same request: both are
+//!   `dispatch(req, &StoreWorkloads)` plus [`report::Json::render`].
+//! * `GET /experiments` — the registry listing, same bytes as a
+//!   `{"query":"experiments"}` query.
+//! * `GET /stats` — request/latency counters plus the full
+//!   [`bench::tracestore::Stats`] snapshot (hits, misses, evictions,
+//!   coalesced waits, resident bytes, poison recoveries).
+//! * `POST /shutdown` — graceful stop: the acceptor closes, queued and
+//!   in-flight requests drain, workers join, `serve` returns.
+//!
+//! Requests are handled by a small worker pool; concurrent queries that
+//! miss on the same trace-store key block on one extraction (the
+//! store's key gates — `sched`'s warm-key discipline generalised to the
+//! request path) instead of folding the workload N times. See
+//! `DESIGN.md` §14.
+
+use bench::queryenv::StoreWorkloads;
+use bench::tracestore;
+use report::Json;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tradeoff::api::{dispatch, ApiError, QueryRequest};
+
+/// Largest request body the server will read.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Per-connection socket timeout: a stalled peer cannot wedge a worker
+/// (or the graceful drain) indefinitely.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration, parsed from `tradeoff-server` flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:7878` by default; use port `0` for
+    /// an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// When set, the actual bound address is written here after bind —
+    /// how ephemeral-port callers (tests, scripts) learn the port.
+    pub addr_file: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .clamp(2, 8),
+            addr_file: None,
+        }
+    }
+}
+
+/// Latency accumulator for one query kind.
+#[derive(Debug, Clone, Copy, Default)]
+struct KindStats {
+    count: u64,
+    total_micros: u64,
+    max_micros: u64,
+}
+
+/// Process-wide request counters backing `GET /stats`.
+#[derive(Debug, Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    by_kind: Mutex<BTreeMap<String, KindStats>>,
+}
+
+impl ServerStats {
+    fn record(&self, kind: &str, elapsed: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut map = self
+            .by_kind
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let e = map.entry(kind.to_string()).or_default();
+        e.count += 1;
+        e.total_micros += micros;
+        e.max_micros = e.max_micros.max(micros);
+    }
+
+    /// The `/stats` document: server request/latency counters plus the
+    /// trace store's full observability snapshot.
+    fn to_json(&self) -> Json {
+        let map = self
+            .by_kind
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let queries = map
+            .iter()
+            .map(|(kind, s)| {
+                (
+                    kind.clone(),
+                    Json::obj(vec![
+                        ("count", Json::num(s.count as f64)),
+                        ("total_micros", Json::num(s.total_micros as f64)),
+                        ("max_micros", Json::num(s.max_micros as f64)),
+                        (
+                            "mean_micros",
+                            Json::num(
+                                s.total_micros.checked_div(s.count).unwrap_or_default() as f64
+                            ),
+                        ),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        drop(map);
+        let st = tracestore::stats();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "server",
+                Json::obj(vec![
+                    (
+                        "requests",
+                        Json::num(self.requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "errors",
+                        Json::num(self.errors.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("queries", Json::Obj(queries)),
+                ]),
+            ),
+            (
+                "store",
+                Json::obj(vec![
+                    ("trace_hits", Json::num(st.counts.trace_hits as f64)),
+                    ("trace_misses", Json::num(st.counts.trace_misses as f64)),
+                    ("timeline_hits", Json::num(st.counts.timeline_hits as f64)),
+                    (
+                        "timeline_misses",
+                        Json::num(st.counts.timeline_misses as f64),
+                    ),
+                    ("hist_hits", Json::num(st.counts.hist_hits as f64)),
+                    ("hist_misses", Json::num(st.counts.hist_misses as f64)),
+                    ("trace_evictions", Json::num(st.trace_evictions as f64)),
+                    ("hist_evictions", Json::num(st.hist_evictions as f64)),
+                    ("coalesced_waits", Json::num(st.coalesced_waits as f64)),
+                    ("trace_bytes", Json::num(st.trace_bytes as f64)),
+                    ("hist_bytes", Json::num(st.hist_bytes as f64)),
+                    ("poison_recoveries", Json::num(st.poison_recoveries as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads and parses one HTTP/1.1 request from the stream.
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".to_string());
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("reading header: {e}"))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body exceeds {MAX_BODY_BYTES} bytes"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one HTTP/1.1 response (JSON body, connection closed after).
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let msg = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    );
+    // A peer that vanished mid-response is its own problem; the worker
+    // moves on to the next request either way.
+    let _ = stream.write_all(msg.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Routes one request. Returns `(status, body, query kind, shutdown)`.
+fn route(req: &Request) -> (u16, String, &'static str, bool) {
+    let answer = |r: Result<tradeoff::api::QueryResponse, ApiError>| match r {
+        Ok(resp) => (200, format!("{}\n", resp.to_json_string())),
+        Err(err) => (
+            err.kind.http_status(),
+            format!("{}\n", err.to_json().render()),
+        ),
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => {
+            let (status, body) = answer(
+                QueryRequest::from_json_str(&req.body).and_then(|q| dispatch(&q, &StoreWorkloads)),
+            );
+            (status, body, "query", false)
+        }
+        ("GET", "/experiments") => {
+            let (status, body) = answer(dispatch(&QueryRequest::Experiments, &StoreWorkloads));
+            (status, body, "experiments", false)
+        }
+        ("GET", "/stats") => (200, String::new(), "stats", false), // body filled by caller
+        ("POST", "/shutdown") => (
+            200,
+            format!("{}\n", Json::obj(vec![("ok", Json::Bool(true))]).render()),
+            "shutdown",
+            true,
+        ),
+        (_, "/query" | "/experiments" | "/stats" | "/shutdown") => {
+            let err =
+                ApiError::bad_request(format!("method {} not allowed on {}", req.method, req.path));
+            (405, format!("{}\n", err.to_json().render()), "error", false)
+        }
+        _ => {
+            let err = ApiError::bad_request(format!("no such endpoint {}", req.path));
+            (404, format!("{}\n", err.to_json().render()), "error", false)
+        }
+    }
+}
+
+/// Handles one connection end to end. Returns `true` when the request
+/// asked for shutdown.
+fn handle(mut stream: TcpStream, stats: &ServerStats) -> bool {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let started = Instant::now();
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(message) => {
+            let err = ApiError::bad_request(message);
+            write_response(&mut stream, 400, &format!("{}\n", err.to_json().render()));
+            stats.record("error", started.elapsed(), false);
+            return false;
+        }
+    };
+    let (status, mut body, kind, shutdown) = route(&req);
+    // /stats renders after the request is recorded, so the response
+    // counts itself and reflects the freshest store snapshot.
+    stats.record(kind, started.elapsed(), status < 400);
+    if kind == "stats" && status == 200 {
+        body = format!("{}\n", stats.to_json().render());
+    }
+    write_response(&mut stream, status, &body);
+    shutdown
+}
+
+/// Runs the server until a `POST /shutdown` arrives: binds, reports the
+/// address (stderr + optional `--addr-file`), then serves on a worker
+/// pool. Returns after every queued and in-flight request has drained
+/// and all workers have joined.
+///
+/// # Errors
+///
+/// Propagates bind/address-file I/O errors; per-connection errors are
+/// answered with HTTP 400 and never end the server.
+pub fn serve(cfg: &ServerConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let local = listener.local_addr()?;
+    if let Some(path) = &cfg.addr_file {
+        std::fs::write(path, format!("{local}\n"))?;
+    }
+    eprintln!(
+        "tradeoff-server listening on {local} ({} workers)",
+        cfg.threads.max(1)
+    );
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<_> = (0..cfg.threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || loop {
+                // Hold the receiver lock only while dequeuing.
+                let next = {
+                    let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                let Ok(stream) = next else {
+                    return; // channel closed and drained: exit
+                };
+                if handle(stream, &stats) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Wake the blocking acceptor with a throwaway
+                    // connection so it observes the flag.
+                    let _ = TcpStream::connect(local);
+                }
+            })
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            // A send can only fail after shutdown closed the channel.
+            Ok(stream) => {
+                let _ = tx.send(stream);
+            }
+            Err(_) => continue,
+        }
+    }
+
+    // Close the channel: workers finish whatever is queued, then exit.
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    eprintln!("tradeoff-server: drained and stopped");
+    Ok(())
+}
+
+/// A minimal HTTP/1.1 client call — what `tradeoff-cli query --server`
+/// and the integration tests use to talk to the server.
+///
+/// # Errors
+///
+/// Returns a message on connection or protocol failure.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("bad server address {addr:?}: {e}"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let dir = std::env::temp_dir().join(format!(
+            "tradeoff_server_unit_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        let addr_file = dir.join("addr");
+        let _ = std::fs::remove_file(&addr_file);
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            addr_file: Some(addr_file.clone()),
+        };
+        let handle = std::thread::spawn(move || serve(&cfg).expect("server runs"));
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Ok(addr) = text.trim().parse() {
+                    break addr;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        (addr, handle)
+    }
+
+    #[test]
+    fn serves_queries_stats_and_shuts_down() {
+        let (addr, handle) = spawn_server();
+        let addr_s = addr.to_string();
+
+        // A query answer comes straight from dispatch.
+        let req = r#"{"query": "price", "hr": 0.95}"#;
+        let (status, body) = http_call(&addr_s, "POST", "/query", Some(req)).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with(r#"{"ok":true,"query":"price""#), "{body}");
+        assert!(body.ends_with('\n'));
+
+        // Bad requests map to 400 with the typed error JSON.
+        let (status, body) = http_call(&addr_s, "POST", "/query", Some("{nope")).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("bad-request"), "{body}");
+
+        // Unknown endpoints and wrong methods are typed errors too.
+        let (status, _) = http_call(&addr_s, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_call(&addr_s, "GET", "/query", None).unwrap();
+        assert_eq!(status, 405);
+
+        // /experiments is the experiments query verbatim.
+        let (status, body) = http_call(&addr_s, "GET", "/experiments", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains(r#""query":"experiments""#), "{body}");
+        assert!(body.contains("fig1"), "{body}");
+
+        // /stats carries server latency counters and the store snapshot.
+        let (status, body) = http_call(&addr_s, "GET", "/stats", None).unwrap();
+        assert_eq!(status, 200);
+        let stats = Json::parse(body.trim()).expect("stats is valid JSON");
+        let server = stats.get("server").expect("server section");
+        assert!(server.get("requests").unwrap().as_u64().unwrap() >= 5);
+        assert!(server.get("errors").unwrap().as_u64().unwrap() >= 3);
+        let store = stats.get("store").expect("store section");
+        for key in [
+            "trace_hits",
+            "trace_misses",
+            "hist_misses",
+            "coalesced_waits",
+            "trace_bytes",
+            "poison_recoveries",
+        ] {
+            assert!(store.get(key).is_some(), "missing store.{key}");
+        }
+
+        // Graceful shutdown: the call returns, then serve() drains.
+        let (status, body) = http_call(&addr_s, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("true"), "{body}");
+        handle.join().expect("server thread joins cleanly");
+    }
+}

@@ -66,6 +66,7 @@ fn every_experiment_module_is_registered_exactly_once() {
         "error",
         "exec",
         "fault",
+        "queryenv",
         "tracestore",
         "registry",
         "sched",

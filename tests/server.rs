@@ -1,0 +1,198 @@
+//! End-to-end tests of the `tradeoff-server` binary: ephemeral-port
+//! startup, CLI/server byte parity, request coalescing under
+//! concurrency, `/stats` accounting, and graceful shutdown.
+
+use report::Json;
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use unified_tradeoff::server::http_call;
+
+/// A running server child, killed on drop so a failing assertion never
+/// leaks the process.
+struct ServerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server(tag: &str) -> ServerGuard {
+    let dir =
+        std::env::temp_dir().join(format!("tradeoff_server_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let addr_file = dir.join("addr");
+    let child = Command::new(env!("CARGO_BIN_EXE_tradeoff-server"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "4",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server binary spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            let text = text.trim();
+            if !text.is_empty() {
+                break text.to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote its address");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    ServerGuard { child, addr }
+}
+
+/// Runs the CLI binary and returns (exit code, stdout).
+fn cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tradeoff-cli"))
+        .args(args)
+        .output()
+        .expect("cli binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+    )
+}
+
+/// A simulate request: its answer requires a timeline extraction, so N
+/// concurrent copies exercise the store's key-gate coalescing.
+const SIMULATE: &str =
+    r#"{"query":"simulate","program":"ear","instructions":50000,"stall":"bnl3"}"#;
+
+#[test]
+fn concurrent_queries_coalesce_onto_one_extraction_and_match_the_cli() {
+    let server = spawn_server("coalesce");
+    let addr = server.addr.clone();
+
+    // A fresh server has done no store work: counters start at zero.
+    let (status, body) = http_call(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    let stats = Json::parse(body.trim()).unwrap();
+    let store = stats.get("store").unwrap();
+    assert_eq!(store.get("timeline_misses").unwrap().as_u64(), Some(0));
+
+    // N concurrent POST /query sharing one trace key.
+    const N: usize = 6;
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let (status, body) =
+                        http_call(&addr, "POST", "/query", Some(SIMULATE)).unwrap();
+                    assert_eq!(status, 200, "{body}");
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "all concurrent answers are identical");
+    }
+
+    // The acceptance criterion: exactly one extraction for the shared
+    // key, every other request served from the memo.
+    let (_, body) = http_call(&addr, "GET", "/stats", None).unwrap();
+    let stats = Json::parse(body.trim()).unwrap();
+    let store = stats.get("store").unwrap();
+    assert_eq!(
+        store.get("timeline_misses").unwrap().as_u64(),
+        Some(1),
+        "N concurrent same-key queries must trigger exactly one extraction: {body}"
+    );
+    assert_eq!(
+        store.get("timeline_hits").unwrap().as_u64(),
+        Some((N - 1) as u64)
+    );
+
+    // Server latency accounting saw every request.
+    let server_stats = stats.get("server").unwrap();
+    assert!(server_stats.get("requests").unwrap().as_u64().unwrap() >= (N + 2) as u64);
+    let query_stats = server_stats.get("queries").unwrap().get("query").unwrap();
+    assert_eq!(query_stats.get("count").unwrap().as_u64(), Some(N as u64));
+    assert!(query_stats.get("max_micros").unwrap().as_u64().unwrap() > 0);
+
+    // Byte parity with the CLI, both modes: local dispatch and client.
+    let (code, local) = cli(&["query", "--json", SIMULATE]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        local, bodies[0],
+        "POST /query body and CLI stdout must be byte-identical"
+    );
+    let (code, remote) = cli(&["query", "--server", &addr, "--json", SIMULATE]);
+    assert_eq!(code, 0);
+    assert_eq!(remote, bodies[0]);
+
+    // GET /experiments is the experiments query verbatim.
+    let (status, listing) = http_call(&addr, "GET", "/experiments", None).unwrap();
+    assert_eq!(status, 200);
+    let (code, cli_listing) = cli(&["query", "--json", r#"{"query":"experiments"}"#]);
+    assert_eq!(code, 0);
+    assert_eq!(listing, cli_listing);
+
+    // Typed errors reach the client with usage-class exit codes.
+    let (code, _) = cli(&[
+        "query",
+        "--server",
+        &addr,
+        "--json",
+        r#"{"query":"simulate","program":"quake"}"#,
+    ]);
+    assert_eq!(code, 2, "a server-rejected request is bad usage");
+}
+
+#[test]
+fn shutdown_drains_and_exits_zero() {
+    let mut server = spawn_server("shutdown");
+    let addr = server.addr.clone();
+
+    // Put real work through first so the drain has something behind it.
+    let (status, _) = http_call(&addr, "POST", "/query", Some(SIMULATE)).unwrap();
+    assert_eq!(status, 200);
+
+    let (code, _) = cli(&["query", "--server", &addr, "--shutdown"]);
+    assert_eq!(code, 0);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.child.try_wait().expect("child pollable") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not stop after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0: {status:?}"
+    );
+
+    // The listener is gone: a follow-up call fails client-side.
+    let mut err = String::new();
+    let failed = http_call(&addr, "GET", "/stats", None).is_err() || {
+        // A TIME_WAIT race can still accept; tolerate either refusal
+        // or an immediately closed connection.
+        err.clear();
+        std::net::TcpStream::connect(&addr)
+            .and_then(|mut s| s.read_to_string(&mut err))
+            .map(|n| n == 0)
+            .unwrap_or(true)
+    };
+    assert!(failed, "no server should answer after shutdown");
+}
