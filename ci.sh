@@ -9,6 +9,9 @@
 #                    RSS ceiling and a materialised oracle comparison)
 #                    + analytic (closed-form backend bit-exact on FA LRU,
 #                    within tolerance on the comparison grid)
+#                    + workloads (every example spec validates, builtin
+#                    specs keep their pinned content hashes and stay
+#                    bit-identical to the legacy constructors)
 #   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
 #                    grid), BENCH_phi.json (figure-1 timeline engine),
 #                    BENCH_stream.json (5 M-instruction chunked pipeline)
@@ -23,6 +26,11 @@
 #   ./ci.sh stream   run only the streaming smoke
 #   ./ci.sh analytic run only the analytic-backend accuracy gate
 #   ./ci.sh serve    run only the query-server smoke
+#   ./ci.sh workloads run only the workload-spec gate (every example
+#                    spec in workloads/ validates; the six builtin
+#                    example files hash to the ids the registry serves;
+#                    builtins stay bit-identical to the legacy
+#                    spec92_trace constructors)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -129,6 +137,34 @@ serve_check() {
     rm -rf "$tmp"
 }
 
+workloads_check() {
+    echo "==> workloads: example specs validate, builtin ids pinned"
+    local out id listing
+    # Every committed example spec must parse, validate and hash.
+    listing="$(cargo run --release -q --bin tradeoff-cli -- workloads list)"
+    for f in workloads/*.json; do
+        out="$(cargo run --release -q --bin tradeoff-cli -- workloads validate --file "$f")" \
+            || { echo "FAIL: invalid spec $f"; exit 1; }
+        id="$(sed -nE 's/^valid: .*\(([0-9a-f]{64})\)$/\1/p' <<< "$out")"
+        [[ -n "$id" ]] || { echo "FAIL: no content hash for $f: $out"; exit 1; }
+        # The six builtin example files are identity-critical: each must
+        # hash to the exact id the registry serves for that name, or the
+        # committed example has drifted from the memo keys in use.
+        case "$f" in
+            workloads/nasa7.json|workloads/swm256.json|workloads/wave5.json| \
+            workloads/ear.json|workloads/doduc.json|workloads/hydro2d.json)
+                grep -q "$id" <<< "$listing" \
+                    || { echo "FAIL: $f hash $id not served by the registry"; exit 1; }
+                ;;
+        esac
+    done
+    # Builtin specs must compile bit-identically to the legacy
+    # spec92_trace constructors, and their content hashes stay pinned.
+    cargo test --release -q --test workloads \
+        || { echo "FAIL: workload contract tests"; exit 1; }
+    echo "    $(ls workloads/*.json | wc -l) specs valid, 6 builtin ids pinned"
+}
+
 if [[ "${1:-}" == "manifest" ]]; then
     cargo build --release
     manifest_check
@@ -164,6 +200,13 @@ if [[ "${1:-}" == "serve" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "workloads" ]]; then
+    cargo build --release
+    workloads_check
+    echo "CI green."
+    exit 0
+fi
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -181,6 +224,7 @@ faults_check
 stream_check
 analytic_check
 serve_check
+workloads_check
 
 if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: figure-6 grid sweep benchmark (writes BENCH_sweep.json)"

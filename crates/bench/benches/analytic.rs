@@ -27,6 +27,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use simcache::hitratio::SET_CONFLICT_TOLERANCE;
 use simcache::{Analytic, HitRatioBackend, Simulated};
 use simtrace::spec92::Spec92Program;
+use simtrace::workload::builtin_spec;
 use std::time::Instant;
 
 const INSTRUCTIONS: usize = 5_000_000;
@@ -68,7 +69,7 @@ fn analytic_comparison(c: &mut Criterion) {
     let sim_grids: Vec<Vec<f64>> = PROGRAMS
         .iter()
         .map(|&p| {
-            let backend: Simulated = grid::build_simulated(p, &spec, INSTRUCTIONS);
+            let backend: Simulated = grid::build_simulated(builtin_spec(p), &spec, INSTRUCTIONS);
             eval_grid(&backend, &spec)
         })
         .collect();
@@ -77,7 +78,7 @@ fn analytic_comparison(c: &mut Criterion) {
     // Leg 2: the one-time streaming histogram folds (cold store).
     let start = Instant::now();
     for &p in &PROGRAMS {
-        std::hint::black_box(grid::build_analytic(p, INSTRUCTIONS, WARMUP));
+        std::hint::black_box(grid::build_analytic(builtin_spec(p), INSTRUCTIONS, WARMUP));
     }
     let hist_pass_secs = start.elapsed().as_secs_f64();
 
@@ -86,7 +87,7 @@ fn analytic_comparison(c: &mut Criterion) {
     let analytic_grids: Vec<Vec<f64>> = PROGRAMS
         .iter()
         .map(|&p| {
-            let backend: Analytic = grid::build_analytic(p, INSTRUCTIONS, WARMUP);
+            let backend: Analytic = grid::build_analytic(builtin_spec(p), INSTRUCTIONS, WARMUP);
             eval_grid(&backend, &spec)
         })
         .collect();
@@ -110,7 +111,7 @@ fn analytic_comparison(c: &mut Criterion) {
     let dense = DenseGrid::standard();
     let start = Instant::now();
     for &p in &PROGRAMS {
-        let backend = grid::build_analytic(p, INSTRUCTIONS, WARMUP);
+        let backend = grid::build_analytic(builtin_spec(p), INSTRUCTIONS, WARMUP);
         std::hint::black_box(grid::dense_best(&backend, &dense, 0.9));
     }
     let dense_eval_secs = start.elapsed().as_secs_f64();
@@ -163,7 +164,7 @@ fn analytic_comparison(c: &mut Criterion) {
 
     // A reduced criterion point tracks the closed-form evaluation rate
     // (warm histograms, small dense slice) run to run.
-    let backend = grid::build_analytic(PROGRAMS[0], INSTRUCTIONS, WARMUP);
+    let backend = grid::build_analytic(builtin_spec(PROGRAMS[0]), INSTRUCTIONS, WARMUP);
     let small = DenseGrid::small();
     let mut group = c.benchmark_group("analytic_backend");
     group.bench_function("dense_small_warm", |b| {

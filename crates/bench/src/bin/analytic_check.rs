@@ -47,7 +47,11 @@ fn main() -> ExitCode {
 
     // Gate 1: FA LRU bit-exactness against Cache replay.
     for &program in &Spec92Program::ALL {
-        let analytic = grid::build_analytic(program, instructions, warmup);
+        let analytic = grid::build_analytic(
+            simtrace::workload::builtin_spec(program),
+            instructions,
+            warmup,
+        );
         let trace = bench::tracestore::spec_trace(program, bench::sweep::SWEEP_SEED, instructions);
         for (line_bytes, lines) in [(16u64, 8u32), (32, 64), (64, 256)] {
             let cfg = CacheConfig::new(line_bytes * u64::from(lines), line_bytes, lines)

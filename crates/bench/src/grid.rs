@@ -25,7 +25,8 @@ use report::{Artifact, Table};
 use simcache::hitratio::SET_CONFLICT_TOLERANCE;
 use simcache::stackdist::StackDistSweep;
 use simcache::{Analytic, HitRatioBackend, Simulated};
-use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::spec92::Spec92Program;
+use simtrace::workload::{builtin_spec, WorkloadSpec};
 
 // The grid shapes (and the dense-grid search) are owned by the typed
 // query API so the CLI, the query server and this experiment provably
@@ -37,7 +38,7 @@ pub use tradeoff::api::{dense_best, DenseBest, DenseGrid, GridSpec, HIST_DISTANC
 /// [`StackDistSweep`] per line size covering the grid's full set range,
 /// fed by the chunked [`stream`] pipeline (resident traces fold in
 /// place, cold ones stream without pinning).
-pub fn build_simulated(program: Spec92Program, spec: &GridSpec, instructions: usize) -> Simulated {
+pub fn build_simulated(workload: &WorkloadSpec, spec: &GridSpec, instructions: usize) -> Simulated {
     let chunk = stream::chunk_instructions();
     let amax = *spec.assocs.iter().max().expect("grid has assocs");
     let sinks: Vec<StackDistSweep> = spec
@@ -54,10 +55,10 @@ pub fn build_simulated(program: Spec92Program, spec: &GridSpec, instructions: us
             .expect("valid grid line size")
         })
         .collect();
-    let folded = match tracestore::resident_trace(program, SWEEP_SEED, instructions) {
+    let folded = match tracestore::resident_workload_trace(workload, SWEEP_SEED, instructions) {
         Some(trace) => stream::fold_slice(trace.instrs(), chunk, sinks),
         None => stream::broadcast(
-            spec92_trace(program, SWEEP_SEED).take(instructions),
+            workload.compile(SWEEP_SEED).take(instructions),
             chunk,
             sinks,
         ),
@@ -68,10 +69,10 @@ pub fn build_simulated(program: Spec92Program, spec: &GridSpec, instructions: us
 /// Builds the analytic backend for one workload from the memoised
 /// reuse-distance fold: all power-of-two line sizes 8–128 B in one
 /// pass, [`HIST_DISTANCE_CAP`] distance buckets, shared process-wide
-/// through [`tracestore::spec_histograms`].
-pub fn build_analytic(program: Spec92Program, instructions: usize, warmup: u64) -> Analytic {
-    let hists = tracestore::spec_histograms(
-        program,
+/// through [`tracestore::workload_histograms`].
+pub fn build_analytic(workload: &WorkloadSpec, instructions: usize, warmup: u64) -> Analytic {
+    let hists = tracestore::workload_histograms(
+        workload,
         SWEEP_SEED,
         instructions,
         8,
@@ -142,8 +143,9 @@ pub fn compare(
     programs
         .iter()
         .map(|&program| {
-            let sim = build_simulated(program, spec, instructions);
-            let analytic = build_analytic(program, instructions, spec.warmup);
+            let workload = builtin_spec(program);
+            let sim = build_simulated(workload, spec, instructions);
+            let analytic = build_analytic(workload, instructions, spec.warmup);
             let mut points = Vec::with_capacity(spec.points());
             for &cache_bytes in &spec.cache_sizes {
                 for &line_bytes in &spec.line_sizes {
@@ -231,7 +233,7 @@ pub fn dense_render(
 ) -> String {
     let mut t = Table::new(["program", "cache", "geometry", "hit ratio"]);
     for &program in programs {
-        let analytic = build_analytic(program, instructions, warmup);
+        let analytic = build_analytic(builtin_spec(program), instructions, warmup);
         let row = match dense_best(&analytic, grid, target_hr) {
             Some(b) => [
                 program.to_string(),
@@ -453,7 +455,7 @@ mod tests {
 
     #[test]
     fn dense_best_finds_a_minimal_geometry() {
-        let analytic = build_analytic(Spec92Program::Ear, 6_000, 1_000);
+        let analytic = build_analytic(builtin_spec(Spec92Program::Ear), 6_000, 1_000);
         let grid = DenseGrid::small();
         let best = dense_best(&analytic, &grid, 0.5).expect("ear reaches 50% somewhere");
         assert!(best.hit_ratio >= 0.5);

@@ -16,8 +16,7 @@
 use crate::{grid, registry, tracestore};
 use simcache::{CacheConfig, Simulated};
 use simcpu::MissTimeline;
-use simtrace::spec92::Spec92Program;
-use simtrace::ReuseHistograms;
+use simtrace::{ReuseHistograms, WorkloadSpec};
 use std::sync::Arc;
 use tradeoff::api::{ExperimentInfo, GridSpec, Workloads};
 
@@ -30,7 +29,7 @@ pub struct StoreWorkloads;
 impl Workloads for StoreWorkloads {
     fn histograms(
         &self,
-        program: Spec92Program,
+        spec: &WorkloadSpec,
         seed: u64,
         len: usize,
         min_line: u64,
@@ -38,28 +37,28 @@ impl Workloads for StoreWorkloads {
         max_distance: usize,
         warmup: u64,
     ) -> Arc<ReuseHistograms> {
-        tracestore::spec_histograms(program, seed, len, min_line, max_line, max_distance, warmup)
+        tracestore::workload_histograms(spec, seed, len, min_line, max_line, max_distance, warmup)
     }
 
     fn simulated_grid(
         &self,
-        program: Spec92Program,
+        workload: &WorkloadSpec,
         spec: &GridSpec,
         instructions: usize,
     ) -> Simulated {
         // `build_simulated` folds under SWEEP_SEED — the provider's
         // canonical grid seed (== GRID_SEED, pinned by the test below).
-        grid::build_simulated(program, spec, instructions)
+        grid::build_simulated(workload, spec, instructions)
     }
 
     fn timeline(
         &self,
-        program: Spec92Program,
+        spec: &WorkloadSpec,
         seed: u64,
         len: usize,
         cache: &CacheConfig,
     ) -> Arc<MissTimeline> {
-        tracestore::spec_timeline(program, seed, len, cache)
+        tracestore::workload_timeline(spec, seed, len, cache)
     }
 
     fn experiments(&self) -> Vec<ExperimentInfo> {
@@ -83,6 +82,8 @@ impl Workloads for StoreWorkloads {
 mod tests {
     use super::*;
     use crate::sweep::SWEEP_SEED;
+    use simtrace::spec92::Spec92Program;
+    use simtrace::workload::builtin_spec;
     use tradeoff::api::{self, GRID_SEED, HIST_DISTANCE_CAP, HIST_LINE_RANGE};
 
     #[test]
@@ -99,7 +100,7 @@ mod tests {
         let instructions = 5_000;
         let warmup = instructions as u64 / 5;
         let via_api = StoreWorkloads.histograms(
-            Spec92Program::Doduc,
+            builtin_spec(Spec92Program::Doduc),
             GRID_SEED,
             instructions,
             HIST_LINE_RANGE.0,
@@ -144,6 +145,7 @@ mod tests {
             max_sets: 16,
             max_assoc: 2,
             programs: vec!["wave5".to_string()],
+            workloads: Vec::new(),
         });
         let stored = api::dispatch(&req, &StoreWorkloads).unwrap();
         let uncached = api::dispatch_uncached(&req).unwrap();

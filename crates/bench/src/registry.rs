@@ -91,14 +91,23 @@ pub trait Experiment: Sync {
 
 /// Shared trace-store working-set keys (see
 /// [`Experiment::depends_on_traces`]).
+///
+/// Each key names a working set of the six built-in proxy specs
+/// ([`simtrace::workload::builtins`]) at one seed and geometry. The
+/// store itself memoises on [`simtrace::workload::WorkloadSpec::id`] —
+/// the content hash of the declarative spec — so these constants are
+/// scheduling hints, not identities: experiments that share a key are
+/// serialised so the first run populates the spec-keyed memos warm for
+/// the rest.
 pub mod traces {
-    /// SPEC92 proxy timelines at the Figure-1 geometry (8 KB two-way,
-    /// 32-byte lines, seed [`crate::tracestore::SPEC_SEED`]).
+    /// Timelines of the six builtin specs at the Figure-1 geometry
+    /// (8 KB two-way, 32-byte lines, seed
+    /// [`crate::tracestore::SPEC_SEED`]).
     pub const SPEC_L32: &str = "spec@l32";
-    /// SPEC92 proxy timelines at the 8-byte-line variant of the
-    /// Figure-1 cache.
+    /// Timelines of the six builtin specs at the 8-byte-line variant of
+    /// the Figure-1 cache.
     pub const SPEC_L8: &str = "spec@l8";
-    /// Raw SPEC92 proxy traces at the sweep seed
+    /// Raw compiled traces of the six builtin specs at the sweep seed
     /// ([`crate::sweep::SWEEP_SEED`]), shared by the design-space sweep
     /// and the line-size experiment.
     pub const SWEEP7: &str = "sweep@7";

@@ -14,7 +14,7 @@ use crate::stream;
 use report::{Artifact, Table};
 use simcache::explore::HitRatioPoint;
 use simcache::stackdist::StackDistSweep;
-use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::spec92::Spec92Program;
 use smithval::TableModel;
 use std::path::Path;
 
@@ -118,7 +118,9 @@ pub fn run_sweep(
             match crate::tracestore::resident_trace(program, SWEEP_SEED, instructions) {
                 Some(trace) => stream::fold_slice(trace.instrs(), chunk, sinks),
                 None => stream::broadcast(
-                    spec92_trace(program, SWEEP_SEED).take(instructions),
+                    simtrace::workload::builtin_spec(program)
+                        .compile(SWEEP_SEED)
+                        .take(instructions),
                     chunk,
                     sinks,
                 ),

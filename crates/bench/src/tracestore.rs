@@ -8,11 +8,17 @@
 //! [`MissTimeline`], so a β-sweep costs one trace generation plus one
 //! cache pass, after which every point is an `O(misses)` replay.
 //!
-//! Traces of different lengths share one backing: the proxy generators
-//! are deterministic lazy streams, so the `n`-instruction trace is a
+//! Workload identity is the declarative spec hash: every store keys on
+//! `(`[`WorkloadId`]`, seed, …)`, so a built-in proxy and an inline
+//! spec with the same canonical form share one entry. The legacy
+//! `spec_*` entry points remain as thin wrappers over the built-in
+//! specs ([`simtrace::workload::builtin_spec`]).
+//!
+//! Traces of different lengths share one backing: the generators are
+//! deterministic lazy streams, so the `n`-instruction trace is a
 //! prefix of the `m ≥ n` one (asserted in the tests below). The store
-//! keeps the longest materialisation per (program, seed) and hands out
-//! prefix views.
+//! keeps the longest materialisation per (workload, seed) and hands
+//! out prefix views.
 //!
 //! Timelines are extracted *streamingly*: a cold lookup folds the
 //! chunked generator straight into a [`simcpu::MissTimelineBuilder`]
@@ -32,8 +38,8 @@ use crate::fault::{self, Site};
 use crate::stream;
 use simcache::CacheConfig;
 use simcpu::{MissTimeline, MissTimelineBuilder};
-use simtrace::chunk::spec92_chunks;
-use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::spec92::Spec92Program;
+use simtrace::workload::{builtin_spec, WorkloadId, WorkloadSpec};
 use simtrace::{Instr, ReuseHistograms, INSTR_BYTES};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -233,14 +239,16 @@ fn trace_budget() -> Option<u64> {
     parse_bytes(&std::env::var("REPRO_TRACE_BUDGET").ok()?)
 }
 
-type TraceKey = (Spec92Program, u64);
-type TimelineKey = (Spec92Program, u64, usize, CacheConfig);
-/// (program, seed, len, min line, max line, max distance, warm-up).
-type HistKey = (Spec92Program, u64, usize, u64, u64, usize, u64);
+type TraceKey = (WorkloadId, u64);
+type TimelineKey = (WorkloadId, u64, usize, CacheConfig);
+/// (workload, seed, len, min line, max line, max distance, warm-up).
+type HistKey = (WorkloadId, u64, usize, u64, u64, usize, u64);
 
-/// A materialised trace plus its LRU stamp for budget eviction.
+/// A materialised trace plus its label and LRU stamp for the resident
+/// listing and budget eviction.
 struct TraceEntry {
     data: Arc<Vec<Instr>>,
+    label: String,
     last_use: u64,
 }
 
@@ -285,8 +293,8 @@ fn hists() -> &'static Mutex<HashMap<HistKey, HistEntry>> {
     STORE.get_or_init(Mutex::default)
 }
 
-fn generate(program: Spec92Program, seed: u64, len: usize) -> Arc<Vec<Instr>> {
-    Arc::new(spec92_trace(program, seed).take(len).collect())
+fn generate(spec: &WorkloadSpec, seed: u64, len: usize) -> Arc<Vec<Instr>> {
+    Arc::new(spec.compile(seed).take(len).collect())
 }
 
 /// Coalesces concurrent misses on one memo key — the warm-key
@@ -439,13 +447,13 @@ pub fn hist_bytes_resident() -> u64 {
     lock_store(hists()).values().map(HistEntry::bytes).sum()
 }
 
-/// The materialised traces — `(program name, seed, bytes)` in
-/// deterministic (name, seed) order — for the scheduler footer.
-pub fn resident_entries() -> Vec<(&'static str, u64, u64)> {
+/// The materialised traces — `(workload label, seed, bytes)` in
+/// deterministic (label, seed) order — for the scheduler footer.
+pub fn resident_entries() -> Vec<(String, u64, u64)> {
     let store = lock_store(traces());
     let mut entries: Vec<_> = store
         .iter()
-        .map(|((program, seed), e)| (program.name(), *seed, e.bytes()))
+        .map(|((_, seed), e)| (e.label.clone(), *seed, e.bytes()))
         .collect();
     drop(store);
     entries.sort_unstable();
@@ -456,13 +464,13 @@ pub fn resident_entries() -> Vec<(&'static str, u64, u64)> {
 /// the store holds one — the zero-cost path streaming folds probe
 /// before regenerating. Counts a trace hit (and refreshes the LRU
 /// stamp) only when it returns a handle.
-pub fn resident_trace(program: Spec92Program, seed: u64, len: usize) -> Option<TraceHandle> {
+pub fn resident_workload_trace(spec: &WorkloadSpec, seed: u64, len: usize) -> Option<TraceHandle> {
     if !memoise() {
         return None;
     }
     let mut store = lock_store(traces());
     let entry = store
-        .get_mut(&(program, seed))
+        .get_mut(&(spec.id(), seed))
         .filter(|e| e.data.len() >= len)?;
     entry.last_use = tick();
     TRACE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -472,27 +480,34 @@ pub fn resident_trace(program: Spec92Program, seed: u64, len: usize) -> Option<T
     })
 }
 
-/// The first `len` instructions of a SPEC92 proxy trace, materialised at
-/// most once per (program, seed) process-wide.
-pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle {
+/// Legacy probe for a SPEC92 proxy — [`resident_workload_trace`] of the
+/// built-in spec.
+pub fn resident_trace(program: Spec92Program, seed: u64, len: usize) -> Option<TraceHandle> {
+    resident_workload_trace(builtin_spec(program), seed, len)
+}
+
+/// The first `len` instructions of a workload, materialised at most
+/// once per (workload identity, seed) process-wide.
+pub fn workload_trace(spec: &WorkloadSpec, seed: u64, len: usize) -> TraceHandle {
     if !memoise() {
         fault::check_or_unwind(Site::Extract);
         TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
         return TraceHandle {
-            data: generate(program, seed, len),
+            data: generate(spec, seed, len),
             len,
         };
     }
     let mut store = lock_store(traces());
     fault::check_or_unwind(Site::Lock);
-    let key = (program, seed);
+    let key = (spec.id(), seed);
     let entry = store.entry(key).or_insert_with(|| TraceEntry {
         data: Arc::new(Vec::new()),
+        label: spec.label(),
         last_use: 0,
     });
     if entry.data.len() < len {
         fault::check_or_unwind(Site::Extract);
-        entry.data = generate(program, seed, len);
+        entry.data = generate(spec, seed, len);
         TRACE_MISSES.fetch_add(1, Ordering::Relaxed);
     } else {
         TRACE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -506,35 +521,41 @@ pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle 
     handle
 }
 
-/// Streams the proxy trace through a timeline builder without pinning
-/// it: an already-materialised trace is folded in place, a cold one is
-/// generated chunk by chunk (at most one `REPRO_STREAM_CHUNK` block
-/// resident at a time).
+/// Legacy entry point for a SPEC92 proxy — [`workload_trace`] of the
+/// built-in spec (bit-identical to the old constructors).
+pub fn spec_trace(program: Spec92Program, seed: u64, len: usize) -> TraceHandle {
+    workload_trace(builtin_spec(program), seed, len)
+}
+
+/// Streams the workload's trace through a timeline builder without
+/// pinning it: an already-materialised trace is folded in place, a cold
+/// one is generated chunk by chunk (at most one `REPRO_STREAM_CHUNK`
+/// block resident at a time).
 fn extract_streaming(
-    program: Spec92Program,
+    spec: &WorkloadSpec,
     seed: u64,
     len: usize,
     cache: &CacheConfig,
 ) -> MissTimeline {
     let chunk = stream::chunk_instructions();
     let mut builder = MissTimelineBuilder::new(*cache);
-    if let Some(trace) = resident_trace(program, seed, len) {
+    if let Some(trace) = resident_workload_trace(spec, seed, len) {
         for block in trace.chunks(chunk) {
             builder.process_slice(block);
         }
     } else {
-        spec92_chunks(program, seed, len, chunk)
+        spec.chunks(seed, len, chunk)
             .for_each_chunk(|block| builder.process_slice(block));
     }
     builder.finish()
 }
 
-/// The [`MissTimeline`] of a SPEC92 proxy prefix under `cache`,
-/// extracted at most once per (program, seed, length, cache geometry)
+/// The [`MissTimeline`] of a workload prefix under `cache`, extracted
+/// at most once per (workload identity, seed, length, cache geometry)
 /// process-wide. Extraction streams the trace ([`extract_streaming`]) —
 /// a timeline lookup never materialises instructions.
-pub fn spec_timeline(
-    program: Spec92Program,
+pub fn workload_timeline(
+    spec: &WorkloadSpec,
     seed: u64,
     len: usize,
     cache: &CacheConfig,
@@ -542,9 +563,9 @@ pub fn spec_timeline(
     if !memoise() {
         fault::check_or_unwind(Site::Extract);
         TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
-        return Arc::new(extract_streaming(program, seed, len, cache));
+        return Arc::new(extract_streaming(spec, seed, len, cache));
     }
-    let key = (program, seed, len, *cache);
+    let key = (spec.id(), seed, len, *cache);
     loop {
         {
             let store = lock_store(timelines());
@@ -568,16 +589,27 @@ pub fn spec_timeline(
         TIMELINE_MISSES.fetch_add(1, Ordering::Relaxed);
         // Extract outside the store lock so hits never serialise
         // behind the pass; the key gate already excludes duplicates.
-        let tl = Arc::new(extract_streaming(program, seed, len, cache));
+        let tl = Arc::new(extract_streaming(spec, seed, len, cache));
         return Arc::clone(lock_store(timelines()).entry(key).or_insert(tl));
     }
 }
 
-/// Streams the proxy trace through a multi-granularity reuse-distance
-/// fold without pinning it (same residency contract as
+/// Legacy entry point for a SPEC92 proxy — [`workload_timeline`] of the
+/// built-in spec.
+pub fn spec_timeline(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    cache: &CacheConfig,
+) -> Arc<MissTimeline> {
+    workload_timeline(builtin_spec(program), seed, len, cache)
+}
+
+/// Streams the workload's trace through a multi-granularity
+/// reuse-distance fold without pinning it (same residency contract as
 /// [`extract_streaming`]).
 fn fold_histograms(
-    program: Spec92Program,
+    spec: &WorkloadSpec,
     seed: u64,
     len: usize,
     min_line: u64,
@@ -587,25 +619,26 @@ fn fold_histograms(
 ) -> ReuseHistograms {
     let chunk = stream::chunk_instructions();
     let mut hists = ReuseHistograms::new(min_line, max_line, max_distance, warmup);
-    if let Some(trace) = resident_trace(program, seed, len) {
+    if let Some(trace) = resident_workload_trace(spec, seed, len) {
         for block in trace.chunks(chunk) {
             hists.process_slice(block);
         }
     } else {
-        spec92_chunks(program, seed, len, chunk).for_each_chunk(|block| hists.process_slice(block));
+        spec.chunks(seed, len, chunk)
+            .for_each_chunk(|block| hists.process_slice(block));
     }
     hists
 }
 
-/// The [`ReuseHistograms`] of a SPEC92 proxy prefix, folded at most
-/// once per (program, seed, length, line range, distance cap, warm-up)
-/// process-wide. The fold streams the trace chunk by chunk — a
+/// The [`ReuseHistograms`] of a workload prefix, folded at most once
+/// per (workload identity, seed, length, line range, distance cap,
+/// warm-up) process-wide. The fold streams the trace chunk by chunk — a
 /// histogram lookup never materialises instructions — and the memoised
 /// state is byte-accounted under the same `REPRO_TRACE_BUDGET` cap as
 /// the traces (least-recently-used histograms are evicted first).
 #[allow(clippy::too_many_arguments)]
-pub fn spec_histograms(
-    program: Spec92Program,
+pub fn workload_histograms(
+    spec: &WorkloadSpec,
     seed: u64,
     len: usize,
     min_line: u64,
@@ -617,7 +650,7 @@ pub fn spec_histograms(
         fault::check_or_unwind(Site::Extract);
         HIST_MISSES.fetch_add(1, Ordering::Relaxed);
         return Arc::new(fold_histograms(
-            program,
+            spec,
             seed,
             len,
             min_line,
@@ -626,7 +659,15 @@ pub fn spec_histograms(
             warmup,
         ));
     }
-    let key = (program, seed, len, min_line, max_line, max_distance, warmup);
+    let key = (
+        spec.id(),
+        seed,
+        len,
+        min_line,
+        max_line,
+        max_distance,
+        warmup,
+    );
     loop {
         {
             let mut store = lock_store(hists());
@@ -656,7 +697,7 @@ pub fn spec_histograms(
         // total before re-locking: the lock order is always traces →
         // histograms, never the reverse.
         let folded = Arc::new(fold_histograms(
-            program,
+            spec,
             seed,
             len,
             min_line,
@@ -678,10 +719,38 @@ pub fn spec_histograms(
     }
 }
 
+/// Legacy entry point for a SPEC92 proxy — [`workload_histograms`] of
+/// the built-in spec.
+#[allow(clippy::too_many_arguments)]
+pub fn spec_histograms(
+    program: Spec92Program,
+    seed: u64,
+    len: usize,
+    min_line: u64,
+    max_line: u64,
+    max_distance: usize,
+    warmup: u64,
+) -> Arc<ReuseHistograms> {
+    workload_histograms(
+        builtin_spec(program),
+        seed,
+        len,
+        min_line,
+        max_line,
+        max_distance,
+        warmup,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::common::figure1_cache;
+    use simtrace::spec92::spec92_trace;
+
+    fn id_of(program: Spec92Program) -> WorkloadId {
+        builtin_spec(program).id()
+    }
 
     #[test]
     fn longer_traces_extend_shorter_ones() {
@@ -734,15 +803,16 @@ mod tests {
     fn entry(n_instrs: usize, last_use: u64) -> TraceEntry {
         TraceEntry {
             data: Arc::new(vec![Instr::plain(0u64); n_instrs]),
+            label: "test".to_string(),
             last_use,
         }
     }
 
     #[test]
     fn budget_evicts_least_recently_used_first() {
-        let a = (Spec92Program::Nasa7, 1);
-        let b = (Spec92Program::Ear, 2);
-        let c = (Spec92Program::Doduc, 3);
+        let a = (id_of(Spec92Program::Nasa7), 1);
+        let b = (id_of(Spec92Program::Ear), 2);
+        let c = (id_of(Spec92Program::Doduc), 3);
         let mut store = HashMap::new();
         store.insert(a, entry(100, 5)); // 2400 B, most recent
         store.insert(b, entry(100, 1)); // 2400 B, oldest
@@ -758,8 +828,8 @@ mod tests {
 
     #[test]
     fn budget_never_evicts_the_trace_being_handed_out() {
-        let a = (Spec92Program::Nasa7, 1);
-        let b = (Spec92Program::Ear, 2);
+        let a = (id_of(Spec92Program::Nasa7), 1);
+        let b = (id_of(Spec92Program::Ear), 2);
         let mut store = HashMap::new();
         store.insert(a, entry(1_000, 1)); // oldest AND just-used
         store.insert(b, entry(1_000, 2));
@@ -792,9 +862,9 @@ mod tests {
         assert_eq!(after - before, (1_000 * INSTR_BYTES) as u64);
         assert!(resident_entries()
             .iter()
-            .any(|&(name, s, bytes)| name == "hydro2d"
-                && s == seed
-                && bytes == (1_000 * INSTR_BYTES) as u64));
+            .any(|(name, s, bytes)| name == "hydro2d"
+                && *s == seed
+                && *bytes == (1_000 * INSTR_BYTES) as u64));
     }
 
     #[test]
@@ -823,7 +893,17 @@ mod tests {
                 last_use,
             }
         }
-        let key = |seed| (Spec92Program::Nasa7, seed, 100, 32u64, 32u64, 64usize, 0u64);
+        let key = |seed| {
+            (
+                id_of(Spec92Program::Nasa7),
+                seed,
+                100,
+                32u64,
+                32u64,
+                64usize,
+                0u64,
+            )
+        };
         let mut store = HashMap::new();
         store.insert(key(1), entry(5)); // most recent
         store.insert(key(2), entry(1)); // oldest
@@ -846,14 +926,26 @@ mod tests {
     fn streaming_extraction_matches_whole_trace_extraction() {
         let cache = figure1_cache(32);
         let seed = 0x5EED_0003;
+        let spec = builtin_spec(Spec92Program::Swm256);
         // Cold path: nothing resident, generation is chunked.
-        let cold = extract_streaming(Spec92Program::Swm256, seed, 6_000, &cache);
+        let cold = extract_streaming(spec, seed, 6_000, &cache);
         let direct =
             MissTimeline::extract(cache, spec92_trace(Spec92Program::Swm256, seed).take(6_000));
         assert_eq!(cold, direct);
         // Warm path: folds the resident slice instead.
         let _pin = spec_trace(Spec92Program::Swm256, seed, 6_000);
-        let warm = extract_streaming(Spec92Program::Swm256, seed, 6_000, &cache);
+        let warm = extract_streaming(spec, seed, 6_000, &cache);
         assert_eq!(warm, direct);
+    }
+
+    #[test]
+    fn inline_specs_share_entries_with_the_builtin_of_equal_identity() {
+        let seed = 0x5EED_0005;
+        let named = builtin_spec(Spec92Program::Doduc);
+        let mut anon = named.clone();
+        anon.name = None; // a different label, the same canonical form
+        let a = workload_trace(named, seed, 1_500);
+        let b = workload_trace(&anon, seed, 1_500);
+        assert!(Arc::ptr_eq(&a.data, &b.data), "one entry per identity");
     }
 }

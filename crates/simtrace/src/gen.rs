@@ -24,6 +24,15 @@ pub trait AccessPattern {
     fn next_ref(&mut self, rng: &mut SmallRng) -> MemRef;
 }
 
+/// Boxed patterns forward, so pattern trees built at runtime (the
+/// [`crate::workload`] spec compiler) compose exactly like concrete
+/// ones — the box adds no RNG draws, keeping streams bit-identical.
+impl AccessPattern for Box<dyn AccessPattern + Send> {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> MemRef {
+        self.as_mut().next_ref(rng)
+    }
+}
+
 /// Sequentially sweeps one or more arrays with a fixed element stride,
 /// optionally writing every `store_period`-th element.
 ///

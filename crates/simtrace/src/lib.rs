@@ -13,6 +13,8 @@
 //! * composable, deterministic generators ([`gen`]),
 //! * six SPEC92 *proxy* workloads ([`spec92`]) mirroring the programs the
 //!   paper simulated (nasa7, swm256, wave5, ear, doduc, hydro2d),
+//! * declarative workload specs ([`workload`]): JSON-described generator
+//!   trees with a stable content hash, compiling to the same streams,
 //! * streaming statistics ([`stats`]) and a compact binary trace encoding
 //!   ([`encode`]) for recording and replaying traces.
 //!
@@ -42,6 +44,7 @@ pub mod reuse;
 pub mod reusehist;
 pub mod spec92;
 pub mod stats;
+pub mod workload;
 
 pub use addr::{Addr, LineAddr};
 pub use chunk::ChunkedTrace;
@@ -52,6 +55,7 @@ pub use reuse::ReuseProfile;
 pub use reusehist::{ReuseDistCounter, ReuseHistograms};
 pub use spec92::{spec92_trace, Spec92Program};
 pub use stats::TraceStats;
+pub use workload::{WorkloadId, WorkloadSpec};
 
 /// A trace is any iterator over instructions.
 ///

@@ -31,7 +31,8 @@ use report::Json;
 use simcache::{Analytic, CacheConfig, HitRatioBackend, Resolution, Simulated, StackDistSweep};
 use simcpu::{CpuConfig, MissTimeline, StallFeature};
 use simmem::{BusWidth, MemoryTiming};
-use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::spec92::Spec92Program;
+use simtrace::workload::{self, WorkloadSpec};
 use simtrace::ReuseHistograms;
 use std::sync::Arc;
 
@@ -330,12 +331,13 @@ pub struct ExperimentInfo {
 /// requests (the `bench` trace store does, with same-key coalescing)
 /// while tests and one-shot embedders use [`Uncached`].
 pub trait Workloads: Sync {
-    /// Reuse-distance histograms of a proxy prefix (the analytic
-    /// backend's input). Parameters are the memoisation key.
+    /// Reuse-distance histograms of a workload prefix (the analytic
+    /// backend's input). The spec's content identity plus the scalar
+    /// parameters are the memoisation key.
     #[allow(clippy::too_many_arguments)]
     fn histograms(
         &self,
-        program: Spec92Program,
+        spec: &WorkloadSpec,
         seed: u64,
         len: usize,
         min_line: u64,
@@ -344,21 +346,22 @@ pub trait Workloads: Sync {
         warmup: u64,
     ) -> Arc<ReuseHistograms>;
 
-    /// A simulated hit-ratio backend covering `spec` for one workload,
+    /// A simulated hit-ratio backend covering `grid` for one workload,
     /// folded under the provider's canonical sweep seed
     /// ([`GRID_SEED`]).
     fn simulated_grid(
         &self,
-        program: Spec92Program,
-        spec: &GridSpec,
+        spec: &WorkloadSpec,
+        grid: &GridSpec,
         instructions: usize,
     ) -> Simulated;
 
-    /// The miss-event timeline of a proxy prefix under `cache` (the φ
-    /// point query's input). Parameters are the memoisation key.
+    /// The miss-event timeline of a workload prefix under `cache` (the
+    /// φ point query's input). The spec's content identity plus the
+    /// scalar parameters are the memoisation key.
     fn timeline(
         &self,
-        program: Spec92Program,
+        spec: &WorkloadSpec,
         seed: u64,
         len: usize,
         cache: &CacheConfig,
@@ -380,7 +383,7 @@ pub struct Uncached;
 impl Workloads for Uncached {
     fn histograms(
         &self,
-        program: Spec92Program,
+        spec: &WorkloadSpec,
         seed: u64,
         len: usize,
         min_line: u64,
@@ -389,35 +392,33 @@ impl Workloads for Uncached {
         warmup: u64,
     ) -> Arc<ReuseHistograms> {
         let mut hists = ReuseHistograms::new(min_line, max_line, max_distance, warmup);
-        let trace: Vec<simtrace::Instr> = spec92_trace(program, seed).take(len).collect();
+        let trace: Vec<simtrace::Instr> = spec.compile(seed).take(len).collect();
         hists.process_slice(&trace);
         Arc::new(hists)
     }
 
     fn simulated_grid(
         &self,
-        program: Spec92Program,
-        spec: &GridSpec,
+        spec: &WorkloadSpec,
+        grid: &GridSpec,
         instructions: usize,
     ) -> Simulated {
-        let amax = *spec.assocs.iter().max().expect("grid has assocs");
-        let mut sinks: Vec<StackDistSweep> = spec
+        let amax = *grid.assocs.iter().max().expect("grid has assocs");
+        let mut sinks: Vec<StackDistSweep> = grid
             .line_sizes
             .iter()
             .map(|&line_bytes| {
                 StackDistSweep::new_range(
                     line_bytes,
-                    spec.min_sets(line_bytes).trailing_zeros(),
-                    spec.max_sets(line_bytes).trailing_zeros(),
+                    grid.min_sets(line_bytes).trailing_zeros(),
+                    grid.max_sets(line_bytes).trailing_zeros(),
                     amax,
-                    spec.warmup,
+                    grid.warmup,
                 )
                 .expect("valid grid line size")
             })
             .collect();
-        let trace: Vec<simtrace::Instr> = spec92_trace(program, GRID_SEED)
-            .take(instructions)
-            .collect();
+        let trace: Vec<simtrace::Instr> = spec.compile(GRID_SEED).take(instructions).collect();
         for sink in &mut sinks {
             sink.process_slice(&trace);
         }
@@ -426,15 +427,12 @@ impl Workloads for Uncached {
 
     fn timeline(
         &self,
-        program: Spec92Program,
+        spec: &WorkloadSpec,
         seed: u64,
         len: usize,
         cache: &CacheConfig,
     ) -> Arc<MissTimeline> {
-        Arc::new(MissTimeline::extract(
-            *cache,
-            spec92_trace(program, seed).take(len),
-        ))
+        Arc::new(MissTimeline::extract(*cache, spec.compile(seed).take(len)))
     }
 }
 
@@ -516,12 +514,48 @@ pub struct DesignQuery {
     pub alpha: f64,
 }
 
-/// The `simulate` query: a φ point — run one proxy workload at one
-/// machine configuration and report the measured `{HR, α, φ, CPI}`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// How a query names its workload: a built-in name or an inline
+/// declarative spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadRef {
+    /// A built-in named workload (`ear`, `nasa7`, …) — wire key
+    /// `"program"`.
+    Named(String),
+    /// An inline [`WorkloadSpec`] — wire key `"workload"`.
+    Inline(WorkloadSpec),
+}
+
+impl WorkloadRef {
+    /// The human-facing label (the name, or `spec:<hash>` for
+    /// anonymous inline specs).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadRef::Named(name) => name.clone(),
+            WorkloadRef::Inline(spec) => spec.label(),
+        }
+    }
+
+    /// Resolves to the spec this reference denotes.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiErrorKind::BadRequest`] when a named workload is not a
+    /// built-in.
+    pub fn resolve(&self) -> Result<&WorkloadSpec, ApiError> {
+        match self {
+            WorkloadRef::Named(name) => workload::builtin(name)
+                .ok_or_else(|| ApiError::bad_request(format!("unknown program {name:?}"))),
+            WorkloadRef::Inline(spec) => Ok(spec),
+        }
+    }
+}
+
+/// The `simulate` query: a φ point — run one workload at one machine
+/// configuration and report the measured `{HR, α, φ, CPI}`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulateQuery {
-    /// SPEC92 proxy name (`ear`, `nasa7`, …).
-    pub program: String,
+    /// The workload: a built-in name or an inline spec.
+    pub workload: WorkloadRef,
     /// Instructions to run.
     pub instructions: usize,
     /// Stalling feature keyword (`fs`, `bl`, `bnl1..3`, `nb`).
@@ -541,7 +575,7 @@ pub struct SimulateQuery {
 impl Default for SimulateQuery {
     fn default() -> Self {
         SimulateQuery {
-            program: String::new(),
+            workload: WorkloadRef::Named(String::new()),
             instructions: 100_000,
             stall: "fs".to_string(),
             cache: 8 * 1024,
@@ -585,8 +619,11 @@ pub struct GridQuery {
     pub max_sets: u64,
     /// Dense-grid associativity bound (analytic backend).
     pub max_assoc: u32,
-    /// Workloads to answer for; empty means all six proxies.
+    /// Built-in workload names to answer for; empty (with no inline
+    /// `workloads` either) means all six proxies.
     pub programs: Vec<String>,
+    /// Inline workload specs to answer for, in addition to `programs`.
+    pub workloads: Vec<WorkloadSpec>,
 }
 
 impl Default for GridQuery {
@@ -598,8 +635,25 @@ impl Default for GridQuery {
             max_sets: 2084,
             max_assoc: 16,
             programs: Vec::new(),
+            workloads: Vec::new(),
         }
     }
+}
+
+/// What the `workloads` query asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadsQuery {
+    /// List the built-in named specs.
+    List,
+    /// Show one built-in spec by name.
+    Show {
+        /// The built-in name.
+        name: String,
+    },
+    /// Validate an inline spec and report its identity. An invalid
+    /// spec is rejected at parse time (`bad-request`), so dispatching
+    /// this always reports a valid spec.
+    Validate(WorkloadSpec),
 }
 
 /// One typed query — the single entry point of the service.
@@ -619,6 +673,8 @@ pub enum QueryRequest {
     Grid(GridQuery),
     /// The experiment registry listing.
     Experiments,
+    /// Workload catalogue: list/show built-ins, validate inline specs.
+    Workloads(WorkloadsQuery),
 }
 
 impl QueryRequest {
@@ -632,6 +688,7 @@ impl QueryRequest {
             QueryRequest::Simulate(_) => "simulate",
             QueryRequest::Grid(_) => "grid",
             QueryRequest::Experiments => "experiments",
+            QueryRequest::Workloads(_) => "workloads",
         }
     }
 
@@ -724,6 +781,7 @@ impl QueryRequest {
             "simulate" => {
                 p.check_keys(&[
                     "program",
+                    "workload",
                     "instructions",
                     "stall",
                     "cache",
@@ -733,8 +791,9 @@ impl QueryRequest {
                     "seed",
                 ])?;
                 let d = SimulateQuery::default();
+                let workload = parse_workload_ref(value)?;
                 Ok(QueryRequest::Simulate(SimulateQuery {
-                    program: p.required_str("program")?.to_string(),
+                    workload,
                     instructions: p.u64("instructions", Some(d.instructions as u64))? as usize,
                     stall: p.str_or("stall", &d.stall)?.to_string(),
                     cache: p.u64("cache", Some(d.cache))?,
@@ -752,6 +811,7 @@ impl QueryRequest {
                     "sets",
                     "assoc",
                     "programs",
+                    "workloads",
                 ])?;
                 let d = GridQuery::default();
                 let backend = match p.str_or("backend", "analytic")? {
@@ -777,6 +837,18 @@ impl QueryRequest {
                             .collect::<Result<Vec<_>, _>>()?
                     }
                 };
+                let workloads = match value.get("workloads") {
+                    None => Vec::new(),
+                    Some(list) => {
+                        let items = list.as_arr().ok_or_else(|| {
+                            ApiError::bad_request("\"workloads\" must be an array")
+                        })?;
+                        items
+                            .iter()
+                            .map(|i| WorkloadSpec::from_json(i).map_err(ApiError::bad_request))
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                };
                 Ok(QueryRequest::Grid(GridQuery {
                     backend,
                     instructions: p.u64("instructions", Some(d.instructions as u64))? as usize,
@@ -784,11 +856,33 @@ impl QueryRequest {
                     max_sets: p.u64("sets", Some(d.max_sets))?,
                     max_assoc: p.u64("assoc", Some(u64::from(d.max_assoc)))? as u32,
                     programs,
+                    workloads,
                 }))
             }
             "experiments" => {
                 p.check_keys(&[])?;
                 Ok(QueryRequest::Experiments)
+            }
+            "workloads" => {
+                p.check_keys(&["action", "name", "workload"])?;
+                let action = p.str_or("action", "list")?;
+                match action {
+                    "list" => Ok(QueryRequest::Workloads(WorkloadsQuery::List)),
+                    "show" => Ok(QueryRequest::Workloads(WorkloadsQuery::Show {
+                        name: p.required_str("name")?.to_string(),
+                    })),
+                    "validate" => {
+                        let spec = value.get("workload").ok_or_else(|| {
+                            ApiError::bad_request("validate needs an inline \"workload\"")
+                        })?;
+                        Ok(QueryRequest::Workloads(WorkloadsQuery::Validate(
+                            WorkloadSpec::from_json(spec).map_err(ApiError::bad_request)?,
+                        )))
+                    }
+                    other => bad(format!(
+                        "unknown action {other:?} (want list, show or validate)"
+                    )),
+                }
             }
             other => bad(format!("unknown query {other:?}")),
         }
@@ -837,31 +931,77 @@ impl QueryRequest {
                 ("beta", Json::num(q.beta)),
                 ("alpha", Json::num(q.alpha)),
             ]),
-            QueryRequest::Simulate(q) => Json::obj(vec![
-                kind,
-                ("program", Json::str(&q.program)),
-                ("instructions", Json::num(q.instructions as f64)),
-                ("stall", Json::str(&q.stall)),
-                ("cache", Json::num(q.cache as f64)),
-                ("line", Json::num(q.line as f64)),
-                ("bus", Json::num(q.bus as f64)),
-                ("beta", Json::num(q.beta as f64)),
-                ("seed", Json::num(q.seed as f64)),
-            ]),
-            QueryRequest::Grid(q) => Json::obj(vec![
-                kind,
-                ("backend", Json::str(q.backend.name())),
-                ("instructions", Json::num(q.instructions as f64)),
-                ("target", Json::num(q.target)),
-                ("sets", Json::num(q.max_sets as f64)),
-                ("assoc", Json::num(q.max_assoc)),
-                (
-                    "programs",
-                    Json::Arr(q.programs.iter().map(Json::str).collect()),
-                ),
-            ]),
+            QueryRequest::Simulate(q) => {
+                let workload = match &q.workload {
+                    WorkloadRef::Named(name) => ("program", Json::str(name)),
+                    WorkloadRef::Inline(spec) => ("workload", spec.to_json()),
+                };
+                Json::obj(vec![
+                    kind,
+                    workload,
+                    ("instructions", Json::num(q.instructions as f64)),
+                    ("stall", Json::str(&q.stall)),
+                    ("cache", Json::num(q.cache as f64)),
+                    ("line", Json::num(q.line as f64)),
+                    ("bus", Json::num(q.bus as f64)),
+                    ("beta", Json::num(q.beta as f64)),
+                    ("seed", Json::num(q.seed as f64)),
+                ])
+            }
+            QueryRequest::Grid(q) => {
+                let mut pairs = vec![
+                    kind,
+                    ("backend", Json::str(q.backend.name())),
+                    ("instructions", Json::num(q.instructions as f64)),
+                    ("target", Json::num(q.target)),
+                    ("sets", Json::num(q.max_sets as f64)),
+                    ("assoc", Json::num(q.max_assoc)),
+                    (
+                        "programs",
+                        Json::Arr(q.programs.iter().map(Json::str).collect()),
+                    ),
+                ];
+                if !q.workloads.is_empty() {
+                    pairs.push((
+                        "workloads",
+                        Json::Arr(q.workloads.iter().map(WorkloadSpec::to_json).collect()),
+                    ));
+                }
+                Json::obj(pairs)
+            }
             QueryRequest::Experiments => Json::obj(vec![kind]),
+            QueryRequest::Workloads(q) => match q {
+                WorkloadsQuery::List => Json::obj(vec![kind, ("action", Json::str("list"))]),
+                WorkloadsQuery::Show { name } => Json::obj(vec![
+                    kind,
+                    ("action", Json::str("show")),
+                    ("name", Json::str(name)),
+                ]),
+                WorkloadsQuery::Validate(spec) => Json::obj(vec![
+                    kind,
+                    ("action", Json::str("validate")),
+                    ("workload", spec.to_json()),
+                ]),
+            },
         }
+    }
+}
+
+/// Extracts the workload reference of a `simulate`-style request:
+/// exactly one of `"program"` (a built-in name) or `"workload"` (an
+/// inline spec object).
+fn parse_workload_ref(value: &Json) -> Result<WorkloadRef, ApiError> {
+    match (value.get("program"), value.get("workload")) {
+        (Some(_), Some(_)) => bad("give either \"program\" or \"workload\", not both"),
+        (Some(name), None) => Ok(WorkloadRef::Named(
+            name.as_str()
+                .ok_or_else(|| ApiError::bad_request("\"program\" must be a string"))?
+                .to_string(),
+        )),
+        (None, Some(spec)) => Ok(WorkloadRef::Inline(
+            WorkloadSpec::from_json(spec).map_err(ApiError::bad_request)?,
+        )),
+        (None, None) => bad("missing required \"program\" (or inline \"workload\")"),
     }
 }
 
@@ -1068,6 +1208,38 @@ pub struct ExperimentsResponse {
     pub experiments: Vec<ExperimentInfo>,
 }
 
+/// One catalogue entry in a `workloads list` answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// The built-in name.
+    pub name: String,
+    /// The spec's content hash (full hex).
+    pub id: String,
+}
+
+/// Answer to a `workloads` query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadsResponse {
+    /// The built-in catalogue.
+    List(Vec<WorkloadInfo>),
+    /// One built-in spec in full.
+    Show {
+        /// The built-in name.
+        name: String,
+        /// The spec's content hash (full hex).
+        id: String,
+        /// The spec itself.
+        spec: WorkloadSpec,
+    },
+    /// An inline spec checked out valid.
+    Validated {
+        /// The spec's content hash (full hex).
+        id: String,
+        /// The spec's human-facing label.
+        label: String,
+    },
+}
+
 /// One typed answer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResponse {
@@ -1085,6 +1257,8 @@ pub enum QueryResponse {
     Grid(GridResponse),
     /// Experiment listing.
     Experiments(ExperimentsResponse),
+    /// Workload catalogue answers.
+    Workloads(WorkloadsResponse),
 }
 
 fn opt_num(v: Option<f64>) -> Json {
@@ -1102,6 +1276,7 @@ impl QueryResponse {
             QueryResponse::Simulate(_) => "simulate",
             QueryResponse::Grid(_) => "grid",
             QueryResponse::Experiments(_) => "experiments",
+            QueryResponse::Workloads(_) => "workloads",
         }
     }
 
@@ -1173,7 +1348,10 @@ impl QueryResponse {
                 ),
             ]),
             QueryResponse::Simulate(r) => Json::obj(vec![
-                ("program", Json::str(&r.query.program)),
+                match &r.query.workload {
+                    WorkloadRef::Named(name) => ("program", Json::str(name)),
+                    WorkloadRef::Inline(spec) => ("workload", spec.to_json()),
+                },
                 ("instructions", Json::num(r.query.instructions as f64)),
                 ("stall", Json::str(&r.query.stall)),
                 ("cache", Json::num(r.query.cache as f64)),
@@ -1253,6 +1431,32 @@ impl QueryResponse {
                         .collect(),
                 ),
             )]),
+            QueryResponse::Workloads(r) => match r {
+                WorkloadsResponse::List(infos) => Json::obj(vec![(
+                    "workloads",
+                    Json::Arr(
+                        infos
+                            .iter()
+                            .map(|w| {
+                                Json::obj(vec![
+                                    ("name", Json::str(&w.name)),
+                                    ("id", Json::str(&w.id)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+                WorkloadsResponse::Show { name, id, spec } => Json::obj(vec![
+                    ("name", Json::str(name)),
+                    ("id", Json::str(id)),
+                    ("spec", spec.to_json()),
+                ]),
+                WorkloadsResponse::Validated { id, label } => Json::obj(vec![
+                    ("valid", Json::Bool(true)),
+                    ("id", Json::str(id)),
+                    ("label", Json::str(label)),
+                ]),
+            },
         };
         Json::obj(vec![
             ("ok", Json::Bool(true)),
@@ -1300,11 +1504,24 @@ pub fn parse_program(name: &str) -> Result<Spec92Program, ApiError> {
         .ok_or_else(|| ApiError::bad_request(format!("unknown program {name:?}")))
 }
 
-fn resolve_programs(names: &[String]) -> Result<Vec<Spec92Program>, ApiError> {
-    if names.is_empty() {
-        return Ok(Spec92Program::ALL.to_vec());
+/// Resolves a grid query's workload set: named built-ins plus inline
+/// specs; both empty means all six built-in proxies.
+fn resolve_workloads<'a>(
+    names: &[String],
+    inline: &'a [WorkloadSpec],
+) -> Result<Vec<&'a WorkloadSpec>, ApiError> {
+    if names.is_empty() && inline.is_empty() {
+        return Ok(workload::builtins().iter().collect());
     }
-    names.iter().map(|n| parse_program(n)).collect()
+    let mut specs: Vec<&'a WorkloadSpec> = Vec::with_capacity(names.len() + inline.len());
+    for name in names {
+        specs.push(
+            workload::builtin(name)
+                .ok_or_else(|| ApiError::bad_request(format!("unknown program {name:?}")))?,
+        );
+    }
+    specs.extend(inline);
+    Ok(specs)
 }
 
 /// Answers one typed query. This is the single evaluation path: the
@@ -1327,7 +1544,36 @@ pub fn dispatch(req: &QueryRequest, env: &dyn Workloads) -> Result<QueryResponse
         QueryRequest::Experiments => Ok(QueryResponse::Experiments(ExperimentsResponse {
             experiments: env.experiments(),
         })),
+        QueryRequest::Workloads(q) => workloads_query(q),
     }
+}
+
+fn workloads_query(q: &WorkloadsQuery) -> Result<QueryResponse, ApiError> {
+    let resp = match q {
+        WorkloadsQuery::List => WorkloadsResponse::List(
+            workload::builtins()
+                .iter()
+                .map(|s| WorkloadInfo {
+                    name: s.label(),
+                    id: s.id().hex(),
+                })
+                .collect(),
+        ),
+        WorkloadsQuery::Show { name } => {
+            let spec = workload::builtin(name)
+                .ok_or_else(|| ApiError::bad_request(format!("unknown workload {name:?}")))?;
+            WorkloadsResponse::Show {
+                name: name.clone(),
+                id: spec.id().hex(),
+                spec: spec.clone(),
+            }
+        }
+        WorkloadsQuery::Validate(spec) => WorkloadsResponse::Validated {
+            id: spec.id().hex(),
+            label: spec.label(),
+        },
+    };
+    Ok(QueryResponse::Workloads(resp))
 }
 
 /// [`dispatch`] against the [`Uncached`] provider — convenient for
@@ -1450,7 +1696,7 @@ fn design(q: &DesignQuery) -> Result<QueryResponse, ApiError> {
 }
 
 fn simulate(q: &SimulateQuery, env: &dyn Workloads) -> Result<QueryResponse, ApiError> {
-    let program = parse_program(&q.program)?;
+    let spec = q.workload.resolve()?;
     let stall = parse_stall(&q.stall)?;
     if q.instructions == 0 || q.instructions > MAX_INSTRUCTIONS {
         return bad(format!(
@@ -1465,7 +1711,7 @@ fn simulate(q: &SimulateQuery, env: &dyn Workloads) -> Result<QueryResponse, Api
     if !MissTimeline::supports_cache(&cache) {
         return bad("cache configuration does not admit timeline extraction");
     }
-    let timeline = env.timeline(program, q.seed, q.instructions, &cache);
+    let timeline = env.timeline(spec, q.seed, q.instructions, &cache);
     if !timeline.supports(&cfg) {
         return Err(ApiError::internal(
             "timeline replay rejected a baseline configuration",
@@ -1488,18 +1734,18 @@ fn grid(q: &GridQuery, env: &dyn Workloads) -> Result<QueryResponse, ApiError> {
             "\"instructions\" must be in 1..={MAX_INSTRUCTIONS}"
         ));
     }
-    let programs = resolve_programs(&q.programs)?;
+    let specs = resolve_workloads(&q.programs, &q.workloads)?;
     let warmup = q.instructions as u64 / 5;
     match q.backend {
         GridBackend::Sim => {
-            let spec = GridSpec::comparison(warmup);
-            let mut rows = Vec::with_capacity(programs.len());
-            for &program in &programs {
-                let sim = env.simulated_grid(program, &spec, q.instructions);
+            let grid = GridSpec::comparison(warmup);
+            let mut rows = Vec::with_capacity(specs.len());
+            for &spec in &specs {
+                let sim = env.simulated_grid(spec, &grid, q.instructions);
                 let mut best: Option<(f64, u64, u64, u32)> = None;
-                for &cache in &spec.cache_sizes {
-                    for &line in &spec.line_sizes {
-                        for &assoc in &spec.assocs {
+                for &cache in &grid.cache_sizes {
+                    for &line in &grid.line_sizes {
+                        for &assoc in &grid.assocs {
                             let hr = sim
                                 .hit_ratio(cache, line, assoc)
                                 .map_err(|e| ApiError::internal(e.to_string()))?;
@@ -1511,7 +1757,7 @@ fn grid(q: &GridQuery, env: &dyn Workloads) -> Result<QueryResponse, ApiError> {
                 }
                 let (hr, cache, line, assoc) = best.expect("comparison grid is nonempty");
                 rows.push(SimGridRow {
-                    program: program.name().to_string(),
+                    program: spec.label(),
                     best_hit_ratio: hr,
                     cache_bytes: cache,
                     line_bytes: line,
@@ -1521,7 +1767,7 @@ fn grid(q: &GridQuery, env: &dyn Workloads) -> Result<QueryResponse, ApiError> {
             Ok(QueryResponse::Grid(GridResponse {
                 backend: GridBackend::Sim,
                 instructions: q.instructions,
-                points: spec.points() * programs.len(),
+                points: grid.points() * specs.len(),
                 target: None,
                 rows: GridRows::Sim(rows),
             }))
@@ -1539,10 +1785,10 @@ fn grid(q: &GridQuery, env: &dyn Workloads) -> Result<QueryResponse, ApiError> {
                 max_assoc: q.max_assoc,
             };
             let (min_line, max_line) = HIST_LINE_RANGE;
-            let mut rows = Vec::with_capacity(programs.len());
-            for &program in &programs {
+            let mut rows = Vec::with_capacity(specs.len());
+            for &spec in &specs {
                 let hists = env.histograms(
-                    program,
+                    spec,
                     GRID_SEED,
                     q.instructions,
                     min_line,
@@ -1552,14 +1798,14 @@ fn grid(q: &GridQuery, env: &dyn Workloads) -> Result<QueryResponse, ApiError> {
                 );
                 let analytic = Analytic::from_histograms(&hists);
                 rows.push(DenseGridRow {
-                    program: program.name().to_string(),
+                    program: spec.label(),
                     best: dense_best(&analytic, &dense, q.target),
                 });
             }
             Ok(QueryResponse::Grid(GridResponse {
                 backend: GridBackend::Analytic,
                 instructions: q.instructions,
-                points: dense.points() * programs.len(),
+                points: dense.points() * specs.len(),
                 target: Some(q.target),
                 rows: GridRows::Dense(rows),
             }))
@@ -1689,7 +1935,7 @@ mod tests {
     #[test]
     fn simulate_replays_a_phi_point() {
         let req = QueryRequest::Simulate(SimulateQuery {
-            program: "ear".to_string(),
+            workload: WorkloadRef::Named("ear".to_string()),
             instructions: 5_000,
             stall: "bnl3".to_string(),
             ..SimulateQuery::default()
@@ -1703,7 +1949,7 @@ mod tests {
         assert!(r.phi > 0.0);
         // Unknown program / stall are caller faults.
         let bad = QueryRequest::Simulate(SimulateQuery {
-            program: "quake".to_string(),
+            workload: WorkloadRef::Named("quake".to_string()),
             ..SimulateQuery::default()
         });
         assert_eq!(
@@ -1737,6 +1983,7 @@ mod tests {
             max_sets: 32,
             max_assoc: 4,
             programs: vec!["ear".to_string()],
+            workloads: Vec::new(),
         });
         let QueryResponse::Grid(g) = dispatch_uncached(&ana).unwrap() else {
             panic!("wrong kind");
@@ -1812,11 +2059,26 @@ mod tests {
                 alpha: 0.5,
             }),
             QueryRequest::Simulate(SimulateQuery {
-                program: "ear".to_string(),
+                workload: WorkloadRef::Named("ear".to_string()),
+                ..SimulateQuery::default()
+            }),
+            QueryRequest::Simulate(SimulateQuery {
+                workload: WorkloadRef::Inline(workload::builtin("ear").unwrap().clone()),
                 ..SimulateQuery::default()
             }),
             QueryRequest::Grid(GridQuery::default()),
+            QueryRequest::Grid(GridQuery {
+                workloads: vec![workload::builtin("doduc").unwrap().clone()],
+                ..GridQuery::default()
+            }),
             QueryRequest::Experiments,
+            QueryRequest::Workloads(WorkloadsQuery::List),
+            QueryRequest::Workloads(WorkloadsQuery::Show {
+                name: "ear".to_string(),
+            }),
+            QueryRequest::Workloads(WorkloadsQuery::Validate(
+                workload::builtin("wave5").unwrap().clone(),
+            )),
         ];
         for req in reqs {
             let wire = req.to_json().render();
@@ -1840,7 +2102,7 @@ mod tests {
     fn dense_best_matches_field_arithmetic() {
         let env = Uncached;
         let hists = env.histograms(
-            Spec92Program::Ear,
+            workload::builtin_spec(Spec92Program::Ear),
             GRID_SEED,
             6_000,
             8,

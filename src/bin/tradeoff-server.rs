@@ -4,20 +4,25 @@
 //!
 //! ```text
 //! tradeoff-server [--addr 127.0.0.1:7878] [--threads N] [--addr-file PATH]
+//!                 [--shutdown-token TOKEN]
 //! ```
 //!
 //! Endpoints: `POST /query`, `GET /experiments`, `GET /stats`,
-//! `POST /shutdown`. Exit codes: `0` after a graceful shutdown, `1` on
-//! bind or I/O failure, `2` on bad usage.
+//! `POST /shutdown` (token-guarded when `--shutdown-token` is set,
+//! loopback-only otherwise). Exit codes: `0` after a graceful shutdown,
+//! `1` on bind or I/O failure, `2` on bad usage.
 
 use unified_tradeoff::server::{serve, ServerConfig};
 
 fn usage() -> String {
     "usage: tradeoff-server [--addr HOST:PORT] [--threads N] [--addr-file PATH]\n\
+     \u{20}                      [--shutdown-token TOKEN]\n\
      \n\
      Serves POST /query, GET /experiments, GET /stats and POST /shutdown\n\
      over the typed tradeoff::api dispatch. Bind port 0 for an ephemeral\n\
      port; --addr-file records the actual bound address after startup.\n\
+     With --shutdown-token, POST /shutdown must carry {\"token\": …};\n\
+     without it, only loopback peers may stop the server.\n\
      Exit codes: 0 graceful shutdown, 1 I/O failure, 2 bad usage"
         .to_string()
 }
@@ -41,6 +46,7 @@ fn parse(args: &[String]) -> Result<ServerConfig, String> {
                 }
             }
             "--addr-file" => cfg.addr_file = Some(std::path::PathBuf::from(value)),
+            "--shutdown-token" => cfg.shutdown_token = Some(value.clone()),
             other => return Err(format!("unknown option {other:?}\n{}", usage())),
         }
     }

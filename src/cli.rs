@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use tradeoff::api::{
     self, ApiError, ApiErrorKind, DenseGrid, GridQuery, GridRows, QueryRequest, QueryResponse,
+    WorkloadsResponse,
 };
 use tradeoff::linesize::LineCandidate;
 use tradeoff::HitRatio;
@@ -132,8 +133,12 @@ pub enum ClientCall {
     Stats,
     /// `GET /experiments`.
     Experiments,
-    /// `POST /shutdown` — graceful stop.
-    Shutdown,
+    /// `POST /shutdown` — graceful stop, with the server's shutdown
+    /// token when it was started with one.
+    Shutdown {
+        /// Value of `--token`, sent as `{"token": …}` in the body.
+        token: Option<String>,
+    },
 }
 
 /// The `experiments` subcommand actions.
@@ -185,6 +190,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let cmd = args.first().ok_or_else(|| CliError::Usage(usage()))?;
     match cmd.as_str() {
         "experiments" => parse_experiments(&args[1..]),
+        "workloads" => parse_workloads(&args[1..]),
         "query" => parse_query(&args[1..]),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "price" | "crossover" | "linesize" | "simulate" | "design" | "grid" => {
@@ -205,6 +211,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 fn query_from_options(cmd: &str, opts: &Options) -> Result<QueryRequest, CliError> {
     let mut fields = vec![("query".to_string(), Json::str(cmd))];
     for (key, value) in opts {
+        // `--workload-file F` reads an inline spec; the wire field is
+        // `workload` (simulate) or the one-element `workloads` array
+        // (grid), so the strict schema still does the validation.
+        if key == "workload-file" {
+            let spec = read_spec_file(value)?;
+            let (field, json) = match cmd {
+                "grid" => ("workloads", Json::Arr(vec![spec])),
+                _ => ("workload", spec),
+            };
+            fields.push((field.to_string(), json));
+            continue;
+        }
         let json = match key.as_str() {
             "curve" => {
                 let curve = parse_curve(value).map_err(CliError::Usage)?;
@@ -237,6 +255,13 @@ fn query_from_options(cmd: &str, opts: &Options) -> Result<QueryRequest, CliErro
     QueryRequest::from_json(&Json::Obj(fields)).map_err(from_api)
 }
 
+/// Reads and parses a JSON workload-spec file into a [`Json`] value.
+fn read_spec_file(path: &str) -> Result<Json, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("reading {path}: {e}")))?;
+    Json::parse(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))
+}
+
 /// Parses the `query` subcommand: local wire dispatch or client mode.
 fn parse_query(args: &[String]) -> Result<Command, CliError> {
     // `--shutdown` is a bare flag; the option grammar is strictly
@@ -247,17 +272,23 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
     let server = opts.remove("server");
     let json = opts.remove("json");
     let get = opts.remove("get");
+    let token = opts.remove("token");
     if let Some(stray) = opts.keys().next() {
         return Err(CliError::Usage(format!(
             "query does not take --{stray}\n{}",
             usage()
         )));
     }
+    if token.is_some() && !shutdown {
+        return Err(CliError::Usage(
+            "--token only applies to --shutdown".to_string(),
+        ));
+    }
     let request = json
         .map(|text| QueryRequest::from_json_str(&text).map_err(from_api))
         .transpose()?;
     let call = match (shutdown, get, request) {
-        (true, None, None) => ClientCall::Shutdown,
+        (true, None, None) => ClientCall::Shutdown { token },
         (false, Some(what), None) => match what.as_str() {
             "stats" => ClientCall::Stats,
             "experiments" => ClientCall::Experiments,
@@ -333,38 +364,78 @@ fn parse_experiments(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Experiments(cmd))
 }
 
+/// Parses the `workloads` subcommand: catalogue access routed through
+/// the same wire schema the server answers (`list` is the default
+/// action; `show` wants a built-in name, `validate` an inline spec
+/// file).
+fn parse_workloads(args: &[String]) -> Result<Command, CliError> {
+    let (action, rest) = match args.split_first() {
+        Some((a, rest)) => (a.as_str(), rest),
+        None => ("list", args),
+    };
+    let mut opts = parse_opts(rest.iter()).map_err(CliError::Usage)?;
+    let mut fields = vec![
+        ("query".to_string(), Json::str("workloads")),
+        ("action".to_string(), Json::str(action)),
+    ];
+    match action {
+        "list" => {}
+        "show" => {
+            let name = opts.remove("name").ok_or_else(|| {
+                CliError::Usage(format!("workloads show needs --name NAME\n{}", usage()))
+            })?;
+            fields.push(("name".to_string(), Json::str(name)));
+        }
+        "validate" => {
+            let file = opts.remove("file").ok_or_else(|| {
+                CliError::Usage(format!(
+                    "workloads validate needs --file SPEC.json\n{}",
+                    usage()
+                ))
+            })?;
+            fields.push(("workload".to_string(), read_spec_file(&file)?));
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workloads action {other:?}\n{}",
+                usage()
+            )))
+        }
+    }
+    if let Some(stray) = opts.keys().next() {
+        return Err(CliError::Usage(format!(
+            "workloads {action} does not take --{stray}\n{}",
+            usage()
+        )));
+    }
+    Ok(Command::Report(
+        QueryRequest::from_json(&Json::Obj(fields)).map_err(from_api)?,
+    ))
+}
+
 fn usage() -> String {
-    "usage: tradeoff <price|crossover|linesize|simulate|design|grid|query|experiments> [--option value]...\n\
+    "usage: tradeoff <price|crossover|linesize|simulate|design|grid|query|workloads|experiments> [--option value]...\n\
      \n\
      price       --bus 4 --line 32 --beta 8 --hr 0.95 [--alpha 0.5] [--q 2] [--width 1]\n\
      crossover   --chunks 8 --q 2 [--alpha 0.5]\n\
      linesize    --c 7 --beta 1 --bus 4 --curve 8:0.90,16:0.94,32:0.96,64:0.97\n\
-     simulate    --program ear [--instructions 100000] [--stall fs|bl|bnl1|bnl2|bnl3|nb]\n\
+     simulate    --program ear | --workload-file SPEC.json\n\
+     \u{20}           [--instructions 100000] [--stall fs|bl|bnl1|bnl2|bnl3|nb]\n\
      \u{20}           [--cache 8192] [--line 32] [--bus 4] [--beta 8]\n\
      design      --hr 0.95 --target 3.5 [--line 32] [--beta 8] [--alpha 0.5]\n\
      grid        [--backend sim|analytic] [--instructions 120000] [--target 0.9]\n\
      \u{20}           [--sets 2084] [--assoc 16]  (dense bounds, analytic backend only)\n\
+     \u{20}           [--programs ear,doduc] [--workload-file SPEC.json]\n\
      query       --json REQUEST            (dispatch locally, print wire JSON)\n\
-     query       --server HOST:PORT --json REQUEST | --get stats|experiments | --shutdown\n\
+     query       --server HOST:PORT --json REQUEST | --get stats|experiments\n\
+     \u{20}           | --shutdown [--token TOKEN]\n\
+     workloads   list | show --name NAME | validate --file SPEC.json\n\
      experiments list\n\
      experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR] [--keep-going]\n\
      experiments verify [--results-dir DIR] [--manifest FILE]\n\
      \n\
      exit codes: 0 ok, 1 experiment failure, 2 bad usage, 3 manifest drift"
         .to_string()
-}
-
-/// Runs one CLI invocation and returns its report.
-///
-/// Thin wrapper over [`run_cli`] that flattens the typed error to its
-/// message — kept for the original seed tests and library callers.
-///
-/// # Errors
-///
-/// Returns a user-facing message on bad arguments.
-#[deprecated(note = "use run_cli, which keeps the typed exit-code mapping")]
-pub fn run(args: &[String]) -> Result<String, String> {
-    run_cli(args).map_err(|e| e.message().to_string())
 }
 
 /// Runs one CLI invocation, keeping the typed [`CliError`] so the
@@ -401,7 +472,13 @@ fn client(addr: &str, call: &ClientCall) -> Result<String, CliError> {
         ClientCall::Query(req) => ("POST", "/query", Some(req.to_json().render())),
         ClientCall::Stats => ("GET", "/stats", None),
         ClientCall::Experiments => ("GET", "/experiments", None),
-        ClientCall::Shutdown => ("POST", "/shutdown", None),
+        ClientCall::Shutdown { token } => (
+            "POST",
+            "/shutdown",
+            token
+                .as_ref()
+                .map(|t| Json::obj(vec![("token", Json::str(t.as_str()))]).render()),
+        ),
     };
     let (status, body) =
         server::http_call(addr, method, path, body.as_deref()).map_err(|summary| {
@@ -505,7 +582,7 @@ fn render(req: &QueryRequest, resp: &QueryResponse, secs: f64) -> String {
             format!(
                 "{} × {} instructions, {stall}, {}B cache, L={}, D={}, β={}:\n  \
                  {} cycles / {} instr (CPI {:.3}), HR {:.4}, φ {:.2}, α {:.3}\n",
-                q.program,
+                q.workload.label(),
                 q.instructions,
                 q.cache,
                 q.line,
@@ -595,6 +672,21 @@ fn render(req: &QueryRequest, resp: &QueryResponse, secs: f64) -> String {
             }
             t.render()
         }
+        QueryResponse::Workloads(r) => match r {
+            WorkloadsResponse::List(infos) => {
+                let mut t = Table::new(["name", "id"]);
+                for i in infos {
+                    t.row([i.name.clone(), i.id.clone()]);
+                }
+                t.render()
+            }
+            WorkloadsResponse::Show { name, id, spec } => {
+                format!("{name} ({id}):\n{}\n", spec.to_json().render())
+            }
+            WorkloadsResponse::Validated { id, label } => {
+                format!("valid: {label} ({id})\n")
+            }
+        },
     }
 }
 
@@ -899,9 +991,26 @@ mod tests {
             cmd,
             Command::Client {
                 addr: "127.0.0.1:7878".to_string(),
-                call: ClientCall::Shutdown,
+                call: ClientCall::Shutdown { token: None },
             }
         );
+        // --token rides along with --shutdown, and only with it.
+        let cmd = parse_args(&argv(
+            "query --server 127.0.0.1:7878 --shutdown --token s3cret",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:7878".to_string(),
+                call: ClientCall::Shutdown {
+                    token: Some("s3cret".to_string()),
+                },
+            }
+        );
+        let err = go("query --server 127.0.0.1:1 --get stats --token x").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("token"), "{}", err.message());
     }
 
     #[test]
@@ -913,13 +1022,75 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_run_shim_still_answers() {
-        #[allow(deprecated)]
-        let out = run(&argv("crossover --chunks 8 --q 2")).unwrap();
-        assert!(out.contains("β_m > 4.67"));
-        #[allow(deprecated)]
-        let err = run(&argv("price")).unwrap_err();
-        assert!(err.contains("hr"));
+    fn workloads_subcommand_lists_shows_and_validates() {
+        let list = go("workloads").unwrap();
+        for name in ["nasa7", "swm256", "wave5", "ear", "doduc", "hydro2d"] {
+            assert!(list.contains(name), "missing {name} in {list}");
+        }
+        assert_eq!(go("workloads list").unwrap(), list);
+
+        let shown = go("workloads show --name ear").unwrap();
+        assert!(shown.contains("\"kind\""), "{shown}");
+        assert!(shown.contains("ear ("), "{shown}");
+        assert_eq!(
+            go("workloads show --name quake").unwrap_err().exit_code(),
+            2
+        );
+        assert_eq!(go("workloads show").unwrap_err().exit_code(), 2);
+        assert_eq!(go("workloads frobnicate").unwrap_err().exit_code(), 2);
+        assert_eq!(
+            go("workloads list --name x").unwrap_err().exit_code(),
+            2,
+            "stray workloads flags are usage errors"
+        );
+
+        let dir = std::env::temp_dir().join("cli_workloads_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("spec.json");
+        std::fs::write(
+            &file,
+            r#"{"name":"tiny","pattern":{"kind":"working_set","base":0,"bytes":4096,"store_fraction":0.2,"elem_size":8}}"#,
+        )
+        .unwrap();
+        let out = go(&format!("workloads validate --file {}", file.display())).unwrap();
+        assert!(out.contains("valid: tiny"), "{out}");
+        std::fs::write(&file, r#"{"pattern":{"kind":"warp"}}"#).unwrap();
+        let err = go(&format!("workloads validate --file {}", file.display())).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = go("workloads validate --file /no/such/spec.json").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("reading"), "{}", err.message());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workload_file_answers_like_the_inline_wire_form() {
+        // `simulate --workload-file F` must be the same dispatch as the
+        // wire request carrying the parsed spec inline.
+        let dir = std::env::temp_dir().join("cli_workload_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("spec.json");
+        let spec = r#"{"name":"probe","pattern":{"kind":"strided","base":0,"region_bytes":8192,"stride":16,"elem_size":8,"store_period":4}}"#;
+        std::fs::write(&file, spec).unwrap();
+        let via_file = go(&format!(
+            "simulate --workload-file {} --instructions 4000",
+            file.display()
+        ))
+        .unwrap();
+        let req_text = format!(r#"{{"query":"simulate","workload":{spec},"instructions":4000}}"#);
+        let req = QueryRequest::from_json_str(&req_text).unwrap();
+        let resp = api::dispatch(&req, &StoreWorkloads).unwrap();
+        assert_eq!(via_file, render(&req, &resp, 0.0));
+        assert!(via_file.contains("probe"), "{via_file}");
+
+        let grid = go(&format!(
+            "grid --backend analytic --instructions 4000 --workload-file {} \
+             --sets 16 --assoc 2 --target 0.5",
+            file.display()
+        ))
+        .unwrap();
+        assert!(grid.contains("probe"), "{grid}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

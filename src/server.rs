@@ -15,7 +15,10 @@
 //!   [`bench::tracestore::Stats`] snapshot (hits, misses, evictions,
 //!   coalesced waits, resident bytes, poison recoveries).
 //! * `POST /shutdown` — graceful stop: the acceptor closes, queued and
-//!   in-flight requests drain, workers join, `serve` returns.
+//!   in-flight requests drain, workers join, `serve` returns. Guarded:
+//!   with `--shutdown-token` set every caller must present the token in
+//!   the body (`{"token": …}`); without one, only loopback peers may
+//!   stop the server. Refusals are 403 and the server keeps serving.
 //!
 //! Requests are handled by a small worker pool; concurrent queries that
 //! miss on the same trace-store key block on one extraction (the
@@ -53,6 +56,11 @@ pub struct ServerConfig {
     /// When set, the actual bound address is written here after bind —
     /// how ephemeral-port callers (tests, scripts) learn the port.
     pub addr_file: Option<std::path::PathBuf>,
+    /// `POST /shutdown` authorisation. When set, every shutdown request
+    /// (loopback included) must carry `{"token": …}` matching this
+    /// value; when unset, only loopback peers may stop the server.
+    /// Either way a refused shutdown is a 403, never a stop.
+    pub shutdown_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +72,7 @@ impl Default for ServerConfig {
                 .unwrap_or(4)
                 .clamp(2, 8),
             addr_file: None,
+            shutdown_token: None,
         }
     }
 }
@@ -222,6 +231,7 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         _ => "Internal Server Error",
@@ -241,8 +251,44 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
     let _ = stream.flush();
 }
 
+/// Checks a `POST /shutdown` against the auth policy. With a configured
+/// token, *every* caller — loopback included — must present it in the
+/// body as `{"token": …}`, which keeps the refusal path testable end to
+/// end. Without one, only loopback peers may stop the server, so a
+/// `--addr 0.0.0.0` deployment is not stoppable by any host that can
+/// reach the port.
+fn shutdown_allowed(
+    body: &str,
+    peer: Option<&SocketAddr>,
+    token: Option<&str>,
+) -> Result<(), String> {
+    match token {
+        Some(expected) => {
+            let presented = Json::parse(body.trim())
+                .ok()
+                .and_then(|j| j.get("token").and_then(Json::as_str).map(str::to_string));
+            if presented.as_deref() == Some(expected) {
+                Ok(())
+            } else {
+                Err("shutdown requires the configured token".to_string())
+            }
+        }
+        None => {
+            if peer.is_some_and(|p| p.ip().is_loopback()) {
+                Ok(())
+            } else {
+                Err("shutdown without a configured --shutdown-token is loopback-only".to_string())
+            }
+        }
+    }
+}
+
 /// Routes one request. Returns `(status, body, query kind, shutdown)`.
-fn route(req: &Request) -> (u16, String, &'static str, bool) {
+fn route(
+    req: &Request,
+    peer: Option<&SocketAddr>,
+    token: Option<&str>,
+) -> (u16, String, &'static str, bool) {
     let answer = |r: Result<tradeoff::api::QueryResponse, ApiError>| match r {
         Ok(resp) => (200, format!("{}\n", resp.to_json_string())),
         Err(err) => (
@@ -262,12 +308,27 @@ fn route(req: &Request) -> (u16, String, &'static str, bool) {
             (status, body, "experiments", false)
         }
         ("GET", "/stats") => (200, String::new(), "stats", false), // body filled by caller
-        ("POST", "/shutdown") => (
-            200,
-            format!("{}\n", Json::obj(vec![("ok", Json::Bool(true))]).render()),
-            "shutdown",
-            true,
-        ),
+        ("POST", "/shutdown") => match shutdown_allowed(&req.body, peer, token) {
+            Ok(()) => (
+                200,
+                format!("{}\n", Json::obj(vec![("ok", Json::Bool(true))]).render()),
+                "shutdown",
+                true,
+            ),
+            Err(message) => {
+                let err = Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::obj(vec![
+                            ("kind", Json::str("forbidden")),
+                            ("message", Json::str(message)),
+                        ]),
+                    ),
+                ]);
+                (403, format!("{}\n", err.render()), "shutdown", false)
+            }
+        },
         (_, "/query" | "/experiments" | "/stats" | "/shutdown") => {
             let err =
                 ApiError::bad_request(format!("method {} not allowed on {}", req.method, req.path));
@@ -281,11 +342,12 @@ fn route(req: &Request) -> (u16, String, &'static str, bool) {
 }
 
 /// Handles one connection end to end. Returns `true` when the request
-/// asked for shutdown.
-fn handle(mut stream: TcpStream, stats: &ServerStats) -> bool {
+/// asked for (and was allowed) shutdown.
+fn handle(mut stream: TcpStream, stats: &ServerStats, token: Option<&str>) -> bool {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let started = Instant::now();
+    let peer = stream.peer_addr().ok();
     let req = match read_request(&mut stream) {
         Ok(req) => req,
         Err(message) => {
@@ -295,7 +357,7 @@ fn handle(mut stream: TcpStream, stats: &ServerStats) -> bool {
             return false;
         }
     };
-    let (status, mut body, kind, shutdown) = route(&req);
+    let (status, mut body, kind, shutdown) = route(&req, peer.as_ref(), token);
     // /stats renders after the request is recorded, so the response
     // counts itself and reflects the freshest store snapshot.
     stats.record(kind, started.elapsed(), status < 400);
@@ -336,6 +398,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<()> {
             let rx = Arc::clone(&rx);
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
+            let token = cfg.shutdown_token.clone();
             std::thread::spawn(move || loop {
                 // Hold the receiver lock only while dequeuing.
                 let next = {
@@ -345,7 +408,7 @@ pub fn serve(cfg: &ServerConfig) -> std::io::Result<()> {
                 let Ok(stream) = next else {
                     return; // channel closed and drained: exit
                 };
-                if handle(stream, &stats) {
+                if handle(stream, &stats, token.as_deref()) {
                     shutdown.store(true, Ordering::SeqCst);
                     // Wake the blocking acceptor with a throwaway
                     // connection so it observes the flag.
@@ -436,6 +499,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
             addr_file: Some(addr_file.clone()),
+            shutdown_token: None,
         };
         let handle = std::thread::spawn(move || serve(&cfg).expect("server runs"));
         let addr = loop {
@@ -447,6 +511,49 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         };
         (addr, handle)
+    }
+
+    #[test]
+    fn shutdown_auth_policy_gates_the_route() {
+        let shutdown_req = |body: &str| Request {
+            method: "POST".to_string(),
+            path: "/shutdown".to_string(),
+            body: body.to_string(),
+        };
+        let local: SocketAddr = "127.0.0.1:50000".parse().unwrap();
+        let remote: SocketAddr = "192.0.2.7:50000".parse().unwrap();
+
+        // No token configured: loopback may stop, remote peers may not.
+        let (status, _, _, stop) = route(&shutdown_req(""), Some(&local), None);
+        assert_eq!((status, stop), (200, true));
+        let (status, body, kind, stop) = route(&shutdown_req(""), Some(&remote), None);
+        assert_eq!((status, stop), (403, false));
+        assert_eq!(kind, "shutdown");
+        assert!(body.contains("loopback-only"), "{body}");
+        // An unknown peer (socket gone) is treated as remote.
+        let (status, _, _, stop) = route(&shutdown_req(""), None, None);
+        assert_eq!((status, stop), (403, false));
+
+        // Token configured: required from everyone, loopback included.
+        let token = Some("s3cret");
+        let (status, body, _, stop) = route(&shutdown_req(""), Some(&local), token);
+        assert_eq!((status, stop), (403, false));
+        assert!(body.contains("forbidden"), "{body}");
+        let (status, _, _, stop) =
+            route(&shutdown_req(r#"{"token":"wrong"}"#), Some(&local), token);
+        assert_eq!((status, stop), (403, false));
+        let (status, _, _, stop) =
+            route(&shutdown_req(r#"{"token":"s3cret"}"#), Some(&remote), token);
+        assert_eq!((status, stop), (200, true));
+
+        // The guard never leaks into other endpoints.
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/stats".to_string(),
+            body: String::new(),
+        };
+        let (status, _, _, stop) = route(&req, Some(&remote), token);
+        assert_eq!((status, stop), (200, false));
     }
 
     #[test]

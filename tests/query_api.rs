@@ -9,14 +9,18 @@ use tradeoff::api::{dispatch, QueryRequest};
 use unified_tradeoff::cli::run_cli;
 
 /// Every query shape, as wire requests.
-const REQUESTS: [&str; 7] = [
+const REQUESTS: [&str; 11] = [
     r#"{"query":"price","hr":0.95}"#,
     r#"{"query":"crossover","chunks":8}"#,
     r#"{"query":"linesize","c":7,"beta":1,"curve":[[8,0.90],[16,0.94],[32,0.962],[64,0.97],[128,0.972]]}"#,
     r#"{"query":"design","hr":0.95,"target":5.0}"#,
     r#"{"query":"simulate","program":"ear","instructions":5000,"stall":"bnl3"}"#,
+    r#"{"query":"simulate","workload":{"name":"probe","pattern":{"kind":"working_set","base":0,"bytes":8192,"store_fraction":0.25,"elem_size":8}},"instructions":5000}"#,
     r#"{"query":"grid","backend":"analytic","instructions":4000,"sets":32,"assoc":4,"target":0.5,"programs":["ear"]}"#,
     r#"{"query":"experiments"}"#,
+    r#"{"query":"workloads"}"#,
+    r#"{"query":"workloads","action":"show","name":"ear"}"#,
+    r#"{"query":"workloads","action":"validate","workload":{"pattern":{"kind":"strided","base":0,"region_bytes":4096,"stride":8,"elem_size":8,"store_period":3}}}"#,
 ];
 
 #[test]

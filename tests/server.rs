@@ -23,6 +23,10 @@ impl Drop for ServerGuard {
 }
 
 fn spawn_server(tag: &str) -> ServerGuard {
+    spawn_server_with(tag, &[])
+}
+
+fn spawn_server_with(tag: &str, extra: &[&str]) -> ServerGuard {
     let dir =
         std::env::temp_dir().join(format!("tradeoff_server_e2e_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -37,6 +41,7 @@ fn spawn_server(tag: &str) -> ServerGuard {
             "--addr-file",
             addr_file.to_str().unwrap(),
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -153,6 +158,79 @@ fn concurrent_queries_coalesce_onto_one_extraction_and_match_the_cli() {
         r#"{"query":"simulate","program":"quake"}"#,
     ]);
     assert_eq!(code, 2, "a server-rejected request is bad usage");
+}
+
+/// An inline custom spec — not one of the six builtins.
+const INLINE_SIMULATE: &str = r#"{"query":"simulate","workload":{"name":"custom-probe","seed_mix":"0xfeed","pattern":{"kind":"mixture","components":[{"weight":3,"pattern":{"kind":"working_set","base":0,"bytes":16384,"store_fraction":0.3,"elem_size":8}},{"weight":1,"pattern":{"kind":"strided","base":1048576,"region_bytes":65536,"stride":64,"elem_size":8,"store_period":5}}]}},"instructions":30000}"#;
+
+#[test]
+fn inline_specs_answer_identically_over_http_and_cli() {
+    let server = spawn_server("inline");
+    let addr = server.addr.clone();
+
+    // The acceptance criterion: an inline custom spec answers
+    // byte-identically via `tradeoff-cli query --json` and POST /query.
+    let (status, http_body) = http_call(&addr, "POST", "/query", Some(INLINE_SIMULATE)).unwrap();
+    assert_eq!(status, 200, "{http_body}");
+    assert!(http_body.contains(r#""query":"simulate""#), "{http_body}");
+    let (code, cli_body) = cli(&["query", "--json", INLINE_SIMULATE]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        cli_body, http_body,
+        "inline-spec answers must be byte-identical across frontends"
+    );
+
+    // The workloads catalogue is served through the same dispatch.
+    let (status, listing) =
+        http_call(&addr, "POST", "/query", Some(r#"{"query":"workloads"}"#)).unwrap();
+    assert_eq!(status, 200);
+    assert!(listing.contains("hydro2d"), "{listing}");
+
+    let (code, _) = cli(&["query", "--server", &addr, "--shutdown"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn shutdown_token_gates_remote_stops() {
+    let mut server = spawn_server_with("token", &["--shutdown-token", "s3cret"]);
+    let addr = server.addr.clone();
+
+    // Without the token the stop is refused — 403, usage-class exit.
+    let (status, body) = http_call(&addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 403, "{body}");
+    assert!(body.contains("forbidden"), "{body}");
+    let (code, _) = cli(&["query", "--server", &addr, "--shutdown"]);
+    assert_eq!(code, 2, "a refused shutdown is usage-class at the CLI");
+    let (status, body) =
+        http_call(&addr, "POST", "/shutdown", Some(r#"{"token":"wrong"}"#)).unwrap();
+    assert_eq!(status, 403, "{body}");
+
+    // The server kept serving through all of that.
+    let (status, _) = http_call(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+
+    // With the token the stop drains and the process exits 0.
+    let (code, _) = cli(&[
+        "query",
+        "--server",
+        &addr,
+        "--shutdown",
+        "--token",
+        "s3cret",
+    ]);
+    assert_eq!(code, 0);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.child.try_wait().expect("child pollable") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not stop after an authorised shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(status.success(), "authorised shutdown exits 0: {status:?}");
 }
 
 #[test]

@@ -1,0 +1,246 @@
+//! Workload-spec contract tests: canonical round-tripping, content-hash
+//! stability, and bit-identity of the six built-in SPEC92 proxy specs
+//! against the legacy `spec92_trace` constructors they replaced.
+//!
+//! The trace store keys every memo entry on `WorkloadSpec::id()`, so
+//! these properties are what keep `results/manifest.json` stable across
+//! the declarative-workload refactor: same canonical bytes → same hash
+//! → same traces → same artifacts.
+
+use proptest::prelude::*;
+use report::Json;
+use simtrace::spec92::{spec92_trace, Spec92Program};
+use simtrace::workload::{builtin, builtins, WorkloadSpec};
+use simtrace::Instr;
+
+/// The pinned content hashes of the six built-in proxy specs. These are
+/// SHA-256 over the canonical JSON rendering; a drift here means every
+/// memoised trace, timeline and histogram key changes — treat it as a
+/// breaking change, not a test to update casually.
+const PINNED_IDS: [(&str, &str); 6] = [
+    (
+        "nasa7",
+        "e21ad3515398eceefa55cec28c57471be6a702f9e295a6594458d790c80a3777",
+    ),
+    (
+        "swm256",
+        "11418866e49fadc7cf86b4b286ac3a019024c954881a51543b00b4223116ded4",
+    ),
+    (
+        "wave5",
+        "cd42325165379beefbd5e9f22bda5da81236ff7ab9a3ca2e330c65dd1933ce9f",
+    ),
+    (
+        "ear",
+        "79d97484ce91b4f02ae3ec035608cecae5b814670d972b403619453e925f92e7",
+    ),
+    (
+        "doduc",
+        "09b0b284f1075a65b25dbd01e94a4f8e7a882dfe941a9c4310449bac84e36e21",
+    ),
+    (
+        "hydro2d",
+        "d51134785f3247abc5f39fec8cdab1071fe542e110350b0ccec92d6ab0de4de2",
+    ),
+];
+
+#[test]
+fn builtin_content_hashes_are_pinned() {
+    assert_eq!(builtins().len(), PINNED_IDS.len());
+    for (name, id) in PINNED_IDS {
+        let spec = builtin(name).expect(name);
+        assert_eq!(spec.id().hex(), id, "{name}: content hash drifted");
+        assert_eq!(spec.label(), name);
+        // Hashing is a pure function of the canonical bytes: a
+        // re-parsed copy has the same identity.
+        let reparsed = WorkloadSpec::from_json(&spec.to_json()).expect(name);
+        assert_eq!(reparsed.id(), spec.id());
+    }
+}
+
+#[test]
+fn builtins_are_bit_identical_to_the_legacy_constructors() {
+    for program in Spec92Program::ALL {
+        let spec = builtin(&program.to_string()).expect("every proxy is a builtin");
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let legacy: Vec<Instr> = spec92_trace(program, seed).take(2_000).collect();
+            let compiled: Vec<Instr> = spec.compile(seed).take(2_000).collect();
+            assert_eq!(compiled, legacy, "{program} diverged at seed {seed:#x}");
+        }
+    }
+}
+
+fn num(n: u64) -> Json {
+    Json::num(n as f64)
+}
+
+/// One random leaf node, as the JSON a user would write. Bounds keep
+/// every draw inside the validators' accepted ranges; fractions and the
+/// Zipf exponent are arbitrary f64s in range, which exercises the
+/// shortest-round-trip number codec.
+fn leaf() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        (1u64..1 << 30, 1u64..1 << 16, 1u64..4096, 1u8..=32, 0u32..64).prop_map(
+            |(base, region_bytes, stride, elem_size, store_period)| {
+                Json::obj(vec![
+                    ("kind", Json::str("strided")),
+                    ("base", num(base)),
+                    ("region_bytes", num(region_bytes)),
+                    ("stride", num(stride)),
+                    ("elem_size", Json::num(f64::from(elem_size))),
+                    ("store_period", Json::num(f64::from(store_period))),
+                ])
+            }
+        ),
+        (
+            1u64..1 << 30,
+            1u32..2048,
+            8u64..256,
+            0.0f64..1.0,
+            any::<u64>()
+        )
+            .prop_map(|(base, nodes, node_bytes, store_fraction, seed)| {
+                Json::obj(vec![
+                    ("kind", Json::str("chase")),
+                    ("base", num(base)),
+                    ("nodes", Json::num(f64::from(nodes))),
+                    ("node_bytes", num(node_bytes)),
+                    ("store_fraction", Json::num(store_fraction)),
+                    ("seed", Json::str(format!("{seed:#x}"))),
+                ])
+            }),
+        (1u64..1 << 30, 1u64..1 << 16, 0.0f64..1.0, 1u8..=32).prop_map(
+            |(base, bytes, store_fraction, elem_size)| {
+                Json::obj(vec![
+                    ("kind", Json::str("working_set")),
+                    ("base", num(base)),
+                    ("bytes", num(bytes)),
+                    ("store_fraction", Json::num(store_fraction)),
+                    ("elem_size", Json::num(f64::from(elem_size))),
+                ])
+            }
+        ),
+        (
+            1u64..1 << 30,
+            1u32..2048,
+            1u8..=32,
+            0.1f64..2.0,
+            0.0f64..1.0
+        )
+            .prop_map(|(base, slots, elem_size, s, store_fraction)| {
+                Json::obj(vec![
+                    ("kind", Json::str("zipf")),
+                    ("base", num(base)),
+                    ("slots", Json::num(f64::from(slots))),
+                    ("elem_size", Json::num(f64::from(elem_size))),
+                    ("s", Json::num(s)),
+                    ("store_fraction", Json::num(store_fraction)),
+                ])
+            }),
+    ]
+}
+
+/// A random spec: a leaf, a weighted mixture of leaves, or a phase
+/// alternation over leaves, with an optional name and seed mix.
+fn spec_json() -> impl Strategy<Value = Json> {
+    let pattern = prop_oneof![
+        leaf(),
+        (proptest::collection::vec((0.1f64..10.0, leaf()), 1..4)).prop_map(|components| {
+            Json::obj(vec![
+                ("kind", Json::str("mixture")),
+                (
+                    "components",
+                    Json::Arr(
+                        components
+                            .into_iter()
+                            .map(|(weight, pattern)| {
+                                Json::obj(vec![("weight", Json::num(weight)), ("pattern", pattern)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }),
+        (proptest::collection::vec((1u64..10_000, leaf()), 1..4)).prop_map(|phases| {
+            Json::obj(vec![
+                ("kind", Json::str("phases")),
+                (
+                    "phases",
+                    Json::Arr(
+                        phases
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, (refs, pattern))| {
+                                Json::obj(vec![
+                                    ("name", Json::str(format!("phase{i}"))),
+                                    ("refs", num(refs)),
+                                    ("pattern", pattern),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }),
+    ];
+    (any::<bool>(), any::<u64>(), pattern).prop_map(|(named, seed_mix, pattern)| {
+        let mut fields = Vec::new();
+        if named {
+            fields.push(("name".to_string(), Json::str("prop")));
+        }
+        fields.push(("seed_mix".to_string(), Json::str(format!("{seed_mix:#x}"))));
+        fields.push(("pattern".to_string(), pattern));
+        Json::Obj(fields)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → canonical render → parse is a fixed point: the second
+    /// parse reproduces the canonical bytes and the content hash.
+    #[test]
+    fn canonical_form_is_a_round_trip_fixed_point(json in spec_json()) {
+        let spec = WorkloadSpec::from_json(&json).expect("generated specs are valid");
+        let canonical = spec.canonical_json().render();
+        let reparsed = WorkloadSpec::from_json_str(&canonical).expect("canonical form parses");
+        prop_assert_eq!(reparsed.canonical_json().render(), canonical.clone());
+        prop_assert_eq!(reparsed.id(), spec.id());
+        // The full form (with name) parses back to an equal spec.
+        let full = WorkloadSpec::from_json_str(&spec.to_json().render()).unwrap();
+        prop_assert_eq!(&full, &spec);
+        prop_assert_eq!(full.label(), spec.label());
+    }
+
+    /// The name never enters the identity, and the identity is what the
+    /// trace store keys on.
+    #[test]
+    fn names_are_labels_not_identities(json in spec_json()) {
+        let spec = WorkloadSpec::from_json(&json).unwrap();
+        let mut renamed = spec.clone();
+        renamed.name = Some("somebody-else".to_string());
+        prop_assert_eq!(renamed.id(), spec.id());
+        let mut anon = spec.clone();
+        anon.name = None;
+        prop_assert_eq!(anon.id(), spec.id());
+    }
+
+    /// Compiled specs are deterministic in the seed and chunking never
+    /// changes the stream (the contract the streaming pipeline needs).
+    #[test]
+    fn compilation_is_deterministic_and_chunk_invariant(
+        json in spec_json(),
+        seed in any::<u64>(),
+        chunk_len in 1usize..700,
+    ) {
+        let spec = WorkloadSpec::from_json(&json).unwrap();
+        let len = 1_500;
+        let whole: Vec<Instr> = spec.compile(seed).take(len).collect();
+        let again: Vec<Instr> = spec.compile(seed).take(len).collect();
+        prop_assert_eq!(&again, &whole, "same seed, same stream");
+        let mut chunked = Vec::with_capacity(len);
+        spec.chunks(seed, len, chunk_len)
+            .for_each_chunk(|c| chunked.extend_from_slice(c));
+        prop_assert_eq!(chunked, whole, "chunking changed the stream");
+    }
+}
