@@ -1,0 +1,230 @@
+//! Serving-path benchmark: queries/s hot (memoised store) versus cold
+//! (first extraction), keep-alive versus connection-per-request, and
+//! tail latency under a 2× overload with the shed rate — the ROADMAP's
+//! `BENCH_serve.json` item.
+//!
+//! Two in-process servers are measured: a throughput server with the
+//! default overload policy, and an overload server squeezed to two
+//! workers with a zero queue watermark fed by four closed-loop clients
+//! (2× the worker count) issuing distinct simulate queries, so every
+//! request is real work and the shed policy has to act. Results land in
+//! `BENCH_serve.json` at the workspace root; a reduced criterion point
+//! tracks the hot keep-alive path run to run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use unified_tradeoff::server::{http_call, http_request, serve, HttpClient, ServerConfig};
+
+/// The hot-path query: one timeline extraction on first sight, memo
+/// hits afterwards.
+const SIMULATE: &str =
+    r#"{"query":"simulate","program":"ear","instructions":50000,"stall":"bnl3"}"#;
+
+/// Requests per throughput leg.
+const HOT_REQUESTS: usize = 200;
+
+/// Overload shape: OVERLOAD_CLIENTS closed-loop clients on
+/// OVERLOAD_THREADS workers — a 2× offered load.
+const OVERLOAD_THREADS: usize = 2;
+const OVERLOAD_CLIENTS: usize = 4;
+const OVERLOAD_REQUESTS_PER_CLIENT: usize = 25;
+
+/// Spawns an in-process server on an ephemeral port; returns its
+/// address and the serving thread (joined after `POST /shutdown`).
+fn spawn(tag: &str, mut cfg: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let dir =
+        std::env::temp_dir().join(format!("tradeoff_bench_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let addr_file = dir.join("addr");
+    let _ = std::fs::remove_file(&addr_file);
+    cfg.addr = "127.0.0.1:0".to_string();
+    cfg.addr_file = Some(addr_file.clone());
+    let handle = std::thread::spawn(move || serve(&cfg).expect("bench server runs"));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if text.trim().parse::<SocketAddr>().is_ok() {
+                break text.trim().to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "bench server never came up");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let (status, _) = http_call(addr, "POST", "/shutdown", None).expect("shutdown call");
+    assert_eq!(status, 200);
+    handle.join().expect("bench server joins");
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[rank.min(sorted_micros.len() - 1)]
+}
+
+struct Leg {
+    requests: usize,
+    qps: f64,
+    mean_micros: f64,
+}
+
+fn timed_leg(requests: usize, mut call: impl FnMut()) -> Leg {
+    let started = Instant::now();
+    for _ in 0..requests {
+        call();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    Leg {
+        requests,
+        qps: requests as f64 / secs,
+        mean_micros: 1e6 * secs / requests as f64,
+    }
+}
+
+fn serve_bench(c: &mut Criterion) {
+    // ---- Throughput server: default policy, uncapped connections.
+    let cfg = ServerConfig {
+        threads: 4,
+        max_requests_per_conn: usize::MAX,
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = spawn("hot", cfg);
+
+    // Cold: the first simulate pays the timeline extraction.
+    let started = Instant::now();
+    let (status, cold_body) = http_call(&addr, "POST", "/query", Some(SIMULATE)).unwrap();
+    let cold_micros = started.elapsed().as_micros() as u64;
+    assert_eq!(status, 200, "{cold_body}");
+
+    // Hot, keep-alive: one persistent connection, memo hits throughout.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let keepalive = timed_leg(HOT_REQUESTS, || {
+        let reply = client.call("POST", "/query", Some(SIMULATE)).unwrap();
+        assert_eq!(reply.status, 200);
+    });
+
+    // Hot, connection-per-request: same memo hits, fresh TCP each time.
+    let conn_per_request = timed_leg(HOT_REQUESTS, || {
+        let (status, _) = http_call(&addr, "POST", "/query", Some(SIMULATE)).unwrap();
+        assert_eq!(status, 200);
+    });
+    shutdown(&addr, handle);
+
+    // ---- Overload server: 2 workers, zero queue watermark, 2× load.
+    let cfg = ServerConfig {
+        threads: OVERLOAD_THREADS,
+        queue: 0,
+        max_requests_per_conn: usize::MAX,
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = spawn("overload", cfg);
+    let offered = OVERLOAD_CLIENTS * OVERLOAD_REQUESTS_PER_CLIENT;
+    let mut served_micros: Vec<u64> = Vec::new();
+    let mut shed = 0usize;
+    let overload_started = Instant::now();
+    let outcomes: Vec<Vec<(u16, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+            .map(|client_id| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    (0..OVERLOAD_REQUESTS_PER_CLIENT)
+                        .map(|i| {
+                            // Distinct instruction counts: no memo hits,
+                            // every admitted request is real simulation.
+                            let body = format!(
+                                r#"{{"query":"simulate","program":"ear","instructions":{}}}"#,
+                                20_000 + 251 * (client_id * OVERLOAD_REQUESTS_PER_CLIENT + i)
+                            );
+                            let started = Instant::now();
+                            let reply = http_request(&addr, "POST", "/query", Some(&body)).unwrap();
+                            (reply.status, started.elapsed().as_micros() as u64)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let overload_secs = overload_started.elapsed().as_secs_f64();
+    for (status, micros) in outcomes.into_iter().flatten() {
+        match status {
+            200 => served_micros.push(micros),
+            503 => shed += 1,
+            other => panic!("unexpected overload status {other}"),
+        }
+    }
+    shutdown(&addr, handle);
+    served_micros.sort_unstable();
+    let shed_rate = shed as f64 / offered as f64;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"query\": {{\"kind\": \"simulate\", \"instructions\": 50000}},\n",
+            "  \"cold_first_query_micros\": {},\n",
+            "  \"hot\": {{\n",
+            "    \"keepalive\": {{\"requests\": {}, \"qps\": {:.1}, \"mean_micros\": {:.1}}},\n",
+            "    \"conn_per_request\": {{\"requests\": {}, \"qps\": {:.1}, \"mean_micros\": {:.1}}},\n",
+            "    \"keepalive_speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"overload\": {{\n",
+            "    \"threads\": {}, \"queue\": 0, \"clients\": {}, \"offered\": {},\n",
+            "    \"served\": {}, \"shed\": {}, \"shed_rate\": {:.3}, \"throughput_qps\": {:.1},\n",
+            "    \"served_p50_micros\": {}, \"served_p99_micros\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        cold_micros,
+        keepalive.requests,
+        keepalive.qps,
+        keepalive.mean_micros,
+        conn_per_request.requests,
+        conn_per_request.qps,
+        conn_per_request.mean_micros,
+        keepalive.qps / conn_per_request.qps,
+        OVERLOAD_THREADS,
+        OVERLOAD_CLIENTS,
+        offered,
+        served_micros.len(),
+        shed,
+        shed_rate,
+        offered as f64 / overload_secs,
+        percentile(&served_micros, 0.50),
+        percentile(&served_micros, 0.99),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    println!("{json}");
+
+    // A reduced criterion point tracks the hot keep-alive path without
+    // re-paying the full comparison per sample.
+    let (addr, handle) = spawn(
+        "criterion",
+        ServerConfig {
+            threads: 2,
+            max_requests_per_conn: usize::MAX,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(&addr).unwrap();
+    c.bench_function("serve_keepalive_hot_query", |b| {
+        b.iter(|| {
+            let reply = client.call("POST", "/query", Some(SIMULATE)).unwrap();
+            assert_eq!(reply.status, 200);
+        });
+    });
+    drop(client);
+    shutdown(&addr, handle);
+}
+
+criterion_group!(benches, serve_bench);
+criterion_main!(benches);

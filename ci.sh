@@ -9,15 +9,21 @@
 #                    RSS ceiling and a materialised oracle comparison)
 #                    + analytic (closed-form backend bit-exact on FA LRU,
 #                    within tolerance on the comparison grid)
+#                    + chaos (armed serve-path fault plan: sheds are
+#                    deterministic and survivable, no worker dies, and
+#                    the post-chaos canned answer is byte-identical to
+#                    a clean server's)
 #                    + workloads (every example spec validates, builtin
 #                    specs keep their pinned content hashes and stay
 #                    bit-identical to the legacy constructors)
 #   ./ci.sh bench    additionally regenerate BENCH_sweep.json (figure-6
 #                    grid), BENCH_phi.json (figure-1 timeline engine),
-#                    BENCH_stream.json (5 M-instruction chunked pipeline)
-#                    and BENCH_analytic.json (closed-form miss-ratio
-#                    backend) from the criterion benches (slow;
-#                    perf-sensitive PRs)
+#                    BENCH_stream.json (5 M-instruction chunked
+#                    pipeline), BENCH_analytic.json (closed-form
+#                    miss-ratio backend) and BENCH_serve.json (query
+#                    serving path: hot/cold qps, keep-alive speedup,
+#                    overload tail latency + shed rate) from the
+#                    criterion benches (slow; perf-sensitive PRs)
 #                    + serve (tradeoff-server smoke: canned queries over
 #                    HTTP byte-match the CLI, /stats proves memoisation,
 #                    clean shutdown)
@@ -26,11 +32,23 @@
 #   ./ci.sh stream   run only the streaming smoke
 #   ./ci.sh analytic run only the analytic-backend accuracy gate
 #   ./ci.sh serve    run only the query-server smoke
+#   ./ci.sh chaos    run only the query-server chaos gate (armed
+#                    REPRO_FAULTS plan: forced accept sheds ridden out
+#                    by client retries, a slow read inside the budget, a
+#                    contained dispatch panic, a watchdog-abandoned
+#                    hang, and a 6x overload flood — the pool must keep
+#                    its size and a post-chaos canned query must be
+#                    byte-identical to a clean server's answer)
 #   ./ci.sh workloads run only the workload-spec gate (every example
 #                    spec in workloads/ validates; the six builtin
 #                    example files hash to the ids the registry serves;
 #                    builtins stay bit-identical to the legacy
 #                    spec92_trace constructors)
+#
+# Exit codes: 0 green, 1 failure, 2 usage, 3 manifest drift,
+# 4 chaos worker death (the pool shrank), 5 chaos shed-policy drift
+# (an armed fault was not observed by the overload counters, or the
+# post-chaos answer changed).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -137,6 +155,131 @@ serve_check() {
     rm -rf "$tmp"
 }
 
+chaos_check() {
+    echo "==> chaos: armed faults must shed, contain, and recover (4 = worker death, 5 = policy drift)"
+    local tmp addr req clean_out post_out server_pid out status started elapsed sheds served p
+    tmp="$(mktemp -d)"
+    req='{"query":"simulate","program":"ear","instructions":50000,"stall":"bnl3"}'
+
+    # Reference answer: the canned query on a clean, fault-free server.
+    cargo run --release -q --bin tradeoff-server -- \
+        --addr 127.0.0.1:0 --threads 2 --addr-file "$tmp/addr" \
+        2> "$tmp/clean.log" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$tmp/addr" ]] && break
+        kill -0 "$server_pid" 2>/dev/null \
+            || { echo "FAIL: clean server died on startup"; cat "$tmp/clean.log"; exit 1; }
+        sleep 0.1
+    done
+    [[ -s "$tmp/addr" ]] || { echo "FAIL: clean server never bound"; exit 1; }
+    addr="$(cat "$tmp/addr")"
+    clean_out="$(cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --json "$req")"
+    cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --shutdown > /dev/null
+    wait "$server_pid" || { echo "FAIL: clean server exited nonzero"; exit 1; }
+    rm -f "$tmp/addr"
+
+    # Chaos server: the plan arms two forced accept sheds, one slow
+    # first read, one dispatch panic and one dispatch hang, in that
+    # order; the overload flood below needs no fault at all, just a
+    # tight queue watermark on two workers.
+    REPRO_FAULTS="accept:serve:io:2,read:serve:delay400:1,dispatch:serve:panic:1,dispatch:serve:delay60000:1" \
+    cargo run --release -q --bin tradeoff-server -- \
+        --addr 127.0.0.1:0 --threads 2 --queue 2 \
+        --request-timeout 1 --idle-timeout 2 --addr-file "$tmp/addr" \
+        2> "$tmp/chaos.log" &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$tmp/addr" ]] && break
+        kill -0 "$server_pid" 2>/dev/null \
+            || { echo "FAIL: chaos server died on startup"; cat "$tmp/chaos.log"; exit 1; }
+        sleep 0.1
+    done
+    [[ -s "$tmp/addr" ]] || { echo "FAIL: chaos server never bound"; exit 1; }
+    addr="$(cat "$tmp/addr")"
+
+    # 1. Client retries ride out both forced accept sheds (503 +
+    #    Retry-After), then the slow read burns 400 ms of the 1 s
+    #    budget — and the request still answers.
+    out="$(cargo run --release -q --bin tradeoff-cli -- \
+        query --server "$addr" --get stats --retries 4)" \
+        || { echo "FAIL: retries did not ride out the accept sheds"; exit 1; }
+    grep -q '"sheds_accept":2' <<< "$out" \
+        || { echo "FAIL: expected 2 accept sheds before the first answer: $out"; exit 5; }
+
+    # 2. A poisoned query unwinds inside the dispatch thread: a typed
+    #    500, and the worker pool is untouched (checked in step 5).
+    set +e
+    out="$(cargo run --release -q --bin tradeoff-cli -- \
+        query --server "$addr" --json "$req" --retries 0 2>&1)"
+    status=$?
+    set -e
+    [[ "$status" -eq 1 ]] || { echo "FAIL: panicking query must exit 1, got $status: $out"; exit 1; }
+    grep -q 'panicked' <<< "$out" \
+        || { echo "FAIL: expected a contained panic, got: $out"; exit 1; }
+
+    # 3. A hung handler is abandoned by the watchdog at the 1 s
+    #    deadline: 504 in seconds, not the 60 s the hang would take.
+    started=$SECONDS
+    set +e
+    out="$(cargo run --release -q --bin tradeoff-cli -- \
+        query --server "$addr" --json "$req" --retries 0 2>&1)"
+    status=$?
+    set -e
+    elapsed=$(( SECONDS - started ))
+    [[ "$status" -eq 1 ]] || { echo "FAIL: hung query must exit 1, got $status: $out"; exit 1; }
+    grep -q 'deadline-exceeded' <<< "$out" \
+        || { echo "FAIL: expected deadline-exceeded, got: $out"; exit 1; }
+    [[ "$elapsed" -le 15 ]] \
+        || { echo "FAIL: watchdog took ${elapsed}s against a 1 s deadline"; exit 1; }
+
+    # 4. Overload flood: 12 concurrent heavy simulates on 2 workers
+    #    with a queue watermark of 2. The shed policy must act (503
+    #    overloaded), and the backlog that fits must still be served.
+    local pids=()
+    for i in $(seq 0 11); do
+        cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --retries 0 \
+            --json "{\"query\":\"simulate\",\"program\":\"ear\",\"instructions\":$((3000000 + 977 * i))}" \
+            > /dev/null 2> "$tmp/flood.$i.err" &
+        pids+=($!)
+    done
+    served=0
+    for p in "${pids[@]}"; do
+        if wait "$p"; then served=$((served + 1)); fi
+    done
+    sheds="$(cat "$tmp"/flood.*.err | grep -c 'overloaded' || true)"
+    [[ "$sheds" -ge 1 ]] \
+        || { echo "FAIL: 6x overload flood shed nothing (served $served/12)"; exit 5; }
+    [[ "$served" -ge 1 ]] \
+        || { echo "FAIL: overload flood served nothing"; cat "$tmp"/flood.*.err; exit 5; }
+
+    # 5. /stats invariants: nobody died, and every armed fault left a
+    #    mark on the policy counters.
+    out="$(cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --get stats)"
+    grep -q '"pool":{"size":2,"alive":2}' <<< "$out" \
+        || { echo "FAIL: worker death — the pool shrank: $out"; exit 4; }
+    grep -q '"panics_contained":1' <<< "$out" \
+        || { echo "FAIL: panic not contained or not counted: $out"; exit 5; }
+    grep -Eq '"deadline_timeouts":[1-9]' <<< "$out" \
+        || { echo "FAIL: watchdog timeout not counted: $out"; exit 5; }
+    grep -q '"sheds_accept":2' <<< "$out" \
+        || { echo "FAIL: accept-shed count drifted: $out"; exit 5; }
+    grep -Eq '"sheds_dispatch":[1-9]' <<< "$out" \
+        || { echo "FAIL: overload flood left no dispatch sheds: $out"; exit 5; }
+
+    # 6. Post-chaos, the canned query answers byte-identically to the
+    #    clean server: chaos may cost requests, never answers.
+    post_out="$(cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --json "$req")"
+    [[ "$post_out" == "$clean_out" ]] \
+        || { echo "FAIL: post-chaos answer drifted from the clean server"; exit 5; }
+
+    cargo run --release -q --bin tradeoff-cli -- query --server "$addr" --shutdown > /dev/null
+    wait "$server_pid" \
+        || { echo "FAIL: chaos server exited nonzero after graceful shutdown"; exit 1; }
+    echo "    chaos: 2 sheds ridden out, panic + hang contained, $sheds/12 flood sheds, pool intact, byte-identical recovery"
+    rm -rf "$tmp"
+}
+
 workloads_check() {
     echo "==> workloads: example specs validate, builtin ids pinned"
     local out id listing
@@ -200,6 +343,13 @@ if [[ "${1:-}" == "serve" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "chaos" ]]; then
+    cargo build --release
+    chaos_check
+    echo "CI green."
+    exit 0
+fi
+
 if [[ "${1:-}" == "workloads" ]]; then
     cargo build --release
     workloads_check
@@ -224,6 +374,7 @@ faults_check
 stream_check
 analytic_check
 serve_check
+chaos_check
 workloads_check
 
 if [[ "${1:-}" == "bench" ]]; then
@@ -239,6 +390,9 @@ if [[ "${1:-}" == "bench" ]]; then
     echo "==> perf: closed-form miss-ratio backend benchmark (writes BENCH_analytic.json)"
     cargo bench -p bench --bench analytic
     cat BENCH_analytic.json
+    echo "==> perf: query-server serving-path benchmark (writes BENCH_serve.json)"
+    cargo bench --bench serve
+    cat BENCH_serve.json
 fi
 
 echo "CI green."

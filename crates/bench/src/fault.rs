@@ -21,7 +21,7 @@
 //! ```text
 //! REPRO_FAULTS = spec[,spec]*
 //! spec         = <site>:<exp>:<kind>[:<times>]
-//! site         = extract | run | write | lock
+//! site         = extract | run | write | lock | accept | read | dispatch
 //! kind         = panic | io | delay<millis>
 //! ```
 //!
@@ -30,6 +30,15 @@
 //! spec fires (default 1), after which it is inert — so `io:2` makes
 //! the first two attempts fail and lets the bounded-retry policy
 //! succeed on the third.
+//!
+//! The `accept`, `read` and `dispatch` sites thread the same harness
+//! through `tradeoff-server`'s request path (scoped under the pseudo
+//! experiment id `serve`): `accept:serve:io` forces the acceptor to
+//! shed connections with `503`, `read:serve:delay…` simulates a slow
+//! peer eating the request deadline, `dispatch:serve:panic` poisons a
+//! handler to exercise per-request panic containment, and
+//! `dispatch:serve:delay…` hangs one so the watchdog answers `504`.
+//! `./ci.sh chaos` floods a server under such a plan.
 
 use crate::error::lock_recovering;
 use std::cell::RefCell;
@@ -53,6 +62,15 @@ pub enum Site {
     /// While *holding* a trace-store lock — a panic here poisons the
     /// mutex, exercising poison recovery.
     Lock,
+    /// The server's accept loop (`tradeoff-server`): an `io` fault here
+    /// forces the next connection to be shed with a `503`.
+    Accept,
+    /// Reading a request off a connection: `delay` simulates a slow
+    /// peer (eats the request deadline), `io` a mid-body disconnect.
+    Read,
+    /// Request dispatch on a server worker: `panic` exercises
+    /// per-request containment, `delay` the `504` watchdog.
+    Dispatch,
 }
 
 impl Site {
@@ -63,6 +81,9 @@ impl Site {
             Site::Run => "run",
             Site::Write => "write",
             Site::Lock => "lock",
+            Site::Accept => "accept",
+            Site::Read => "read",
+            Site::Dispatch => "dispatch",
         }
     }
 
@@ -72,6 +93,9 @@ impl Site {
             "run" => Site::Run,
             "write" => Site::Write,
             "lock" => Site::Lock,
+            "accept" => Site::Accept,
+            "read" => Site::Read,
+            "dispatch" => Site::Dispatch,
             _ => return None,
         })
     }
@@ -352,6 +376,11 @@ mod tests {
             FaultPlan::parse("run:fig2:panic, run:nb:io:2 ,extract:sweep:delay250,lock:*:io")
                 .unwrap();
         assert_eq!(plan.specs.len(), 4);
+        let serve = FaultPlan::parse("accept:serve:io:2,read:serve:delay1500,dispatch:serve:panic")
+            .unwrap();
+        assert_eq!(serve.specs[0].site, Site::Accept);
+        assert_eq!(serve.specs[1].site, Site::Read);
+        assert_eq!(serve.specs[2].site, Site::Dispatch);
         assert_eq!(plan.specs[0].site, Site::Run);
         assert_eq!(plan.specs[0].kind, FaultKind::Panic);
         assert_eq!(plan.specs[1].remaining.load(Ordering::SeqCst), 2);

@@ -119,6 +119,10 @@ pub enum Command {
         addr: String,
         /// What to ask it.
         call: ClientCall,
+        /// Transient-failure retries (`--retries`, default 3): connect
+        /// failures and `503 overloaded` are retried with jittered
+        /// backoff, honouring the server's `Retry-After`.
+        retries: u32,
     },
     /// `experiments …` over the bench registry.
     Experiments(ExperimentsCmd),
@@ -273,6 +277,7 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
     let json = opts.remove("json");
     let get = opts.remove("get");
     let token = opts.remove("token");
+    let retries = opts.remove("retries");
     if let Some(stray) = opts.keys().next() {
         return Err(CliError::Usage(format!(
             "query does not take --{stray}\n{}",
@@ -284,6 +289,17 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
             "--token only applies to --shutdown".to_string(),
         ));
     }
+    if retries.is_some() && server.is_none() {
+        return Err(CliError::Usage(
+            "--retries only applies to --server mode".to_string(),
+        ));
+    }
+    let retries: u32 = match retries {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--retries: not an integer: {v:?}")))?,
+        None => DEFAULT_RETRIES,
+    };
     let request = json
         .map(|text| QueryRequest::from_json_str(&text).map_err(from_api))
         .transpose()?;
@@ -303,6 +319,7 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
                 return Ok(Command::Client {
                     addr,
                     call: ClientCall::Query(req),
+                    retries,
                 })
             }
             None => return Ok(Command::Wire(req)),
@@ -318,7 +335,11 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
     let addr = server.ok_or_else(|| {
         CliError::Usage("--get and --shutdown need --server HOST:PORT".to_string())
     })?;
-    Ok(Command::Client { addr, call })
+    Ok(Command::Client {
+        addr,
+        call,
+        retries,
+    })
 }
 
 /// Parses the `experiments` subcommand actions.
@@ -428,7 +449,7 @@ fn usage() -> String {
      \u{20}           [--programs ear,doduc] [--workload-file SPEC.json]\n\
      query       --json REQUEST            (dispatch locally, print wire JSON)\n\
      query       --server HOST:PORT --json REQUEST | --get stats|experiments\n\
-     \u{20}           | --shutdown [--token TOKEN]\n\
+     \u{20}           | --shutdown [--token TOKEN]   [--retries N (default 3)]\n\
      workloads   list | show --name NAME | validate --file SPEC.json\n\
      experiments list\n\
      experiments run    [--filter <tag|id>] [--jobs N] [--results-dir DIR] [--keep-going]\n\
@@ -458,16 +479,44 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let resp = api::dispatch(&req, &StoreWorkloads).map_err(from_api)?;
             Ok(resp.to_json_string())
         }
-        Command::Client { addr, call } => client(&addr, &call),
+        Command::Client {
+            addr,
+            call,
+            retries,
+        } => client(&addr, &call, retries),
         Command::Experiments(cmd) => experiments(&cmd),
     }
 }
 
-/// Performs one client-mode call against a running server. The 200
-/// body is returned without its trailing newline, so `println!` in the
-/// binary reproduces the server bytes exactly — and matches what the
-/// same request prints via local dispatch.
-fn client(addr: &str, call: &ClientCall) -> Result<String, CliError> {
+/// Default `--retries` for client mode, matching
+/// `bench::sched::RetryPolicy`'s transient budget.
+const DEFAULT_RETRIES: u32 = 3;
+
+/// How long to wait before retry number `attempt`: the server's
+/// `Retry-After` hint when it gave one (capped so a pessimistic server
+/// cannot stall the CLI), otherwise linear backoff plus a little jitter
+/// so synchronised retriers spread out — `sched::RetryPolicy`'s
+/// discipline applied to the wire.
+fn retry_pause(attempt: u32, retry_after: Option<u64>) -> std::time::Duration {
+    if let Some(secs) = retry_after {
+        return std::time::Duration::from_secs(secs).min(std::time::Duration::from_secs(2));
+    }
+    let jitter_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) % 25)
+        .unwrap_or(0);
+    std::time::Duration::from_millis(50 * u64::from(attempt) + jitter_ms)
+}
+
+/// Performs one client-mode call against a running server, riding out
+/// transient failures: connect/protocol errors and `503 overloaded`
+/// responses are retried up to `retries` times with bounded jittered
+/// backoff (honouring `Retry-After`), mirroring the scheduler's
+/// transient-retry semantics. The 200 body is returned without its
+/// trailing newline, so `println!` in the binary reproduces the server
+/// bytes exactly — and matches what the same request prints via local
+/// dispatch.
+fn client(addr: &str, call: &ClientCall, retries: u32) -> Result<String, CliError> {
     let (method, path, body) = match call {
         ClientCall::Query(req) => ("POST", "/query", Some(req.to_json().render())),
         ClientCall::Stats => ("GET", "/stats", None),
@@ -480,21 +529,35 @@ fn client(addr: &str, call: &ClientCall) -> Result<String, CliError> {
                 .map(|t| Json::obj(vec![("token", Json::str(t.as_str()))]).render()),
         ),
     };
-    let (status, body) =
-        server::http_call(addr, method, path, body.as_deref()).map_err(|summary| {
-            CliError::Failure {
-                document: String::new(),
-                summary,
+    let mut attempt = 0u32;
+    loop {
+        match server::http_request(addr, method, path, body.as_deref()) {
+            Ok(reply) if reply.status == 503 && attempt < retries => {
+                attempt += 1;
+                std::thread::sleep(retry_pause(attempt, reply.retry_after));
             }
-        })?;
-    let body = body.trim_end_matches('\n').to_string();
-    match status {
-        200 => Ok(body),
-        400..=499 => Err(CliError::Usage(body)),
-        _ => Err(CliError::Failure {
-            document: String::new(),
-            summary: body,
-        }),
+            Err(_) if attempt < retries => {
+                attempt += 1;
+                std::thread::sleep(retry_pause(attempt, None));
+            }
+            Ok(reply) => {
+                let body = reply.body.trim_end_matches('\n').to_string();
+                return match reply.status {
+                    200 => Ok(body),
+                    400..=499 => Err(CliError::Usage(body)),
+                    _ => Err(CliError::Failure {
+                        document: String::new(),
+                        summary: body,
+                    }),
+                };
+            }
+            Err(summary) => {
+                return Err(CliError::Failure {
+                    document: String::new(),
+                    summary,
+                })
+            }
+        }
     }
 }
 
@@ -992,6 +1055,7 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:7878".to_string(),
                 call: ClientCall::Shutdown { token: None },
+                retries: 3,
             }
         );
         // --token rides along with --shutdown, and only with it.
@@ -1006,11 +1070,38 @@ mod tests {
                 call: ClientCall::Shutdown {
                     token: Some("s3cret".to_string()),
                 },
+                retries: 3,
             }
         );
         let err = go("query --server 127.0.0.1:1 --get stats --token x").unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.message().contains("token"), "{}", err.message());
+        // --retries parses in server mode and is rejected elsewhere.
+        let cmd = parse_args(&argv(
+            "query --server 127.0.0.1:7878 --get stats --retries 0",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:7878".to_string(),
+                call: ClientCall::Stats,
+                retries: 0,
+            }
+        );
+        assert_eq!(
+            go(r#"query --json {"query":"experiments"} --retries 2"#)
+                .unwrap_err()
+                .exit_code(),
+            2,
+            "--retries without --server is a usage error"
+        );
+        assert_eq!(
+            go("query --server 127.0.0.1:1 --get stats --retries nope")
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the server's HTTP request-head parser: malformed
+//! input of any shape must surface as a typed `Err` (answered `400`) or
+//! an incomplete-head `Ok(None)` — never a panic. A hostile peer can
+//! cost itself a connection, not the worker pool (mirrors
+//! `din_properties.rs` for the `.din` trace parser).
+
+use proptest::prelude::*;
+use unified_tradeoff::server::{parse_head, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+
+/// Header-line shapes that stress the parser: well-formed fields,
+/// missing colons, hostile lengths, binary junk, whitespace soup.
+fn header_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        any::<u32>().prop_map(|n| format!("Content-Length: {n}")),
+        any::<u64>().prop_map(|n| format!("Content-Length: {n}0000000000")),
+        Just("Content-Length: nope".to_string()),
+        Just("Content-Length: -1".to_string()),
+        Just("Connection: close".to_string()),
+        Just("Connection: keep-alive".to_string()),
+        any::<u32>().prop_map(|n| format!("X-Request-Timeout-Ms: {n}")),
+        Just("X-Request-Timeout-Ms: soon".to_string()),
+        Just("no colon here".to_string()),
+        Just("Host: localhost".to_string()),
+        Just(":".to_string()),
+        Just("   ".to_string()),
+        Just("\u{0}\u{0}".to_string()),
+    ]
+}
+
+/// Request-line shapes: valid, truncated, empty, junk.
+fn request_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("GET /stats HTTP/1.1".to_string()),
+        Just("POST /query HTTP/1.1".to_string()),
+        Just("GET / HTTP/1.0".to_string()),
+        Just("GET".to_string()),
+        Just("".to_string()),
+        Just("\t \t".to_string()),
+        proptest::collection::vec(0x20u8..0x7f, 0..40)
+            .prop_map(|b| String::from_utf8(b).expect("printable ASCII")),
+    ]
+}
+
+proptest! {
+    /// Arbitrary raw bytes (including invalid UTF-8 and NULs) never
+    /// panic the parser: every outcome is a typed refusal, a complete
+    /// head, or a request for more bytes.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_head(&bytes);
+    }
+
+    /// Header soup behind a real request line never panics, and when
+    /// it parses, the consumed offset stays inside the buffer.
+    #[test]
+    fn header_soup_never_panics(
+        line in request_line(),
+        headers in proptest::collection::vec(header_fragment(), 0..12),
+    ) {
+        let mut text = line;
+        text.push_str("\r\n");
+        for h in &headers {
+            text.push_str(h);
+            text.push_str("\r\n");
+        }
+        text.push_str("\r\n");
+        if let Ok(Some((head, consumed))) = parse_head(text.as_bytes()) {
+            prop_assert!(consumed <= text.len());
+            prop_assert!(head.content_length <= MAX_BODY_BYTES);
+            prop_assert!(!head.method.is_empty() && !head.path.is_empty());
+        }
+    }
+
+    /// Every prefix of a valid request either asks for more bytes or
+    /// parses; truncation is never an error, never a panic.
+    #[test]
+    fn truncated_requests_ask_for_more_bytes(cut in 0usize..64) {
+        let full = b"POST /query HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbody";
+        let cut = cut.min(full.len());
+        match parse_head(&full[..cut]) {
+            Ok(Some((head, _))) => prop_assert_eq!(head.content_length, 4),
+            Ok(None) => prop_assert!(cut < 63, "the complete head must parse"),
+            Err(e) => prop_assert!(false, "a truncated valid request is not an error: {}", e),
+        }
+    }
+
+    /// A valid request followed by pipelined garbage still parses, and
+    /// `consumed` points exactly at the garbage.
+    #[test]
+    fn pipelined_garbage_does_not_corrupt_framing(
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut buf = b"GET /stats HTTP/1.1\r\n\r\n".to_vec();
+        let head_len = buf.len();
+        buf.extend_from_slice(&garbage);
+        let (head, consumed) = parse_head(&buf).expect("valid head").expect("complete head");
+        prop_assert_eq!(consumed, head_len);
+        prop_assert_eq!(head.path.as_str(), "/stats");
+        prop_assert_eq!(head.content_length, 0);
+    }
+}
+
+#[test]
+fn known_bad_inputs_are_typed_refusals() {
+    // Oversized declared body.
+    let oversized = format!(
+        "POST /q HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    assert!(parse_head(oversized.as_bytes()).is_err());
+    // Absent Content-Length is fine — zero-length body.
+    let (head, _) = parse_head(b"POST /q HTTP/1.1\r\n\r\n").unwrap().unwrap();
+    assert_eq!(head.content_length, 0);
+    // A head that never terminates is refused once over budget, so a
+    // drip-feeding peer cannot balloon the carry buffer.
+    let endless = vec![b'x'; MAX_HEAD_BYTES + 1];
+    assert!(parse_head(&endless).is_err());
+    // Binary junk before any terminator: still just "need more bytes"
+    // while within budget, even when it is not UTF-8.
+    assert_eq!(parse_head(&[0xff, 0xfe, 0x00]).unwrap(), None);
+    // But once terminated, non-UTF-8 heads are refused.
+    assert!(parse_head(&[0xff, 0xfe, b'\r', b'\n', b'\r', b'\n']).is_err());
+    // Conflicting lengths are refused rather than smuggled.
+    assert!(
+        parse_head(b"POST /q HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n").is_err()
+    );
+}

@@ -3,10 +3,10 @@
 //! concurrency, `/stats` accounting, and graceful shutdown.
 
 use report::Json;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
-use unified_tradeoff::server::http_call;
+use unified_tradeoff::server::{http_call, http_request, HttpClient};
 
 /// A running server child, killed on drop so a failing assertion never
 /// leaks the process.
@@ -27,12 +27,20 @@ fn spawn_server(tag: &str) -> ServerGuard {
 }
 
 fn spawn_server_with(tag: &str, extra: &[&str]) -> ServerGuard {
+    spawn_server_env(tag, extra, &[])
+}
+
+/// Spawns the server binary with extra flags and environment (the
+/// fault-injection tests arm `REPRO_FAULTS` in the child only, so the
+/// test process itself stays unfaulted).
+fn spawn_server_env(tag: &str, extra: &[&str], envs: &[(&str, &str)]) -> ServerGuard {
     let dir =
         std::env::temp_dir().join(format!("tradeoff_server_e2e_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("temp dir");
     let addr_file = dir.join("addr");
-    let child = Command::new(env!("CARGO_BIN_EXE_tradeoff-server"))
+    let mut command = Command::new(env!("CARGO_BIN_EXE_tradeoff-server"));
+    command
         .args([
             "--addr",
             "127.0.0.1:0",
@@ -43,9 +51,11 @@ fn spawn_server_with(tag: &str, extra: &[&str]) -> ServerGuard {
         ])
         .args(extra)
         .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("server binary spawns");
+        .stderr(Stdio::null());
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let child = command.spawn().expect("server binary spawns");
     let deadline = Instant::now() + Duration::from_secs(30);
     let addr = loop {
         if let Ok(text) = std::fs::read_to_string(&addr_file) {
@@ -273,4 +283,262 @@ fn shutdown_drains_and_exits_zero() {
             .unwrap_or(true)
     };
     assert!(failed, "no server should answer after shutdown");
+}
+
+/// A cheap analytic query, used where the test wants a fast round trip.
+const PRICE: &str = r#"{"query":"price","hr":0.95}"#;
+
+/// Fetches the parsed `/stats` document.
+fn stats_doc(addr: &str) -> Json {
+    let (status, body) = http_call(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    Json::parse(body.trim()).expect("stats is valid JSON")
+}
+
+#[test]
+fn a_poisoned_query_answers_500_and_leaves_the_pool_intact() {
+    // One armed handler panic, two workers: the first query is
+    // poisoned, everything after it must still be served by a
+    // full-size pool.
+    let server = spawn_server_env(
+        "panic",
+        &["--threads", "2"],
+        &[("REPRO_FAULTS", "dispatch:serve:panic:1")],
+    );
+    let addr = server.addr.clone();
+
+    let (status, body) = http_call(&addr, "POST", "/query", Some(PRICE)).unwrap();
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("internal"), "{body}");
+    assert!(body.contains("panicked"), "{body}");
+
+    // The regression: capacity is intact. Both workers still answer,
+    // and /stats asserts the pool invariant.
+    for _ in 0..4 {
+        let (status, body) = http_call(&addr, "POST", "/query", Some(PRICE)).unwrap();
+        assert_eq!(
+            status, 200,
+            "a poisoned query must not shrink the pool: {body}"
+        );
+    }
+    let stats = stats_doc(&addr);
+    let srv = stats.get("server").unwrap();
+    assert_eq!(srv.get("panics_contained").unwrap().as_u64(), Some(1));
+    let pool = srv.get("pool").unwrap();
+    assert_eq!(
+        pool.get("alive").unwrap().as_u64(),
+        pool.get("size").unwrap().as_u64(),
+        "pool size is an invariant: {stats:?}"
+    );
+    assert_eq!(pool.get("size").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn a_hung_handler_answers_504_deadline_exceeded() {
+    // One armed 60 s hang against a 500 ms request budget: the watchdog
+    // abandons the handler and answers 504 instead of wedging a worker.
+    let server = spawn_server_env(
+        "hang",
+        &["--threads", "2", "--request-timeout", "0.5"],
+        &[("REPRO_FAULTS", "dispatch:serve:delay60000:1")],
+    );
+    let addr = server.addr.clone();
+
+    let started = Instant::now();
+    let (status, body) = http_call(&addr, "POST", "/query", Some(PRICE)).unwrap();
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline-exceeded"), "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the 504 must arrive at the deadline, not after the hang"
+    );
+
+    // The worker that hit the hang is still serving.
+    let (status, _) = http_call(&addr, "POST", "/query", Some(PRICE)).unwrap();
+    assert_eq!(status, 200);
+    let stats = stats_doc(&addr);
+    let srv = stats.get("server").unwrap();
+    assert!(srv.get("deadline_timeouts").unwrap().as_u64().unwrap() >= 1);
+    let pool = srv.get("pool").unwrap();
+    assert_eq!(
+        pool.get("alive").unwrap().as_u64(),
+        pool.get("size").unwrap().as_u64()
+    );
+}
+
+#[test]
+fn the_deadline_header_lowers_the_budget_per_request() {
+    // A generous server budget, but the client asks for 1 ms and hits
+    // an armed 2 s slow-read: only this request times out.
+    let server = spawn_server_env(
+        "hdr",
+        &["--threads", "2"],
+        &[("REPRO_FAULTS", "dispatch:serve:delay2000:1")],
+    );
+    let addr = server.addr.clone();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let reply = client
+        .call_with_headers("POST", "/query", Some(PRICE), "X-Request-Timeout-Ms: 1\r\n")
+        .unwrap();
+    assert_eq!(reply.status, 504, "{}", reply.body);
+
+    // Without the header the same budget-free request succeeds.
+    let (status, _) = http_call(&addr, "POST", "/query", Some(PRICE)).unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn keepalive_connections_are_reused_and_counted() {
+    let server = spawn_server("keepalive");
+    let addr = server.addr.clone();
+
+    const CALLS: usize = 5;
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let first = client.call("POST", "/query", Some(PRICE)).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    for _ in 1..CALLS {
+        let again = client.call("POST", "/query", Some(PRICE)).unwrap();
+        assert_eq!(again.status, 200);
+        assert_eq!(again.body, first.body, "keep-alive answers are stable");
+    }
+
+    let stats = stats_doc(&addr);
+    let conns = stats.get("server").unwrap().get("connections").unwrap();
+    assert!(
+        conns.get("keepalive_reuses").unwrap().as_u64().unwrap() >= (CALLS - 1) as u64,
+        "{stats:?}"
+    );
+    // One persistent connection carried all five queries.
+    assert!(
+        conns.get("accepted").unwrap().as_u64().unwrap() <= 3,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn cli_retries_ride_out_accept_sheds_until_success() {
+    // The first two accepted connections are shed with 503 +
+    // Retry-After; a retrying CLI client must land on the third
+    // attempt and still get byte-identical output.
+    let server = spawn_server_env(
+        "retry",
+        &["--threads", "2"],
+        &[("REPRO_FAULTS", "accept:serve:io:2")],
+    );
+    let addr = server.addr.clone();
+
+    let (code, remote) = cli(&[
+        "query",
+        "--server",
+        &addr,
+        "--retries",
+        "4",
+        "--json",
+        PRICE,
+    ]);
+    assert_eq!(code, 0, "retries must ride out the sheds: {remote}");
+    let (code, local) = cli(&["query", "--json", PRICE]);
+    assert_eq!(code, 0);
+    assert_eq!(remote, local, "retried answers keep byte parity");
+
+    let stats = stats_doc(&addr);
+    let srv = stats.get("server").unwrap();
+    let overload = srv.get("overload").unwrap();
+    assert_eq!(overload.get("sheds_accept").unwrap().as_u64(), Some(2));
+
+    // With retries disabled the same shed is a hard failure.
+    let server2 = spawn_server_env(
+        "retry0",
+        &["--threads", "2"],
+        &[("REPRO_FAULTS", "accept:serve:io:1")],
+    );
+    let (code, _) = cli(&[
+        "query",
+        "--server",
+        &server2.addr,
+        "--retries",
+        "0",
+        "--json",
+        PRICE,
+    ]);
+    assert_eq!(code, 1, "a shed without retries is a failure-class exit");
+}
+
+#[test]
+fn a_slow_loris_peer_is_reaped_by_the_idle_deadline() {
+    let server = spawn_server_with("loris", &["--threads", "2", "--idle-timeout", "0.3"]);
+    let addr = server.addr.clone();
+
+    // Trickle half a request, then stall past the idle gap.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"POST /query HTTP/1.1\r\nContent-Le")
+        .unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(1200));
+
+    // The server closed on us without a response…
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a reaped connection gets no bytes: {buf:?}");
+
+    // …and no worker was consumed: the pool still answers instantly.
+    let (status, _) = http_call(&addr, "POST", "/query", Some(PRICE)).unwrap();
+    assert_eq!(status, 200);
+    let stats = stats_doc(&addr);
+    let conns = stats.get("server").unwrap().get("connections").unwrap();
+    assert!(
+        conns.get("reaped").unwrap().as_u64().unwrap() >= 1,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn overload_sheds_expensive_queries_with_retry_after() {
+    // One worker, zero queue watermark: concurrent expensive queries
+    // must produce at least one deterministic 503 with Retry-After
+    // while the server keeps answering cheap requests.
+    let server = spawn_server_with("overload", &["--threads", "1", "--queue", "0"]);
+    let addr = server.addr.clone();
+
+    const N: usize = 6;
+    let outcomes: Vec<(u16, Option<u64>, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    // Distinct instruction counts: no store coalescing,
+                    // every query is real work.
+                    let body = format!(
+                        r#"{{"query":"simulate","program":"ear","instructions":{}}}"#,
+                        30_000 + 1_000 * i
+                    );
+                    let reply = http_request(&addr, "POST", "/query", Some(&body)).unwrap();
+                    (reply.status, reply.retry_after, reply.body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let sheds: Vec<_> = outcomes.iter().filter(|(s, _, _)| *s == 503).collect();
+    let served = outcomes.iter().filter(|(s, _, _)| *s == 200).count();
+    assert!(served >= 1, "someone must be served: {outcomes:?}");
+    assert!(!sheds.is_empty(), "someone must be shed: {outcomes:?}");
+    for (_, retry_after, body) in &sheds {
+        assert_eq!(*retry_after, Some(1), "sheds carry Retry-After: {body}");
+        assert!(body.contains("overloaded"), "{body}");
+    }
+
+    // Cheap requests are admitted even under the same pressure.
+    let stats = stats_doc(&addr);
+    let srv = stats.get("server").unwrap();
+    let overload = srv.get("overload").unwrap();
+    assert_eq!(
+        overload.get("sheds_dispatch").unwrap().as_u64(),
+        Some(sheds.len() as u64),
+        "{stats:?}"
+    );
 }
